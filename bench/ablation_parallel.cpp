@@ -1,0 +1,66 @@
+// ablation_parallel -- scaling of the task-parallel MODGEMM (the library's
+// extension along the paper's "further improve performance" future-work
+// axis): serial vs 7-way (spawn 1) vs 49-way (spawn 2) task decomposition
+// across thread counts.
+//
+// Expected shape: on a multicore host, near-linear speedup to ~7 threads at
+// spawn 1 (one task per product) with spawn 2 helping load balance beyond;
+// on a single-core host all configurations tie (the results are still
+// bit-identical, see tests/test_pmodgemm.cpp).
+#include <cstdio>
+#include <thread>
+
+#include "core/modgemm.hpp"
+#include "parallel/pmodgemm.hpp"
+#include "support/bench_common.hpp"
+
+using namespace strassen;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::banner("Ablation: task parallelism",
+                "pmodgemm speedup over serial modgemm, by threads and spawn "
+                "depth");
+  std::printf("host hardware_concurrency: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  Table table({"n", "threads", "spawn", "time(s)", "speedup"});
+  args.maybe_mirror(table, "ablation_parallel");
+
+  std::vector<int> sizes =
+      args.quick ? std::vector<int>{513} : std::vector<int>{400, 513, 800};
+  std::vector<int> threads{1, 2, 4};
+  for (int n : sizes) {
+    bench::Problem p(n, n, n, static_cast<std::uint64_t>(n) * 19);
+    const MeasureOptions opt = bench::protocol(args, n);
+    const double t_serial = measure(
+        [&] {
+          core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, p.A.data(),
+                        p.A.ld(), p.B.data(), p.B.ld(), 0.0, p.C.data(),
+                        p.C.ld());
+        },
+        opt);
+    table.add_row({Table::num(static_cast<long long>(n)), "serial", "-",
+                   Table::num(t_serial, 4), "1.00"});
+    for (int t : threads) {
+      for (int spawn : {1, 2}) {
+        parallel::ThreadPool pool(t);
+        parallel::ParallelOptions popt;
+        popt.spawn_levels = spawn;
+        const double ts = measure(
+            [&] {
+              parallel::pmodgemm(&pool, Op::NoTrans, Op::NoTrans, n, n, n, 1.0,
+                                 p.A.data(), p.A.ld(), p.B.data(), p.B.ld(),
+                                 0.0, p.C.data(), p.C.ld(), popt);
+            },
+            opt);
+        table.add_row({Table::num(static_cast<long long>(n)),
+                       Table::num(static_cast<long long>(t)),
+                       Table::num(static_cast<long long>(spawn)),
+                       Table::num(ts, 4), Table::num(t_serial / ts, 2)});
+      }
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// ablation_rectangular -- the rectangular-input study the paper lists as
+// future work (S6: "We also plan to examine the effects of rectangular input
+// matrices").
+//
+// Sweeps aspect ratios at (roughly) constant arithmetic work 2*m*k*n and
+// reports, for each shape: the planner's decision (single-depth plan /
+// split / direct), MODGEMM vs DGEFMM vs conventional time, and effective
+// GFLOP/s.  Expected shape: all implementations degrade as shapes become
+// extreme (less reuse per element); MODGEMM's split path keeps it correct
+// and competitive down to the thin-direct regime where the conventional
+// algorithm takes over by design.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "layout/plan.hpp"
+#include "layout/split.hpp"
+#include "support/bench_common.hpp"
+
+using namespace strassen;
+
+namespace {
+
+const char* plan_kind(int m, int k, int n) {
+  const layout::GemmPlan p = layout::plan_gemm(m, k, n);
+  if (p.direct) return "direct";
+  if (p.feasible) return "single";
+  return "split";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::banner("Ablation: rectangular inputs (paper future work)",
+                "Aspect-ratio sweep at ~constant flop count; times for "
+                "MODGEMM / DGEFMM / conventional");
+
+  Table table({"m", "k", "n", "plan", "MODGEMM(s)", "DGEFMM(s)", "DGEMM(s)",
+               "MOD GFLOP/s"});
+  args.maybe_mirror(table, "ablation_rectangular");
+
+  // Shapes holding m*k*n ~ 450^3, from cubic to very lean/wide.
+  struct Shape {
+    int m, k, n;
+  };
+  std::vector<Shape> shapes{
+      {450, 450, 450},  {640, 450, 320},  {900, 450, 225},
+      {1800, 450, 112}, {225, 900, 450},  {112, 1800, 450},
+      {320, 320, 900},  {150, 2100, 290}, {2100, 150, 290},
+  };
+  if (args.quick) shapes.resize(4);
+
+  const bench::GemmFn modgemm = bench::modgemm_fn();
+  const bench::GemmFn dgefmm = bench::dgefmm_fn();
+  const bench::GemmFn conv = bench::conventional_fn();
+
+  for (const Shape& s : shapes) {
+    bench::Problem p(s.m, s.n, s.k,
+                     static_cast<std::uint64_t>(s.m) * 7 + s.n);
+    const MeasureOptions opt = bench::protocol(args, std::max(s.m, s.n));
+    const double t_mod = bench::time_gemm(modgemm, p, opt);
+    const double t_fmm = bench::time_gemm(dgefmm, p, opt);
+    const double t_conv = bench::time_gemm(conv, p, opt);
+    table.add_row({Table::num(static_cast<long long>(s.m)),
+                   Table::num(static_cast<long long>(s.k)),
+                   Table::num(static_cast<long long>(s.n)),
+                   plan_kind(s.m, s.k, s.n), Table::num(t_mod, 4),
+                   Table::num(t_fmm, 4), Table::num(t_conv, 4),
+                   Table::num(gflops(gemm_flops(s.m, s.n, s.k), t_mod), 2)});
+  }
+  table.print();
+  std::printf(
+      "\nplan column: 'single' = one Strassen plan at a common depth; "
+      "'split' = decomposed into\nsame-depth sub-products (paper Fig. 4); "
+      "'direct' = thin problem handed to conventional gemm.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// ablation_winograd -- isolates the SCHEDULE: Winograd's variant (7 products,
+// 15 additions -- the paper's choice, S2) vs Strassen's original construction
+// (7 products, 18 additions; 22 as naively scheduled here), both running over
+// the identical Morton machinery (planner, conversions, leaf kernel).
+//
+// Expected shape: Winograd wins by a few percent, growing with recursion
+// depth (the addition count difference is per level); both agree bit-for-bit
+// on integer data (verified in tests/test_classic.cpp).
+#include <cstdio>
+
+#include "baselines/bailey.hpp"
+#include "baselines/strassen_classic.hpp"
+#include "core/modgemm.hpp"
+#include "support/bench_common.hpp"
+
+using namespace strassen;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::banner("Ablation: Winograd vs classic Strassen schedule",
+                "Identical Morton layout/planner/kernel; only the 7-product "
+                "schedule differs");
+
+  // The Bailey column adds the historical fixed-TWO-LEVEL unfolding (S5.1):
+  // same Winograd schedule but no depth adaptivity, so leaves grow as n/4
+  // and fall out of cache for large n.
+  Table table({"n", "winograd(s)", "classic(s)", "classic/winograd",
+               "bailey2lvl(s)", "bailey/winograd"});
+  args.maybe_mirror(table, "ablation_winograd");
+
+  std::vector<int> sizes =
+      args.quick ? std::vector<int>{300, 513}
+                 : std::vector<int>{200, 300, 400, 513, 700, 900, 1024};
+  for (int n : sizes) {
+    bench::Problem p(n, n, n, static_cast<std::uint64_t>(n) * 17);
+    const MeasureOptions opt = bench::protocol(args, n);
+    const double t_w = measure(
+        [&] {
+          core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, p.A.data(),
+                        p.A.ld(), p.B.data(), p.B.ld(), 0.0, p.C.data(),
+                        p.C.ld());
+        },
+        opt);
+    const double t_c = measure(
+        [&] {
+          baselines::strassen_classic(Op::NoTrans, Op::NoTrans, n, n, n, 1.0,
+                                      p.A.data(), p.A.ld(), p.B.data(),
+                                      p.B.ld(), 0.0, p.C.data(), p.C.ld());
+        },
+        opt);
+    const double t_b = measure(
+        [&] {
+          baselines::bailey_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0,
+                                 p.A.data(), p.A.ld(), p.B.data(), p.B.ld(),
+                                 0.0, p.C.data(), p.C.ld());
+        },
+        opt);
+    table.add_row({Table::num(static_cast<long long>(n)), Table::num(t_w, 4),
+                   Table::num(t_c, 4), Table::num(t_c / t_w, 3),
+                   Table::num(t_b, 4), Table::num(t_b / t_w, 3)});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: classic/winograd > 1.0 throughout, growing with "
+      "problem size (more recursion levels,\neach paying the extra quadrant "
+      "additions).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// fig3_tile_stability -- reproduces Figure 3: performance of the leaf tile
+// multiply, contiguous vs non-contiguous submatrices, as a function of the
+// base matrix leading dimension (T = 24, 28, 32).
+//
+// Setup follows the paper (S3.3): submatrices of a base matrix M with
+// A = M[0,0], B = M[T,T], C = M[2T,2T]; non-contiguous views use the base
+// leading dimension (the x-axis), contiguous tiles use ld = T.
+//
+// Expected shape: contiguous tiles are flat across the sweep; non-contiguous
+// views crater at the power-of-two leading dimension (256) from
+// self-interference.  On a modern host the wall-clock dip is muted by large,
+// associative L1 caches, so the table also reports the simulated miss ratio
+// on the paper's direct-mapped geometry (16KB, 32B blocks), where the dip is
+// unmistakable.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "blas/kernels.hpp"
+#include "common/stats.hpp"
+#include "support/bench_common.hpp"
+#include "trace/presets.hpp"
+#include "trace/traced_run.hpp"
+
+using namespace strassen;
+
+namespace {
+
+// MFLOPS of repeated T x T leaf multiplies with the given leading dimension
+// placement.  base_ld == 0 means contiguous dedicated tiles.
+double tile_mflops(int tile, int base_ld, const MeasureOptions& opt) {
+  Rng rng(tile * 1000 + base_ld);
+  const bool contiguous = base_ld == 0;
+  if (contiguous) {
+    Matrix<double> A(tile, tile), B(tile, tile), C(tile, tile);
+    rng.fill_uniform(A.storage());
+    rng.fill_uniform(B.storage());
+    const double s = measure(
+        [&] {
+          blas::gemm_leaf(tile, tile, tile, A.data(), A.ld(), B.data(), B.ld(),
+                          C.data(), C.ld(), blas::LeafMode::Overwrite);
+        },
+        opt);
+    return static_cast<double>(gemm_flops(tile, tile, tile)) / s * 1e-6;
+  }
+  Matrix<double> M(base_ld, 3 * tile);
+  rng.fill_uniform(M.storage());
+  const double* A = M.data();
+  const double* B = M.data() + static_cast<std::size_t>(tile) * M.ld() + tile;
+  double* C =
+      M.data() + static_cast<std::size_t>(2 * tile) * M.ld() + 2 * tile;
+  const double s = measure(
+      [&] {
+        blas::gemm_leaf(tile, tile, tile, A, M.ld(), B, M.ld(), C, M.ld(),
+                        blas::LeafMode::Overwrite);
+      },
+      opt);
+  return static_cast<double>(gemm_flops(tile, tile, tile)) / s * 1e-6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::banner("Figure 3",
+                "Leaf-tile multiply: contiguous tiles (ld = T) vs "
+                "non-contiguous submatrices (ld = base LD); wall-clock MFLOPS "
+                "and simulated 16KB direct-mapped miss ratios");
+
+  MeasureOptions opt;
+  opt.outer_reps = args.quick ? 2 : 3;
+  opt.inner_reps = 2000;
+  opt.warmup = 1;
+
+  const std::vector<int> tiles{24, 28, 32};
+  std::vector<int> lds;
+  for (int ld = 96; ld <= 512; ld += args.quick ? 64 : 16) lds.push_back(ld);
+  // Always include the paper's hot spot (the power-of-two LD) and its
+  // well-behaved neighbor.
+  lds.push_back(250);
+  lds.push_back(256);
+  std::sort(lds.begin(), lds.end());
+  lds.erase(std::unique(lds.begin(), lds.end()), lds.end());
+
+  Table table({"base_ld", "T", "MFLOPS(noncontig)", "MFLOPS(contig)",
+               "miss%(noncontig)", "miss%(contig)"});
+  args.maybe_mirror(table, "fig3_tile_stability");
+
+  for (int tile : tiles) {
+    const double contig_mflops = tile_mflops(tile, 0, opt);
+    const trace::TraceResult contig_trace =
+        trace::trace_tile_kernel(tile, 0, true, trace::paper_fig9_cache());
+    for (int ld : lds) {
+      if (ld < 3 * tile) continue;
+      const double nc_mflops = tile_mflops(tile, ld, opt);
+      const trace::TraceResult nc_trace = trace::trace_tile_kernel(
+          tile, ld, false, trace::paper_fig9_cache());
+      table.add_row({Table::num(static_cast<long long>(ld)),
+                     Table::num(static_cast<long long>(tile)),
+                     Table::num(nc_mflops, 1), Table::num(contig_mflops, 1),
+                     Table::num(100.0 * nc_trace.l1_miss_ratio, 2),
+                     Table::num(100.0 * contig_trace.l1_miss_ratio, 2)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape (paper Fig. 3): the contiguous columns are flat in "
+      "both metrics;\nthe non-contiguous miss ratio spikes at base_ld = 256 "
+      "(self-interference at the\npower-of-two stride) and is generally "
+      "unstable across the sweep.\n");
+  return 0;
+}

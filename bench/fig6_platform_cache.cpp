@@ -1,0 +1,64 @@
+// fig6_platform_cache -- reproduces the cross-platform half of Figures 5/6.
+//
+// The paper ran the same codes on a DEC Alpha Miata and a Sun Ultra 60 and
+// found the relative ranking of the implementations CHANGES with the
+// platform.  We cannot run on that hardware; what differs between those
+// machines, for this workload, is the cache hierarchy.  This bench replays
+// identical executions through cache models of both machines (presets in
+// src/trace) and reports a latency-weighted memory-cost ratio -- the
+// architecture-dependent component of Figs. 5/6 -- plus L1 miss ratios.
+//
+// Expected shape: the MODGEMM/DGEFMM cost ratio differs between the two
+// geometries (platform-dependent ranking, the paper's headline observation),
+// and MODGEMM's L1 behaviour is more stable across sizes than DGEFMM's.
+#include <cstdio>
+
+#include "support/bench_common.hpp"
+#include "trace/presets.hpp"
+#include "trace/traced_run.hpp"
+
+using namespace strassen;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::banner("Figure 6 (platform emulation via cache models)",
+                "Memory-cost of MODGEMM and DGEMMW normalized to DGEFMM on "
+                "the Alpha Miata and Ultra 60 cache geometries");
+
+  Table table({"n", "platform", "MOD/FMM(cost)", "W/FMM(cost)", "L1miss% MOD",
+               "L1miss% FMM", "L1miss% W"});
+  args.maybe_mirror(table, "fig6_platform_cache");
+
+  std::vector<int> sizes =
+      args.quick ? std::vector<int>{200, 350, 513}
+                 : std::vector<int>{150, 200, 250, 300, 350, 400, 450, 513};
+  for (int n : sizes) {
+    for (int which : {0, 1}) {
+      auto fresh = [&] {
+        return which == 0 ? trace::alpha_miata_hierarchy()
+                          : trace::ultra60_hierarchy();
+      };
+      const trace::TraceResult mod =
+          trace::trace_multiply(trace::Impl::Modgemm, n, n, n, fresh());
+      const trace::TraceResult fmm =
+          trace::trace_multiply(trace::Impl::Dgefmm, n, n, n, fresh());
+      const trace::TraceResult w =
+          trace::trace_multiply(trace::Impl::Dgemmw, n, n, n, fresh());
+      table.add_row(
+          {Table::num(static_cast<long long>(n)),
+           which == 0 ? "alpha-miata" : "ultra-60",
+           Table::num(mod.estimated_cycles / fmm.estimated_cycles, 3),
+           Table::num(w.estimated_cycles / fmm.estimated_cycles, 3),
+           Table::num(100.0 * mod.l1_miss_ratio, 2),
+           Table::num(100.0 * fmm.l1_miss_ratio, 2),
+           Table::num(100.0 * w.l1_miss_ratio, 2)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: the normalized cost of the same implementation "
+      "differs between the two\ngeometries (the paper's cross-platform "
+      "variability), and the 8KB direct-mapped Alpha L1\npenalizes the "
+      "column-major baselines hardest.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// fig7_conversion -- reproduces Figure 7: Morton conversion time as a
+// percentage of MODGEMM's total execution time.
+//
+// Expected shape: conversion costs up to ~15% at small sizes and falls
+// toward ~5% as n grows (conversion is O(n^2) against an O(n^2.8) multiply).
+#include <cstdio>
+
+#include "common/ascii_plot.hpp"
+#include "core/modgemm.hpp"
+#include "support/bench_common.hpp"
+
+using namespace strassen;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::banner("Figure 7",
+                "Column-major <-> Morton conversion as %% of MODGEMM total "
+                "execution time");
+
+  Table table({"n", "convert_in(s)", "compute(s)", "convert_out(s)",
+               "conversion%"});
+  args.maybe_mirror(table, "fig7_conversion");
+
+  double lo = 100.0, hi = 0.0;
+  std::vector<double> xs;
+  PlotSeries pct_series{"conversion %", '#', {}};
+  for (int n : bench::paper_sizes(args)) {
+    bench::Problem p(n, n, n, static_cast<std::uint64_t>(n) * 3);
+    const MeasureOptions opt = bench::protocol(args, n);
+    // Accumulate the report over the protocol's invocations; the fractions
+    // are ratios, so the repetition count cancels.
+    core::ModgemmReport report;
+    measure(
+        [&] {
+          core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, p.A.data(),
+                        p.A.ld(), p.B.data(), p.B.ld(), 0.0, p.C.data(),
+                        p.C.ld(), {}, &report);
+        },
+        opt);
+    const double pct = 100.0 * report.conversion_fraction();
+    lo = std::min(lo, pct);
+    hi = std::max(hi, pct);
+    xs.push_back(n);
+    pct_series.y.push_back(pct);
+    table.add_row({Table::num(static_cast<long long>(n)),
+                   Table::num(report.convert_in_seconds, 4),
+                   Table::num(report.compute_seconds, 4),
+                   Table::num(report.convert_out_seconds, 4),
+                   Table::num(pct, 1)});
+  }
+  table.print();
+  std::printf("\nConversion share of total time vs n:\n%s",
+              render_plot(xs, {pct_series}).c_str());
+  std::printf(
+      "\nConversion fraction over the sweep: %.1f%% .. %.1f%% (paper: ~5%% "
+      "for large n up to ~15%% for small n).\n",
+      lo, hi);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// fig9_cache_miss -- reproduces Figure 9: cache miss ratios of MODGEMM and
+// DGEFMM on a simulated 16KB direct-mapped cache with 32-byte blocks, for
+// matrix sizes 500..523.
+//
+// Expected shape (paper):
+//   * MODGEMM's miss ratio (2-6%) sits below DGEFMM's (~8%);
+//   * MODGEMM shows a dramatic DROP at n = 513: for n in [505,512] the
+//     padded size is 512 with 32x32 tiles, whose 8KB quadrants sit exactly a
+//     multiple of the 16KB cache apart (NW/SW conflict); at n = 513 the plan
+//     jumps to T = 33 (padded 528) and the conflict alignment disappears.
+#include <cstdio>
+
+#include "common/ascii_plot.hpp"
+#include "layout/plan.hpp"
+#include "support/bench_common.hpp"
+#include "trace/presets.hpp"
+#include "trace/traced_run.hpp"
+
+using namespace strassen;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::banner("Figure 9",
+                "Simulated miss ratios, 16KB direct-mapped cache with 32B "
+                "blocks (full executions incl. conversions)");
+
+  Table table({"n", "MODGEMM miss%", "MODGEMM conflict%", "DGEFMM miss%",
+               "MODGEMM tile", "MODGEMM padded"});
+  args.maybe_mirror(table, "fig9_cache_miss");
+
+  const int lo = 500, hi = 523;
+  int step = args.quick ? 4 : 1;
+  double mod_505_512 = 0.0, mod_at_513 = 0.0;
+  double conflict_505_512 = 0.0, conflict_at_513 = 0.0;
+  int count_505_512 = 0;
+  std::vector<double> xs;
+  PlotSeries mod_series{"MODGEMM miss%", 'M', {}};
+  PlotSeries fmm_series{"DGEFMM miss%", 'F', {}};
+  for (int n = lo; n <= hi; n = (args.quick && n == 512) ? 513 : n + step) {
+    // MODGEMM runs with three-C's classification (the CProf analysis the
+    // paper used to attribute the n=513 drop to conflict misses).
+    const trace::TraceResult mod = trace::trace_multiply(
+        trace::Impl::Modgemm, n, n, n, trace::paper_fig9_cache_classified());
+    const trace::TraceResult fmm = trace::trace_multiply(
+        trace::Impl::Dgefmm, n, n, n, trace::paper_fig9_cache());
+    const layout::DimPlan plan = layout::choose_dim(n);
+    const double conflict_pct =
+        mod.total_accesses
+            ? 100.0 * static_cast<double>(mod.levels[0].breakdown.conflict) /
+                  static_cast<double>(mod.total_accesses)
+            : 0.0;
+    table.add_row({Table::num(static_cast<long long>(n)),
+                   Table::num(100.0 * mod.l1_miss_ratio, 3),
+                   Table::num(conflict_pct, 3),
+                   Table::num(100.0 * fmm.l1_miss_ratio, 3),
+                   Table::num(static_cast<long long>(plan.tile)),
+                   Table::num(static_cast<long long>(plan.padded))});
+    if (n >= 505 && n <= 512) {
+      mod_505_512 += mod.l1_miss_ratio;
+      conflict_505_512 += conflict_pct;
+      ++count_505_512;
+    }
+    if (n == 513) {
+      mod_at_513 = mod.l1_miss_ratio;
+      conflict_at_513 = conflict_pct;
+    }
+    xs.push_back(n);
+    mod_series.y.push_back(100.0 * mod.l1_miss_ratio);
+    fmm_series.y.push_back(100.0 * fmm.l1_miss_ratio);
+  }
+  table.print();
+  std::printf("\nMiss ratio vs n (the paper's Fig. 9 shape: MODGEMM's cliff "
+              "at n = 513):\n%s",
+              render_plot(xs, {mod_series, fmm_series}).c_str());
+  if (count_505_512 > 0) {
+    std::printf(
+        "\nConflict-miss share of all accesses (MODGEMM): mean %.2f%% over n "
+        "in [505,512] vs %.2f%% at n=513\n-- the drop is conflict misses, as "
+        "the paper's CProf analysis found.\n",
+        conflict_505_512 / count_505_512, conflict_at_513);
+  }
+  if (count_505_512 > 0 && mod_at_513 > 0.0) {
+    std::printf(
+        "\nMODGEMM miss ratio: mean %.2f%% over n in [505,512] (padded 512, "
+        "T=32, power-of-two quadrant\nalignment) vs %.2f%% at n=513 (padded "
+        "528, T=33).  Paper: a dramatic drop at 513 from the\nelimination of "
+        "quadrant conflict misses.\n",
+        100.0 * mod_505_512 / count_505_512, 100.0 * mod_at_513);
+  }
+  return 0;
+}

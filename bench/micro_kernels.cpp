@@ -1,0 +1,143 @@
+// micro_kernels -- google-benchmark microbenchmarks for the library's hot
+// kernels: the 4x4 leaf gemm across the paper's tile range (contiguous vs
+// strided), the single-loop Morton quadrant additions vs two-loop view
+// additions, and the layout conversions.
+//
+// These are the building blocks whose behaviour the paper's Fig. 3 argument
+// rests on; this binary gives per-kernel numbers (ns/op, effective FLOPS)
+// rather than whole-algorithm comparisons.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "blas/kernels.hpp"
+#include "blas/level1.hpp"
+#include "blas/view_ops.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "layout/convert.hpp"
+#include "layout/plan.hpp"
+
+namespace {
+
+using namespace strassen;
+
+void BM_LeafGemmContiguous(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  Matrix<double> A(t, t), B(t, t), C(t, t);
+  Rng rng(1);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  for (auto _ : state) {
+    blas::gemm_leaf(t, t, t, A.data(), t, B.data(), t, C.data(), t,
+                    blas::LeafMode::Overwrite);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * t * t * t, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_LeafGemmContiguous)->Arg(16)->Arg(24)->Arg(32)->Arg(33)->Arg(48)->Arg(64);
+
+void BM_LeafGemmStrided(benchmark::State& state) {
+  const int t = 32;
+  const int ld = static_cast<int>(state.range(0));
+  Matrix<double> M(ld, 3 * t);
+  Rng rng(2);
+  rng.fill_uniform(M.storage());
+  const double* A = M.data();
+  const double* B = M.data() + static_cast<std::size_t>(t) * ld + t;
+  double* C = M.data() + static_cast<std::size_t>(2 * t) * ld + 2 * t;
+  for (auto _ : state) {
+    blas::gemm_leaf(t, t, t, A, ld, B, ld, C, ld, blas::LeafMode::Overwrite);
+    benchmark::DoNotOptimize(C);
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * t * t * t, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_LeafGemmStrided)->Arg(96)->Arg(128)->Arg(250)->Arg(256)->Arg(512);
+
+// The paper's S3.3 point: Morton quadrant additions are ONE loop over
+// contiguous memory...
+void BM_QuadrantAddContiguous(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n, 1.0), b(n, 2.0), d(n);
+  for (auto _ : state) {
+    blas::vadd(n, d.data(), a.data(), b.data());
+    benchmark::DoNotOptimize(d.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          3 * sizeof(double));
+}
+BENCHMARK(BM_QuadrantAddContiguous)->Arg(64 * 64)->Arg(256 * 256);
+
+// ...while column-major quadrant additions need two nested loops over
+// strided views (the DGEFMM situation).
+void BM_QuadrantAddStrided(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  RawMem mm;
+  Matrix<double> A(2 * side, 2 * side), B(2 * side, 2 * side),
+      D(2 * side, 2 * side);
+  Rng rng(3);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  for (auto _ : state) {
+    blas::view_add(mm, side, side, D.data(), D.ld(), A.data(), A.ld(),
+                   B.data(), B.ld());
+    benchmark::DoNotOptimize(D.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          side * side * 3 * sizeof(double));
+}
+BENCHMARK(BM_QuadrantAddStrided)->Arg(64)->Arg(256);
+
+void BM_ToMorton(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const layout::DimPlan plan = layout::choose_dim(n);
+  const layout::MortonLayout l{n, n, plan.tile, plan.tile, plan.depth};
+  Matrix<double> src(n, n);
+  Rng rng(4);
+  rng.fill_uniform(src.storage());
+  std::vector<double> dst(static_cast<std::size_t>(l.elems()));
+  for (auto _ : state) {
+    layout::to_morton(l, dst.data(), Op::NoTrans, src.data(), src.ld());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          l.elems() * 2 * sizeof(double));
+}
+BENCHMARK(BM_ToMorton)->Arg(256)->Arg(513)->Arg(1024);
+
+void BM_FromMorton(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const layout::DimPlan plan = layout::choose_dim(n);
+  const layout::MortonLayout l{n, n, plan.tile, plan.tile, plan.depth};
+  Matrix<double> dst(n, n);
+  std::vector<double> src(static_cast<std::size_t>(l.elems()), 1.0);
+  for (auto _ : state) {
+    layout::from_morton(l, src.data(), 1.0, dst.data(), dst.ld(), 0.0);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          l.elems() * 2 * sizeof(double));
+}
+BENCHMARK(BM_FromMorton)->Arg(256)->Arg(513)->Arg(1024);
+
+void BM_ToMortonTransposed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const layout::DimPlan plan = layout::choose_dim(n);
+  const layout::MortonLayout l{n, n, plan.tile, plan.tile, plan.depth};
+  Matrix<double> src(n, n);
+  Rng rng(5);
+  rng.fill_uniform(src.storage());
+  std::vector<double> dst(static_cast<std::size_t>(l.elems()));
+  for (auto _ : state) {
+    layout::to_morton(l, dst.data(), Op::Trans, src.data(), src.ld());
+    benchmark::DoNotOptimize(dst.data());
+  }
+}
+BENCHMARK(BM_ToMortonTransposed)->Arg(256)->Arg(513);
+
+}  // namespace
+
+BENCHMARK_MAIN();

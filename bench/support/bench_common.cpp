@@ -1,0 +1,114 @@
+#include "support/bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/conventional.hpp"
+#include "baselines/dgefmm.hpp"
+#include "baselines/dgemmw.hpp"
+#include "core/modgemm.hpp"
+
+namespace strassen::bench {
+
+BenchArgs BenchArgs::parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--paper") == 0) {
+      args.paper_protocol = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      args.csv_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s' (flags: --quick --paper --csv DIR)\n",
+                   argv[i]);
+    }
+  }
+  return args;
+}
+
+void BenchArgs::maybe_mirror(Table& table, const std::string& name) const {
+  if (!csv_dir.empty()) table.mirror_csv(csv_dir + "/" + name + ".csv");
+}
+
+MeasureOptions protocol(const BenchArgs& args, int n) {
+  if (args.paper_protocol) return paper_protocol(n);
+  MeasureOptions opt;
+  // One extra outer repetition for the single-invocation large sizes: with
+  // inner_reps == 1 the min-of-reps is the only defense against OS noise.
+  opt.outer_reps = n < 500 ? 2 : 3;
+  opt.inner_reps = n < 500 ? (args.quick ? 3 : 5) : 1;
+  opt.warmup = 1;
+  return opt;
+}
+
+std::vector<int> paper_sizes(const BenchArgs& args) {
+  if (args.quick) return {150, 250, 400, 513, 700, 1024};
+  std::vector<int> sizes;
+  for (int n = 150; n <= 1000; n += 50) sizes.push_back(n);
+  // The interesting neighborhood around 512 (padding cliff) and the top end.
+  sizes.push_back(511);
+  sizes.push_back(513);
+  sizes.push_back(1024);
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+Problem::Problem(int m_, int n_, int k_, std::uint64_t seed)
+    : A(m_, k_), B(k_, n_), C(m_, n_), m(m_), n(n_), k(k_) {
+  Rng rng(seed);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+}
+
+GemmFn modgemm_fn() {
+  return [](int m, int n, int k, const double* A, int lda, const double* B,
+            int ldb, double* C, int ldc) {
+    core::modgemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A, lda, B, ldb, 0.0,
+                  C, ldc);
+  };
+}
+
+GemmFn dgefmm_fn() {
+  return [](int m, int n, int k, const double* A, int lda, const double* B,
+            int ldb, double* C, int ldc) {
+    baselines::dgefmm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A, lda, B, ldb,
+                      0.0, C, ldc);
+  };
+}
+
+GemmFn dgemmw_fn() {
+  return [](int m, int n, int k, const double* A, int lda, const double* B,
+            int ldb, double* C, int ldc) {
+    baselines::dgemmw(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A, lda, B, ldb,
+                      0.0, C, ldc);
+  };
+}
+
+GemmFn conventional_fn() {
+  return [](int m, int n, int k, const double* A, int lda, const double* B,
+            int ldb, double* C, int ldc) {
+    baselines::conventional_gemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A,
+                                 lda, B, ldb, 0.0, C, ldc);
+  };
+}
+
+double time_gemm(const GemmFn& fn, Problem& p, const MeasureOptions& opt) {
+  return measure(
+      [&] {
+        fn(p.m, p.n, p.k, p.A.data(), p.A.ld(), p.B.data(), p.B.ld(),
+           p.C.data(), p.C.ld());
+      },
+      opt);
+}
+
+void banner(const std::string& figure, const std::string& what) {
+  std::printf("== %s ==\n%s\n", figure.c_str(), what.c_str());
+  std::printf(
+      "(alpha=1, beta=0, column-major doubles; timing: min over outer reps of "
+      "the mean over inner invocations)\n\n");
+}
+
+}  // namespace strassen::bench

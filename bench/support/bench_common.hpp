@@ -1,0 +1,68 @@
+// bench_common.hpp -- shared harness for the per-figure benchmark binaries.
+//
+// Every binary reproduces one table/figure of the SC'98 paper: it sweeps the
+// paper's parameter range, runs the competing implementations under the
+// paper's measurement protocol, and prints the same rows/series the figure
+// plots (mirrored to CSV when --csv <dir> is given).
+//
+// Common flags (parsed by BenchArgs):
+//   --quick        smaller sweeps / fewer repetitions (CI-friendly)
+//   --paper        the paper's exact protocol (3 outer reps, 10 averaged
+//                  invocations below n=500); default is a lighter protocol
+//                  (2 outer, 5 inner) that keeps a full sweep to minutes
+//   --csv DIR      mirror each table to DIR/<bench>.csv
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace strassen::bench {
+
+struct BenchArgs {
+  bool quick = false;
+  bool paper_protocol = false;
+  std::string csv_dir;
+
+  static BenchArgs parse(int argc, char** argv);
+  // Attaches DIR/<name>.csv mirroring to `table` if --csv was given.
+  void maybe_mirror(Table& table, const std::string& name) const;
+};
+
+// Measurement protocol for matrix size n under these args.
+MeasureOptions protocol(const BenchArgs& args, int n);
+
+// The paper's evaluation sweep: matrix sizes 150..1024.  Full mode steps
+// through the range densely enough to show the crossovers; quick mode keeps
+// a handful of representative sizes.
+std::vector<int> paper_sizes(const BenchArgs& args);
+
+// A pair of square random operands (uniform [-1,1]) plus a result buffer.
+struct Problem {
+  Matrix<double> A, B, C;
+  int m, n, k;
+  Problem(int m_, int n_, int k_, std::uint64_t seed);
+};
+
+// The four contenders, under their paper names.
+using GemmFn = std::function<void(int m, int n, int k, const double* A,
+                                  int lda, const double* B, int ldb, double* C,
+                                  int ldc)>;
+GemmFn modgemm_fn();
+GemmFn dgefmm_fn();
+GemmFn dgemmw_fn();
+GemmFn conventional_fn();
+
+// Times one C = A.B invocation of `fn` on `p` under `opt`.
+double time_gemm(const GemmFn& fn, Problem& p, const MeasureOptions& opt);
+
+// Prints the standard bench banner.
+void banner(const std::string& figure, const std::string& what);
+
+}  // namespace strassen::bench

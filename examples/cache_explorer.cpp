@@ -1,0 +1,83 @@
+// cache_explorer -- interactive view of the library's cache simulator (the
+// ATOM-substitute used for the paper's Fig. 9).
+//
+// Runs a chosen implementation and problem size through a chosen cache
+// geometry and prints per-level statistics, e.g.:
+//
+//   ./cache_explorer MODGEMM 513 fig9
+//   ./cache_explorer DGEFMM 512 alpha
+//   ./cache_explorer DGEMM 300 ultra
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "trace/presets.hpp"
+#include "trace/traced_run.hpp"
+
+using namespace strassen;
+
+namespace {
+
+void usage(const char* prog) {
+  std::printf(
+      "usage: %s [MODGEMM|DGEFMM|DGEMMW|DGEMM] [n] [fig9|fig9c|alpha|ultra]\n",
+      prog);
+  std::printf("  fig9  = 16KB direct-mapped, 32B blocks (paper Fig. 9)\n");
+  std::printf("  fig9c = same, with compulsory/capacity/conflict "
+              "classification (CProf stand-in)\n");
+  std::printf("  alpha = DEC Alpha Miata: 8KB DM L1, 96KB 3-way L2, 2MB L3\n");
+  std::printf("  ultra = Sun Ultra 60: 16KB DM L1, 2MB L2\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  trace::Impl impl = trace::Impl::Modgemm;
+  int n = 513;
+  const char* geom = "fig9";
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "MODGEMM") == 0) impl = trace::Impl::Modgemm;
+    else if (std::strcmp(argv[1], "DGEFMM") == 0) impl = trace::Impl::Dgefmm;
+    else if (std::strcmp(argv[1], "DGEMMW") == 0) impl = trace::Impl::Dgemmw;
+    else if (std::strcmp(argv[1], "DGEMM") == 0) impl = trace::Impl::Conventional;
+    else { usage(argv[0]); return 1; }
+  }
+  if (argc > 2) n = std::atoi(argv[2]);
+  if (argc > 3) geom = argv[3];
+  if (n < 1 || n > 2048) {
+    std::printf("n out of range (1..2048)\n");
+    return 1;
+  }
+
+  trace::CacheHierarchy h =
+      std::strcmp(geom, "alpha") == 0   ? trace::alpha_miata_hierarchy()
+      : std::strcmp(geom, "ultra") == 0 ? trace::ultra60_hierarchy()
+      : std::strcmp(geom, "fig9c") == 0 ? trace::paper_fig9_cache_classified()
+                                        : trace::paper_fig9_cache();
+
+  std::printf("simulating %s, C = A.B at n = %d, hierarchy '%s'...\n\n",
+              trace::impl_name(impl), n, h.name().c_str());
+  const trace::TraceResult r = trace::trace_multiply(impl, n, n, n, std::move(h));
+
+  std::printf("%-6s %14s %14s %10s\n", "level", "accesses", "misses", "miss%");
+  for (const auto& level : r.levels) {
+    std::printf("%-6s %14llu %14llu %9.3f%%\n", level.name.c_str(),
+                static_cast<unsigned long long>(level.accesses),
+                static_cast<unsigned long long>(level.misses),
+                100.0 * level.miss_ratio);
+    if (level.has_breakdown) {
+      std::printf(
+          "       three-C's: %llu compulsory, %llu capacity, %llu conflict\n",
+          static_cast<unsigned long long>(level.breakdown.compulsory),
+          static_cast<unsigned long long>(level.breakdown.capacity),
+          static_cast<unsigned long long>(level.breakdown.conflict));
+    }
+  }
+  std::printf("%-6s %14llu\n", "mem",
+              static_cast<unsigned long long>(r.memory_accesses));
+  std::printf("\nlatency-weighted memory cost: %.3e model cycles\n",
+              r.estimated_cycles);
+  std::printf("cost per data access:         %.2f cycles\n",
+              r.estimated_cycles / static_cast<double>(r.total_accesses));
+  return 0;
+}

@@ -1,0 +1,169 @@
+// cholesky -- a numerical code built on the library, as the paper's intro
+// motivates ("the central role of matrix multiplication as a building block
+// in numerical codes").
+//
+// Right-looking blocked Cholesky factorization A = L.L^T of a symmetric
+// positive-definite matrix.  Per panel of width NB:
+//
+//   1. factor the diagonal block (unblocked Cholesky),
+//   2. solve the panel below it (triangular solve against the block),
+//   3. update the trailing submatrix:  A22 <- A22 - L21 . L21^T
+//
+// Step 3 is a GEMM on matrices that shrink from n to NB -- the dominant
+// cost -- and runs through either MODGEMM or the conventional algorithm.
+// The example times both, verifies || A - L.L^T || for each, and shows where
+// the Strassen advantage shows up (large trailing updates early in the
+// factorization).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "baselines/conventional.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/modgemm.hpp"
+#include "core/syrk.hpp"
+
+using namespace strassen;
+
+namespace {
+
+using UpdateFn = void (*)(int m, int n, int k, const double* A, int lda,
+                          double* C, int ldc);
+
+void update_modgemm(int m, int n, int k, const double* A, int lda, double* C,
+                    int ldc) {
+  core::modgemm(Op::NoTrans, Op::Trans, m, n, k, -1.0, A, lda, A, lda, 1.0, C,
+                ldc);
+}
+
+void update_conventional(int m, int n, int k, const double* A, int lda,
+                         double* C, int ldc) {
+  baselines::conventional_gemm(Op::NoTrans, Op::Trans, m, n, k, -1.0, A, lda,
+                               A, lda, 1.0, C, ldc);
+}
+
+// The trailing block is symmetric and Cholesky only reads its lower
+// triangle, so the rank-k update can skip half the work entirely.
+void update_modsyrk(int m, int n, int k, const double* A, int lda, double* C,
+                    int ldc) {
+  (void)n;  // square symmetric update: n == m
+  core::modsyrk(m, k, -1.0, A, lda, 1.0, C, ldc);
+}
+
+// Unblocked Cholesky of the nb x nb leading block; returns false if a pivot
+// is non-positive (not SPD).
+bool potf2(int nb, double* A, int lda) {
+  for (int j = 0; j < nb; ++j) {
+    double d = A[static_cast<std::size_t>(j) * lda + j];
+    for (int p = 0; p < j; ++p) {
+      const double v = A[static_cast<std::size_t>(p) * lda + j];
+      d -= v * v;
+    }
+    if (d <= 0.0) return false;
+    d = std::sqrt(d);
+    A[static_cast<std::size_t>(j) * lda + j] = d;
+    for (int i = j + 1; i < nb; ++i) {
+      double v = A[static_cast<std::size_t>(j) * lda + i];
+      for (int p = 0; p < j; ++p)
+        v -= A[static_cast<std::size_t>(p) * lda + i] *
+             A[static_cast<std::size_t>(p) * lda + j];
+      A[static_cast<std::size_t>(j) * lda + i] = v / d;
+    }
+  }
+  return true;
+}
+
+// L21 <- L21 * L11^-T  (right triangular solve against the factored block).
+void trsm_rt(int m, int nb, const double* L11, int ldl, double* L21,
+             int ldb) {
+  for (int j = 0; j < nb; ++j) {
+    const double djj = L11[static_cast<std::size_t>(j) * ldl + j];
+    for (int i = 0; i < m; ++i) {
+      double v = L21[static_cast<std::size_t>(j) * ldb + i];
+      for (int p = 0; p < j; ++p)
+        v -= L21[static_cast<std::size_t>(p) * ldb + i] *
+             L11[static_cast<std::size_t>(p) * ldl + j];
+      L21[static_cast<std::size_t>(j) * ldb + i] = v / djj;
+    }
+  }
+}
+
+// Blocked right-looking Cholesky; trailing updates via `update`.
+bool cholesky(int n, double* A, int lda, int nb, UpdateFn update) {
+  for (int j = 0; j < n; j += nb) {
+    const int jb = std::min(nb, n - j);
+    double* Ajj = A + static_cast<std::size_t>(j) * lda + j;
+    if (!potf2(jb, Ajj, lda)) return false;
+    const int rest = n - j - jb;
+    if (rest > 0) {
+      double* Abelow = A + static_cast<std::size_t>(j) * lda + j + jb;
+      trsm_rt(rest, jb, Ajj, lda, Abelow, lda);
+      double* Atrail = A + static_cast<std::size_t>(j + jb) * lda + j + jb;
+      update(rest, rest, jb, Abelow, lda, Atrail, lda);
+    }
+  }
+  return true;
+}
+
+// max_ij | A - L.L^T | over the lower triangle.
+double residual(const Matrix<double>& A0, const Matrix<double>& L) {
+  const int n = A0.rows();
+  double worst = 0.0;
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      double v = 0.0;
+      for (int p = 0; p <= j; ++p) v += L.at(i, p) * L.at(j, p);
+      worst = std::max(worst, std::abs(v - A0.at(i, j)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 1000;
+  const int nb = argc > 2 ? std::atoi(argv[2]) : 128;
+  std::printf(
+      "Blocked Cholesky A = L.L^T, n = %d, panel %d; trailing updates via "
+      "MODGEMM vs conventional gemm\n\n",
+      n, nb);
+
+  // A = M.M^T + n*I: symmetric positive definite by construction.
+  Rng rng(3);
+  Matrix<double> M(n, n), A0(n, n);
+  rng.fill_uniform(M.storage());
+  baselines::conventional_gemm(Op::NoTrans, Op::Trans, n, n, n, 1.0, M.data(),
+                               n, M.data(), n, 0.0, A0.data(), n);
+  for (int i = 0; i < n; ++i) A0.at(i, i) += n;
+
+  const std::pair<const char*, UpdateFn> variants[] = {
+      {"MODGEMM      ", update_modgemm},
+      {"MODSYRK      ", update_modsyrk},
+      {"conventional ", update_conventional}};
+  for (const auto& [name, fn] : variants) {
+    Matrix<double> L(n, n);
+    copy_matrix<double>(A0.view(), L.view());
+    WallTimer t;
+    const bool ok = cholesky(n, L.data(), L.ld(), nb, fn);
+    const double secs = t.seconds();
+    if (!ok) {
+      std::printf("%s factorization FAILED (matrix not SPD?)\n", name);
+      return 1;
+    }
+    const double err = residual(A0, L);
+    std::printf("%s %7.3f s   max |A - L.L'| = %.3e  %s\n", name, secs, err,
+                err < 1e-8 * n ? "OK" : "LARGE!");
+  }
+  std::printf(
+      "\nNote: each trailing update is (n-j) x (n-j) x %d -- the inner "
+      "dimension is the panel width,\nso MODGEMM's planner runs these thin "
+      "products through the conventional path below its\ndirect threshold "
+      "and through Strassen splitting above it (see examples/rectangular).\n",
+      nb);
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "baselines/bailey.hpp"
+
+namespace strassen::baselines {
+
+namespace {
+std::size_t round_up64(std::size_t n) { return (n + 63) / 64 * 64; }
+}  // namespace
+
+std::size_t bailey_workspace_bytes(int mp, int np, int kp,
+                                   std::size_t elem_size) {
+  STRASSEN_REQUIRE(mp % 4 == 0 && np % 4 == 0 && kp % 4 == 0,
+                   "dims must be padded to multiples of four");
+  std::size_t total = 0;
+  int m = mp, n = np, k = kp;
+  for (int level = 0; level < 2; ++level) {
+    const int m2 = m / 2, k2 = k / 2, n2 = n / 2;
+    total += round_up64(static_cast<std::size_t>(m2) * k2 * elem_size);
+    total += round_up64(static_cast<std::size_t>(k2) * n2 * elem_size);
+    total += round_up64(static_cast<std::size_t>(m2) * n2 * elem_size);
+    m = m2;
+    n = n2;
+    k = k2;
+  }
+  return total;
+}
+
+void bailey_gemm(Op opa, Op opb, int m, int n, int k, double alpha,
+                 const double* A, int lda, const double* B, int ldb,
+                 double beta, double* C, int ldc) {
+  RawMem raw;
+  bailey_gemm_mm(raw, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc);
+}
+
+}  // namespace strassen::baselines

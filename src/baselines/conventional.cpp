@@ -1,0 +1,11 @@
+#include "baselines/conventional.hpp"
+
+namespace strassen::baselines {
+
+void conventional_gemm(Op opa, Op opb, int m, int n, int k, double alpha,
+                       const double* A, int lda, const double* B, int ldb,
+                       double beta, double* C, int ldc) {
+  blas::gemm(opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc);
+}
+
+}  // namespace strassen::baselines

@@ -1,0 +1,19 @@
+// conventional.hpp -- the conventional O(n^3) baseline under its bench name.
+//
+// A thin, documented alias for blas::gemm so benches and examples can speak
+// of the three contenders the paper compares (conventional / DGEFMM /
+// DGEMMW) plus MODGEMM by name.
+#pragma once
+
+#include "blas/gemm.hpp"
+#include "common/matrix.hpp"
+
+namespace strassen::baselines {
+
+// C <- alpha * op(A).op(B) + beta * C with the cache-blocked conventional
+// algorithm (see blas/gemm.hpp for the blocking structure).
+void conventional_gemm(Op opa, Op opb, int m, int n, int k, double alpha,
+                       const double* A, int lda, const double* B, int ldb,
+                       double beta, double* C, int ldc);
+
+}  // namespace strassen::baselines

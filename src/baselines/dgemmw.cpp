@@ -1,0 +1,42 @@
+#include "baselines/dgemmw.hpp"
+
+namespace strassen::baselines {
+
+namespace {
+std::size_t round_up64(std::size_t n) { return (n + 63) / 64 * 64; }
+}  // namespace
+
+std::size_t dgemmw_workspace_bytes(int m, int n, int k, int cutoff,
+                                   std::size_t elem_size) {
+  STRASSEN_REQUIRE(cutoff >= 1, "bad cutoff");
+  std::size_t total = 0;
+  // Ceil-halving chain; five temporaries per level (tS, tT, tP, tU, tQ).
+  while (std::min(m, std::min(n, k)) > cutoff) {
+    const int m2 = (m + 1) / 2;
+    const int k2 = (k + 1) / 2;
+    const int n2 = (n + 1) / 2;
+    total += round_up64(static_cast<std::size_t>(m2) * k2 * elem_size);
+    total += round_up64(static_cast<std::size_t>(k2) * n2 * elem_size);
+    total += 3 * round_up64(static_cast<std::size_t>(m2) * n2 * elem_size);
+    m = m2;
+    n = n2;
+    k = k2;
+  }
+  return total;
+}
+
+void dgemmw(Op opa, Op opb, int m, int n, int k, double alpha, const double* A,
+            int lda, const double* B, int ldb, double beta, double* C, int ldc,
+            const DgemmwOptions& opt) {
+  RawMem raw;
+  dgemmw_mm(raw, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc, opt);
+}
+
+void dgemmw(Op opa, Op opb, int m, int n, int k, float alpha, const float* A,
+            int lda, const float* B, int ldb, float beta, float* C, int ldc,
+            const DgemmwOptions& opt) {
+  RawMem raw;
+  dgemmw_mm(raw, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc, opt);
+}
+
+}  // namespace strassen::baselines

@@ -1,0 +1,247 @@
+// dgemmw.hpp -- DGEMMW baseline: Strassen-Winograd with DYNAMIC OVERLAP.
+//
+// Reimplementation of the approach of Douglas, Heroux, Slishman and Smith
+// (GEMMW, J. Comp. Physics 1994), the paper's second comparison point.
+// Matrices stay column-major; an odd dimension at any recursion level is
+// handled by treating the block as the next even size whose extra row or
+// column is a PHANTOM ZERO that is never stored:
+//
+//   * splitting an odd dimension 2h-1 produces quadrant halves of size h,
+//     where the second half has only h-1 real rows/columns;
+//   * reads beyond a block's real extent yield zero (for the inner dimension
+//     this is exactly the published zero-extension trick; for the outer
+//     dimensions it is overlap with the redundant recomputation elided);
+//   * writes to the phantom row/column of C are simply not performed.
+//
+// No fix-up computations and no peeling -- but every quadrant operation
+// carries extent bookkeeping, the "complicated control structure" the SC'98
+// paper attributes to this scheme.  Temporaries are materialized at full
+// (even) quadrant size so the recursion below only tracks extents on the raw
+// A/B/C quadrants.
+//
+// The schedule needs one more C-shaped temporary than the peeling code
+// because C's clipped quadrants cannot serve as scratch for intermediates
+// whose phantom parts are still live (see tU/tQ below) -- GEMMW likewise
+// required a user-provided work array larger than DGEFMM's.
+#pragma once
+
+#include <algorithm>
+
+#include "blas/gemm.hpp"
+#include "blas/view_ops.hpp"
+#include "common/aligned_buffer.hpp"
+#include "common/arena.hpp"
+#include "common/check.hpp"
+#include "common/matrix.hpp"
+#include "common/memmodel.hpp"
+
+namespace strassen::baselines {
+
+struct DgemmwOptions {
+  int cutoff = 64;  // recursion truncation point
+};
+
+// Peak temporary bytes for the overlap recursion.
+std::size_t dgemmw_workspace_bytes(int m, int n, int k, int cutoff,
+                                   std::size_t elem_size);
+
+namespace detail {
+
+// Read-only block with real extent rr x rc (logical extent is implied by the
+// operation reading it; reads outside the real extent are zero).
+template <class T>
+struct ExtIn {
+  const T* p;
+  int ld;
+  int rr, rc;
+};
+
+// Writable block; only the real rr x rc region is stored.
+template <class T>
+struct ExtOut {
+  T* p;
+  int ld;
+  int rr, rc;
+};
+
+// C.real = (A . B) restricted to C's real region, with phantom-zero reads
+// outside A/B's real extents.  The logical problem is C.rr x C.rc with inner
+// dimension max(A.rc, B.rr).
+template <class MM, class T>
+void dgemmw_recurse(MM& mm, ExtIn<T> A, ExtIn<T> B, ExtOut<T> C, int cutoff,
+                    Arena& arena) {
+  const int lm = C.rr;
+  const int ln = C.rc;
+  const int lk = std::max(A.rc, B.rr);
+  if (std::min(lm, std::min(ln, lk)) <= cutoff) {
+    // Contributions beyond the shared real inner extent are zero.
+    const int kk = std::min(A.rc, B.rr);
+    if (kk == 0) {
+      blas::scale_view(mm, C.rr, C.rc, C.p, C.ld, T{0});
+      return;
+    }
+    blas::gemm_blocked_nn(mm, C.rr, C.rc, kk, T{1}, A.p, A.ld, B.p, B.ld, T{0},
+                          C.p, C.ld);
+    return;
+  }
+  const int M2 = (lm + 1) / 2;
+  const int K2 = (lk + 1) / 2;
+  const int N2 = (ln + 1) / 2;
+
+  auto clamp0 = [](int v) { return v > 0 ? v : 0; };
+  // Quadrants of an ExtIn.  Second halves may lose one real row/column.
+  // Real extents are clamped by the LOGICAL quadrant extent (lr x lc of the
+  // parent's logical problem): an operand handed to us may carry more real
+  // rows/columns than the logical problem uses (the redundant fringe of an
+  // enclosing overlap split), and those elements are logically phantom ZEROS
+  // here -- without the clamp they would read live data.
+  auto quad_in = [&](const ExtIn<T>& X, int i, int j, int rh, int ch, int lr,
+                     int lc) -> ExtIn<T> {
+    const int rr = i == 0 ? std::min(X.rr, rh)
+                          : std::min(clamp0(X.rr - rh), clamp0(lr - rh));
+    const int rc = j == 0 ? std::min(X.rc, ch)
+                          : std::min(clamp0(X.rc - ch), clamp0(lc - ch));
+    return ExtIn<T>{X.p + static_cast<std::size_t>(j) * ch * X.ld +
+                        static_cast<std::size_t>(i) * rh,
+                    X.ld, rr, rc};
+  };
+  const ExtIn<T> A11 = quad_in(A, 0, 0, M2, K2, lm, lk);
+  const ExtIn<T> A12 = quad_in(A, 0, 1, M2, K2, lm, lk);
+  const ExtIn<T> A21 = quad_in(A, 1, 0, M2, K2, lm, lk);
+  const ExtIn<T> A22 = quad_in(A, 1, 1, M2, K2, lm, lk);
+  const ExtIn<T> B11 = quad_in(B, 0, 0, K2, N2, lk, ln);
+  const ExtIn<T> B12 = quad_in(B, 0, 1, K2, N2, lk, ln);
+  const ExtIn<T> B21 = quad_in(B, 1, 0, K2, N2, lk, ln);
+  const ExtIn<T> B22 = quad_in(B, 1, 1, K2, N2, lk, ln);
+  auto quad_out = [&](const ExtOut<T>& X, int i, int j, int rh,
+                      int ch) -> ExtOut<T> {
+    return ExtOut<T>{X.p + static_cast<std::size_t>(j) * ch * X.ld +
+                         static_cast<std::size_t>(i) * rh,
+                     X.ld, i == 0 ? std::min(X.rr, rh) : clamp0(X.rr - rh),
+                     j == 0 ? std::min(X.rc, ch) : clamp0(X.rc - ch)};
+  };
+  const ExtOut<T> C11 = quad_out(C, 0, 0, M2, N2);
+  const ExtOut<T> C12 = quad_out(C, 0, 1, M2, N2);
+  const ExtOut<T> C21 = quad_out(C, 1, 0, M2, N2);
+  const ExtOut<T> C22 = quad_out(C, 1, 1, M2, N2);
+
+  Arena::Frame frame(arena);
+  T* tS = arena.push<T>(static_cast<std::size_t>(M2) * K2);  // ld = M2
+  T* tT = arena.push<T>(static_cast<std::size_t>(K2) * N2);  // ld = K2
+  T* tP = arena.push<T>(static_cast<std::size_t>(M2) * N2);  // ld = M2
+  T* tU = arena.push<T>(static_cast<std::size_t>(M2) * N2);
+  T* tQ = arena.push<T>(static_cast<std::size_t>(M2) * N2);
+
+  auto in_full = [&](const T* p, int ld, int r, int c) {
+    return ExtIn<T>{p, ld, r, c};
+  };
+  auto mul = [&](ExtOut<T> dst, ExtIn<T> a, ExtIn<T> b) {
+    dgemmw_recurse(mm, a, b, dst, cutoff, arena);
+  };
+
+  // M7 = (A11-A21)(B22-B12) -> C21 (clipped; M7 is only ever needed on
+  // C21's real region, see the U3 analysis in the file comment)
+  blas::ext_sub(mm, M2, K2, tS, M2, A11.p, A11.ld, A11.rr, A11.rc, A21.p,
+                A21.ld, A21.rr, A21.rc);
+  blas::ext_sub(mm, K2, N2, tT, K2, B22.p, B22.ld, B22.rr, B22.rc, B12.p,
+                B12.ld, B12.rr, B12.rc);
+  mul(C21, in_full(tS, M2, M2, K2), in_full(tT, K2, K2, N2));
+  // M5 = S1.T1 = (A21+A22)(B12-B11) -> tU (full temp: its phantom parts
+  // feed U4 and U7 later)
+  blas::ext_add(mm, M2, K2, tS, M2, A21.p, A21.ld, A21.rr, A21.rc, A22.p,
+                A22.ld, A22.rr, A22.rc);
+  blas::ext_sub(mm, K2, N2, tT, K2, B12.p, B12.ld, B12.rr, B12.rc, B11.p,
+                B11.ld, B11.rr, B11.rc);
+  mul(ExtOut<T>{tU, M2, M2, N2}, in_full(tS, M2, M2, K2),
+      in_full(tT, K2, K2, N2));
+  // M6 = S2.T2 = (S1-A11)(B22-T1) -> tP (full temp: feeds U2)
+  blas::ext_sub_inplace(mm, M2, K2, tS, M2, A11.p, A11.ld, A11.rr, A11.rc);
+  blas::ext_sub(mm, K2, N2, tT, K2, B22.p, B22.ld, B22.rr, B22.rc, tT, K2, K2,
+                N2);
+  mul(ExtOut<T>{tP, M2, M2, N2}, in_full(tS, M2, M2, K2),
+      in_full(tT, K2, K2, N2));
+  // S4 = A12 - S2;  -T4 = T2 - B21
+  blas::ext_sub(mm, M2, K2, tS, M2, A12.p, A12.ld, A12.rr, A12.rc, tS, M2, M2,
+                K2);
+  blas::ext_sub_inplace(mm, K2, N2, tT, K2, B21.p, B21.ld, B21.rr, B21.rc);
+  // M1 = A11.B11 -> C11 (always a full, unclipped quadrant)
+  mul(C11, A11, B11);
+  // U2 = M1 + M6 -> tP (full)
+  blas::ext_add_inplace(mm, M2, N2, tP, M2, C11.p, C11.ld, C11.rr, C11.rc);
+  // M3 = S4.B22 -> C12 (clipped; only needed for final C12)
+  mul(C12, in_full(tS, M2, M2, K2), B22);
+  // final C12 = M3 + U2 + M5
+  blas::ext_add_inplace(mm, C12.rr, C12.rc, C12.p, C12.ld, tP, M2, M2, N2);
+  blas::ext_add_inplace(mm, C12.rr, C12.rc, C12.p, C12.ld, tU, M2, M2, N2);
+  // U3 = U2 + M7, live only on C21's real region of tP
+  blas::ext_add_inplace(mm, C21.rr, C21.rc, tP, M2, C21.p, C21.ld, C21.rr,
+                        C21.rc);
+  // M4 = A22.(T2-B21) -> tQ (real rows limited by A22)
+  mul(ExtOut<T>{tQ, M2, A22.rr, N2}, A22, in_full(tT, K2, K2, N2));
+  // final C21 = U3 - M4
+  blas::ext_sub(mm, C21.rr, C21.rc, C21.p, C21.ld, tP, M2, M2, N2, tQ, M2,
+                A22.rr, N2);
+  // final C22 = U3 + M5
+  blas::ext_add(mm, C22.rr, C22.rc, C22.p, C22.ld, tP, M2, M2, N2, tU, M2, M2,
+                N2);
+  // M2 = A12.B21 -> tQ;  final C11 = M1 + M2
+  mul(ExtOut<T>{tQ, M2, M2, N2}, A12, B21);
+  blas::ext_add_inplace(mm, C11.rr, C11.rc, C11.p, C11.ld, tQ, M2, M2, N2);
+}
+
+}  // namespace detail
+
+// Full dgemm semantics, as dgefmm_mm.
+template <class MM, class T>
+void dgemmw_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
+               const T* A, int lda, const T* B, int ldb, T beta, T* C, int ldc,
+               const DgemmwOptions& opt = {}) {
+  STRASSEN_REQUIRE(m >= 0 && n >= 0 && k >= 0, "negative dimension");
+  STRASSEN_REQUIRE(opt.cutoff >= 8, "cutoff unreasonably small");
+  if (m == 0 || n == 0) return;
+  if (alpha == T{0} || k == 0) {
+    blas::scale_view(mm, m, n, C, ldc, beta);
+    return;
+  }
+  AlignedBuffer at_buf, bt_buf;
+  const T* Ae = A;
+  int ldae = lda;
+  if (opa == Op::Trans) {
+    at_buf = AlignedBuffer(static_cast<std::size_t>(m) * k * sizeof(T));
+    blas::transpose(mm, k, m, A, lda, at_buf.as<T>(), m);
+    Ae = at_buf.as<T>();
+    ldae = m;
+  }
+  const T* Be = B;
+  int ldbe = ldb;
+  if (opb == Op::Trans) {
+    bt_buf = AlignedBuffer(static_cast<std::size_t>(k) * n * sizeof(T));
+    blas::transpose(mm, n, k, B, ldb, bt_buf.as<T>(), k);
+    Be = bt_buf.as<T>();
+    ldbe = k;
+  }
+
+  Arena arena(dgemmw_workspace_bytes(m, n, k, opt.cutoff, sizeof(T)));
+  const detail::ExtIn<T> Ax{Ae, ldae, m, k};
+  const detail::ExtIn<T> Bx{Be, ldbe, k, n};
+  if (alpha == T{1} && beta == T{0}) {
+    detail::dgemmw_recurse(mm, Ax, Bx, detail::ExtOut<T>{C, ldc, m, n},
+                           opt.cutoff, arena);
+    return;
+  }
+  AlignedBuffer d_buf(static_cast<std::size_t>(m) * n * sizeof(T));
+  T* D = d_buf.as<T>();
+  detail::dgemmw_recurse(mm, Ax, Bx, detail::ExtOut<T>{D, m, m, n}, opt.cutoff,
+                         arena);
+  blas::axpby_view(mm, m, n, C, ldc, alpha, D, m, beta);
+}
+
+// Production entry points.
+void dgemmw(Op opa, Op opb, int m, int n, int k, double alpha, const double* A,
+            int lda, const double* B, int ldb, double beta, double* C, int ldc,
+            const DgemmwOptions& opt = {});
+void dgemmw(Op opa, Op opb, int m, int n, int k, float alpha, const float* A,
+            int lda, const float* B, int ldb, float beta, float* C, int ldc,
+            const DgemmwOptions& opt = {});
+
+}  // namespace strassen::baselines

@@ -1,0 +1,16 @@
+#include "baselines/frens_wise.hpp"
+
+#include "blas/level1.hpp"
+
+namespace strassen::baselines {
+
+void frens_wise_gemm(Op opa, Op opb, int m, int n, int k, double alpha,
+                     const double* A, int lda, const double* B, int ldb,
+                     double beta, double* C, int ldc,
+                     const FrensWiseOptions& opt) {
+  RawMem raw;
+  frens_wise_mm(raw, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc,
+                opt);
+}
+
+}  // namespace strassen::baselines

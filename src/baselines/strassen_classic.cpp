@@ -1,0 +1,14 @@
+#include "baselines/strassen_classic.hpp"
+
+namespace strassen::baselines {
+
+void strassen_classic(Op opa, Op opb, int m, int n, int k, double alpha,
+                      const double* A, int lda, const double* B, int ldb,
+                      double beta, double* C, int ldc,
+                      const core::ModgemmOptions& opt) {
+  RawMem raw;
+  strassen_classic_mm(raw, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C,
+                      ldc, opt);
+}
+
+}  // namespace strassen::baselines

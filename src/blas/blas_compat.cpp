@@ -1,0 +1,92 @@
+#include "blas/blas_compat.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "core/modgemm.hpp"
+
+namespace strassen::blas {
+
+namespace {
+
+thread_local int g_last_error = 0;
+
+// Decodes a BLAS TRANS character; returns false if invalid.
+bool decode_op(const char* t, Op& op) {
+  if (t == nullptr) return false;
+  switch (std::toupper(static_cast<unsigned char>(*t))) {
+    case 'N':
+      op = Op::NoTrans;
+      return true;
+    case 'T':
+    case 'C':  // real matrices: conjugate-transpose == transpose
+      op = Op::Trans;
+      return true;
+    default:
+      return false;
+  }
+}
+
+void xerbla(const char* routine, int info) {
+  g_last_error = info;
+  std::fprintf(stderr,
+               " ** On entry to %s parameter number %d had an illegal "
+               "value\n",
+               routine, info);
+}
+
+}  // namespace
+
+namespace detail {
+
+// Shared parameter validation + dispatch for both precisions.
+template <class T>
+void gemm_compat(const char* routine, const char* transa, const char* transb,
+                 const int* m, const int* n, const int* k, const T* alpha,
+                 const T* a, const int* lda, const T* b, const int* ldb,
+                 const T* beta, T* c, const int* ldc) {
+  g_last_error = 0;
+  Op opa, opb;
+  if (!decode_op(transa, opa)) return xerbla(routine, 1);
+  if (!decode_op(transb, opb)) return xerbla(routine, 2);
+  if (m == nullptr || *m < 0) return xerbla(routine, 3);
+  if (n == nullptr || *n < 0) return xerbla(routine, 4);
+  if (k == nullptr || *k < 0) return xerbla(routine, 5);
+  const int nrowa = opa == Op::NoTrans ? *m : *k;
+  const int nrowb = opb == Op::NoTrans ? *k : *n;
+  if (lda == nullptr || *lda < (nrowa > 1 ? nrowa : 1))
+    return xerbla(routine, 8);
+  if (ldb == nullptr || *ldb < (nrowb > 1 ? nrowb : 1))
+    return xerbla(routine, 10);
+  if (ldc == nullptr || *ldc < (*m > 1 ? *m : 1)) return xerbla(routine, 13);
+  core::modgemm(opa, opb, *m, *n, *k, *alpha, a, *lda, b, *ldb, *beta, c,
+                *ldc);
+}
+
+}  // namespace
+
+int last_compat_error() { return g_last_error; }
+
+}  // namespace strassen::blas
+
+extern "C" {
+
+void strassen_dgemm_(const char* transa, const char* transb, const int* m,
+                     const int* n, const int* k, const double* alpha,
+                     const double* a, const int* lda, const double* b,
+                     const int* ldb, const double* beta, double* c,
+                     const int* ldc) {
+  strassen::blas::detail::gemm_compat("STRASSEN_DGEMM", transa, transb, m, n, k,
+                              alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void strassen_sgemm_(const char* transa, const char* transb, const int* m,
+                     const int* n, const int* k, const float* alpha,
+                     const float* a, const int* lda, const float* b,
+                     const int* ldb, const float* beta, float* c,
+                     const int* ldc) {
+  strassen::blas::detail::gemm_compat("STRASSEN_SGEMM", transa, transb, m, n, k,
+                              alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+}  // extern "C"

@@ -1,0 +1,42 @@
+// blas_compat.hpp -- Fortran-BLAS-style C entry points for MODGEMM.
+//
+// The paper deliberately implements the Level 3 BLAS dgemm calling
+// convention so existing codes can adopt it (S2.1, S6).  These symbols make
+// that concrete: `strassen_dgemm_` / `strassen_sgemm_` take the exact
+// reference-BLAS argument list (all arguments by pointer, Fortran-callable,
+// trailing underscore).  Linking a shim that renames them to `dgemm_` /
+// `sgemm_` turns the library into a drop-in replacement for matrix multiply
+// in a Fortran or C code.
+//
+// Error handling follows the reference BLAS: an invalid argument is reported
+// via xerbla-style message on stderr and the call returns without touching
+// the output (no exceptions cross the C boundary).
+#pragma once
+
+extern "C" {
+
+// C <- alpha * op(A) . op(B) + beta * C, double precision.
+// transa/transb: "N"/"n" = no transpose, "T"/"t"/"C"/"c" = transpose.
+void strassen_dgemm_(const char* transa, const char* transb, const int* m,
+                     const int* n, const int* k, const double* alpha,
+                     const double* a, const int* lda, const double* b,
+                     const int* ldb, const double* beta, double* c,
+                     const int* ldc);
+
+// Single-precision variant.
+void strassen_sgemm_(const char* transa, const char* transb, const int* m,
+                     const int* n, const int* k, const float* alpha,
+                     const float* a, const int* lda, const float* b,
+                     const int* ldb, const float* beta, float* c,
+                     const int* ldc);
+
+}  // extern "C"
+
+namespace strassen::blas {
+
+// Number of the first invalid argument of the last failed compat call on
+// this thread (1-based, as xerbla reports), or 0 if the last call was valid.
+// Exposed for tests.
+int last_compat_error();
+
+}  // namespace strassen::blas

@@ -1,0 +1,23 @@
+#include "blas/gemm.hpp"
+
+namespace strassen::blas {
+
+void gemm_leaf(int m, int n, int k, const double* A, int lda, const double* B,
+               int ldb, double* C, int ldc, LeafMode mode, double alpha) {
+  RawMem raw;
+  gemm_leaf(raw, m, n, k, A, lda, B, ldb, C, ldc, mode, alpha);
+}
+
+void gemm(Op opa, Op opb, int m, int n, int k, double alpha, const double* A,
+          int lda, const double* B, int ldb, double beta, double* C, int ldc) {
+  RawMem raw;
+  gemm_blocked(raw, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc);
+}
+
+void gemm(Op opa, Op opb, int m, int n, int k, float alpha, const float* A,
+          int lda, const float* B, int ldb, float beta, float* C, int ldc) {
+  RawMem raw;
+  gemm_blocked(raw, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc);
+}
+
+}  // namespace strassen::blas

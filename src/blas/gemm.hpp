@@ -1,0 +1,153 @@
+// gemm.hpp -- conventional O(n^3) matrix multiplication.
+//
+// Two implementations with full dgemm semantics
+//     C <- alpha * op(A) . op(B) + beta * C:
+//
+//   * naive_gemm    -- textbook triple loop; the correctness oracle for every
+//                      test in the suite.  Deliberately unoptimized.
+//   * gemm_blocked  -- cache-blocked driver over the 4x4 microkernel; this is
+//                      the library's "vendor dgemm" stand-in: the conventional
+//                      baseline in the benches and the leaf multiply of the
+//                      column-major baselines (DGEFMM / DGEMMW).
+//
+// gemm_blocked is a MemModel template so that full executions of the
+// baselines can be cache-simulated (paper Fig. 9).
+#pragma once
+
+#include <cstddef>
+
+#include "blas/kernels.hpp"
+#include "blas/transpose.hpp"
+#include "common/aligned_buffer.hpp"
+#include "common/check.hpp"
+#include "common/matrix.hpp"
+#include "common/memmodel.hpp"
+
+namespace strassen::blas {
+
+// C(m x n) *= beta over a column-major view (beta==1 is a no-op; beta==0
+// stores zeros without reading C, per BLAS convention).
+template <class MM, class T>
+void scale_view(MM& mm, int m, int n, T* C, int ldc, T beta) {
+  if (beta == T{1}) return;
+  for (int j = 0; j < n; ++j) {
+    T* Cj = C + static_cast<std::size_t>(j) * ldc;
+    if (beta == T{0}) {
+      for (int i = 0; i < m; ++i) mm.store(Cj + i, T{0});
+    } else {
+      for (int i = 0; i < m; ++i)
+        mm.store(Cj + i, static_cast<T>(beta * mm.load(Cj + i)));
+    }
+  }
+}
+
+// C(m x n) = alpha * D(m x n) + beta * C over column-major views.
+template <class MM, class T>
+void axpby_view(MM& mm, int m, int n, T* C, int ldc, T alpha, const T* D,
+                int ldd, T beta) {
+  for (int j = 0; j < n; ++j) {
+    T* Cj = C + static_cast<std::size_t>(j) * ldc;
+    const T* Dj = D + static_cast<std::size_t>(j) * ldd;
+    if (beta == T{0}) {
+      for (int i = 0; i < m; ++i)
+        mm.store(Cj + i, static_cast<T>(alpha * mm.load(Dj + i)));
+    } else {
+      for (int i = 0; i < m; ++i)
+        mm.store(Cj + i, static_cast<T>(alpha * mm.load(Dj + i) +
+                                        beta * mm.load(Cj + i)));
+    }
+  }
+}
+
+// Blocked conventional gemm (no-transpose core).  A is m x k, B is k x n,
+// both column-major; computes C = alpha*A.B + beta*C.
+template <class MM, class T>
+void gemm_blocked_nn(MM& mm, int m, int n, int k, T alpha, const T* A, int lda,
+                     const T* B, int ldb, T beta, T* C, int ldc) {
+  constexpr int MC = 64;   // rows of A kept hot across a B panel
+  constexpr int KC = 64;   // inner-dimension block
+  constexpr int NC = 256;  // columns of B per outer sweep
+  scale_view(mm, m, n, C, ldc, beta);
+  if (alpha == T{0} || k == 0) return;
+  for (int jc = 0; jc < n; jc += NC) {
+    const int nb = jc + NC < n ? NC : n - jc;
+    for (int pc = 0; pc < k; pc += KC) {
+      const int kb = pc + KC < k ? KC : k - pc;
+      for (int ic = 0; ic < m; ic += MC) {
+        const int mb = ic + MC < m ? MC : m - ic;
+        gemm_leaf(mm, mb, nb, kb, A + static_cast<std::size_t>(pc) * lda + ic,
+                  lda, B + static_cast<std::size_t>(jc) * ldb + pc, ldb,
+                  C + static_cast<std::size_t>(jc) * ldc + ic, ldc,
+                  LeafMode::Accumulate, alpha);
+      }
+    }
+  }
+}
+
+// Full dgemm semantics.  Transposed operands are materialized once up front
+// (MODGEMM instead folds op() into its layout conversion; the baselines pay
+// this copy, which mirrors how the original library codes handled it).
+template <class MM, class T>
+void gemm_blocked(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
+                  const T* A, int lda, const T* B, int ldb, T beta, T* C,
+                  int ldc) {
+  STRASSEN_REQUIRE(m >= 0 && n >= 0 && k >= 0, "negative dimension");
+  STRASSEN_REQUIRE(lda >= (opa == Op::NoTrans ? m : k) || m * k == 0,
+                   "lda too small");
+  STRASSEN_REQUIRE(ldb >= (opb == Op::NoTrans ? k : n) || k * n == 0,
+                   "ldb too small");
+  STRASSEN_REQUIRE(ldc >= m || m * n == 0, "ldc too small");
+  if (m == 0 || n == 0) return;
+
+  AlignedBuffer at_buf, bt_buf;
+  const T* Ae = A;
+  int ldae = lda;
+  if (opa == Op::Trans && k > 0) {
+    at_buf = AlignedBuffer(static_cast<std::size_t>(m) * k * sizeof(T));
+    transpose(mm, k, m, A, lda, at_buf.as<T>(), m);
+    Ae = at_buf.as<T>();
+    ldae = m;
+  }
+  const T* Be = B;
+  int ldbe = ldb;
+  if (opb == Op::Trans && k > 0) {
+    bt_buf = AlignedBuffer(static_cast<std::size_t>(k) * n * sizeof(T));
+    transpose(mm, n, k, B, ldb, bt_buf.as<T>(), k);
+    Be = bt_buf.as<T>();
+    ldbe = k;
+  }
+  gemm_blocked_nn(mm, m, n, k, alpha, Ae, ldae, Be, ldbe, beta, C, ldc);
+}
+
+// Reference implementation: straightforward triple loop, always correct,
+// never fast.  The oracle for every correctness test.
+template <class T>
+void naive_gemm(Op opa, Op opb, int m, int n, int k, T alpha, const T* A,
+                int lda, const T* B, int ldb, T beta, T* C, int ldc) {
+  auto a_at = [&](int i, int p) -> T {
+    return opa == Op::NoTrans ? A[static_cast<std::size_t>(p) * lda + i]
+                              : A[static_cast<std::size_t>(i) * lda + p];
+  };
+  auto b_at = [&](int p, int j) -> T {
+    return opb == Op::NoTrans ? B[static_cast<std::size_t>(j) * ldb + p]
+                              : B[static_cast<std::size_t>(p) * ldb + j];
+  };
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      T acc{0};
+      for (int p = 0; p < k; ++p) acc += a_at(i, p) * b_at(p, j);
+      T& c = C[static_cast<std::size_t>(j) * ldc + i];
+      c = beta == T{0} ? static_cast<T>(alpha * acc)
+                       : static_cast<T>(alpha * acc + beta * c);
+    }
+  }
+}
+
+// Production-model double-precision entry point for the conventional
+// algorithm (the "dgemm" the benches compare against).
+void gemm(Op opa, Op opb, int m, int n, int k, double alpha, const double* A,
+          int lda, const double* B, int ldb, double beta, double* C, int ldc);
+void gemm(Op opa, Op opb, int m, int n, int k, float alpha, const float* A,
+          int lda, const float* B, int ldb, float beta, float* C, int ldc);
+
+}  // namespace strassen::blas

@@ -1,0 +1,27 @@
+#include "blas/level1.hpp"
+
+namespace strassen::blas {
+
+namespace {
+RawMem raw;
+}  // namespace
+
+void vadd(std::size_t n, double* dst, const double* a, const double* b) {
+  vadd(raw, n, dst, a, b);
+}
+void vsub(std::size_t n, double* dst, const double* a, const double* b) {
+  vsub(raw, n, dst, a, b);
+}
+void vcopy(std::size_t n, double* dst, const double* src) {
+  vcopy(raw, n, dst, src);
+}
+void vzero(std::size_t n, double* dst) { vzero(raw, n, dst); }
+void vscale(std::size_t n, double* dst, double alpha) {
+  vscale(raw, n, dst, alpha);
+}
+void vaxpby(std::size_t n, double* dst, double alpha, const double* a,
+            double beta) {
+  vaxpby(raw, n, dst, alpha, a, beta);
+}
+
+}  // namespace strassen::blas

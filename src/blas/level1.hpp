@@ -1,0 +1,87 @@
+// level1.hpp -- contiguous vector kernels (MemModel-templated).
+//
+// Morton storage keeps every quadrant contiguous, so all 15 quadrant
+// additions of the Winograd schedule reduce to these single-loop kernels --
+// the paper's "secondary benefit" of the layout (S3.3).  The same kernels do
+// zero-padding and scaling work in the conversion routines.
+//
+// All kernels are alias-safe in the patterns the schedules use: `dst` may
+// equal `a` or `b` because each element is fully read before being written.
+#pragma once
+
+#include <cstddef>
+
+#include "common/memmodel.hpp"
+
+namespace strassen::blas {
+
+// dst[i] = a[i] + b[i]
+template <class MM, class T>
+void vadd(MM& mm, std::size_t n, T* dst, const T* a, const T* b) {
+  for (std::size_t i = 0; i < n; ++i)
+    mm.store(dst + i, static_cast<T>(mm.load(a + i) + mm.load(b + i)));
+}
+
+// dst[i] = a[i] - b[i]
+template <class MM, class T>
+void vsub(MM& mm, std::size_t n, T* dst, const T* a, const T* b) {
+  for (std::size_t i = 0; i < n; ++i)
+    mm.store(dst + i, static_cast<T>(mm.load(a + i) - mm.load(b + i)));
+}
+
+// dst[i] += a[i]
+template <class MM, class T>
+void vadd_inplace(MM& mm, std::size_t n, T* dst, const T* a) {
+  for (std::size_t i = 0; i < n; ++i)
+    mm.store(dst + i, static_cast<T>(mm.load(dst + i) + mm.load(a + i)));
+}
+
+// dst[i] -= a[i]
+template <class MM, class T>
+void vsub_inplace(MM& mm, std::size_t n, T* dst, const T* a) {
+  for (std::size_t i = 0; i < n; ++i)
+    mm.store(dst + i, static_cast<T>(mm.load(dst + i) - mm.load(a + i)));
+}
+
+// dst[i] = src[i]
+template <class MM, class T>
+void vcopy(MM& mm, std::size_t n, T* dst, const T* src) {
+  for (std::size_t i = 0; i < n; ++i) mm.store(dst + i, mm.load(src + i));
+}
+
+// dst[i] = 0
+template <class MM, class T>
+void vzero(MM& mm, std::size_t n, T* dst) {
+  for (std::size_t i = 0; i < n; ++i) mm.store(dst + i, T{0});
+}
+
+// dst[i] *= alpha
+template <class MM, class T>
+void vscale(MM& mm, std::size_t n, T* dst, T alpha) {
+  for (std::size_t i = 0; i < n; ++i)
+    mm.store(dst + i, static_cast<T>(alpha * mm.load(dst + i)));
+}
+
+// dst[i] = alpha * a[i] + beta * dst[i]   (the dgemm alpha/beta fix-up)
+template <class MM, class T>
+void vaxpby(MM& mm, std::size_t n, T* dst, T alpha, const T* a, T beta) {
+  if (beta == T{0}) {
+    for (std::size_t i = 0; i < n; ++i)
+      mm.store(dst + i, static_cast<T>(alpha * mm.load(a + i)));
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      mm.store(dst + i, static_cast<T>(alpha * mm.load(a + i) +
+                                       beta * mm.load(dst + i)));
+  }
+}
+
+// Convenience overloads running on the production RawMem model.
+void vadd(std::size_t n, double* dst, const double* a, const double* b);
+void vsub(std::size_t n, double* dst, const double* a, const double* b);
+void vcopy(std::size_t n, double* dst, const double* src);
+void vzero(std::size_t n, double* dst);
+void vscale(std::size_t n, double* dst, double alpha);
+void vaxpby(std::size_t n, double* dst, double alpha, const double* a,
+            double beta);
+
+}  // namespace strassen::blas

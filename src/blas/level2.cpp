@@ -1,0 +1,28 @@
+#include "blas/level2.hpp"
+
+namespace strassen::blas {
+
+namespace {
+RawMem raw;
+}  // namespace
+
+void gemv_n(int m, int n, double alpha, const double* A, int lda,
+            const double* x, int incx, double beta, double* y, int incy) {
+  gemv_n(raw, m, n, alpha, A, lda, x, incx, beta, y, incy);
+}
+
+void gemv_t(int m, int n, double alpha, const double* A, int lda,
+            const double* x, int incx, double beta, double* y, int incy) {
+  gemv_t(raw, m, n, alpha, A, lda, x, incx, beta, y, incy);
+}
+
+void ger(int m, int n, double alpha, const double* x, int incx,
+         const double* y, int incy, double* A, int lda) {
+  ger(raw, m, n, alpha, x, incx, y, incy, A, lda);
+}
+
+double dot(int n, const double* x, int incx, const double* y, int incy) {
+  return dot(raw, n, x, incx, y, incy);
+}
+
+}  // namespace strassen::blas

@@ -1,0 +1,82 @@
+// level2.hpp -- matrix-vector kernels (MemModel-templated).
+//
+// Dynamic peeling (the DGEFMM baseline) removes the odd row/column before
+// recursing and restores its contribution with matrix-vector fix-ups: a
+// rank-1 update for an odd inner dimension and gemv sweeps for odd outer
+// dimensions.  The paper points out that precisely these fix-ups limit reuse;
+// having them in the library lets the benches attribute that cost.
+#pragma once
+
+#include <cstddef>
+
+#include "common/memmodel.hpp"
+
+namespace strassen::blas {
+
+// y = alpha * A * x + beta * y, A is m x n column-major.
+template <class MM, class T>
+void gemv_n(MM& mm, int m, int n, T alpha, const T* A, int lda, const T* x,
+            int incx, T beta, T* y, int incy) {
+  for (int i = 0; i < m; ++i) {
+    T* yi = y + static_cast<std::ptrdiff_t>(i) * incy;
+    mm.store(yi, beta == T{0} ? T{0} : static_cast<T>(beta * mm.load(yi)));
+  }
+  for (int j = 0; j < n; ++j) {
+    const T xj = alpha * mm.load(x + static_cast<std::ptrdiff_t>(j) * incx);
+    const T* Aj = A + static_cast<std::size_t>(j) * lda;
+    for (int i = 0; i < m; ++i) {
+      T* yi = y + static_cast<std::ptrdiff_t>(i) * incy;
+      mm.store(yi, static_cast<T>(mm.load(yi) + xj * mm.load(Aj + i)));
+    }
+  }
+}
+
+// y = alpha * A^T * x + beta * y, A is m x n column-major (y has n entries).
+template <class MM, class T>
+void gemv_t(MM& mm, int m, int n, T alpha, const T* A, int lda, const T* x,
+            int incx, T beta, T* y, int incy) {
+  for (int j = 0; j < n; ++j) {
+    const T* Aj = A + static_cast<std::size_t>(j) * lda;
+    T acc{0};
+    for (int i = 0; i < m; ++i)
+      acc += mm.load(Aj + i) * mm.load(x + static_cast<std::ptrdiff_t>(i) * incx);
+    T* yj = y + static_cast<std::ptrdiff_t>(j) * incy;
+    const T prior = beta == T{0} ? T{0} : static_cast<T>(beta * mm.load(yj));
+    mm.store(yj, static_cast<T>(prior + alpha * acc));
+  }
+}
+
+// A += alpha * x * y^T, A is m x n column-major (rank-1 update).
+template <class MM, class T>
+void ger(MM& mm, int m, int n, T alpha, const T* x, int incx, const T* y,
+         int incy, T* A, int lda) {
+  for (int j = 0; j < n; ++j) {
+    const T yj = alpha * mm.load(y + static_cast<std::ptrdiff_t>(j) * incy);
+    T* Aj = A + static_cast<std::size_t>(j) * lda;
+    for (int i = 0; i < m; ++i)
+      mm.store(Aj + i,
+               static_cast<T>(mm.load(Aj + i) +
+                              mm.load(x + static_cast<std::ptrdiff_t>(i) * incx) * yj));
+  }
+}
+
+// Dot product of two strided vectors.
+template <class MM, class T>
+T dot(MM& mm, int n, const T* x, int incx, const T* y, int incy) {
+  T acc{0};
+  for (int i = 0; i < n; ++i)
+    acc += mm.load(x + static_cast<std::ptrdiff_t>(i) * incx) *
+           mm.load(y + static_cast<std::ptrdiff_t>(i) * incy);
+  return acc;
+}
+
+// Production-model convenience overloads.
+void gemv_n(int m, int n, double alpha, const double* A, int lda,
+            const double* x, int incx, double beta, double* y, int incy);
+void gemv_t(int m, int n, double alpha, const double* A, int lda,
+            const double* x, int incx, double beta, double* y, int incy);
+void ger(int m, int n, double alpha, const double* x, int incx,
+         const double* y, int incy, double* A, int lda);
+double dot(int n, const double* x, int incx, const double* y, int incy);
+
+}  // namespace strassen::blas

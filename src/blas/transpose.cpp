@@ -1,0 +1,11 @@
+#include "blas/transpose.hpp"
+
+namespace strassen::blas {
+
+void transpose(int m, int n, const double* src, int lds, double* dst,
+               int ldd) {
+  RawMem raw;
+  transpose(raw, m, n, src, lds, dst, ldd);
+}
+
+}  // namespace strassen::blas

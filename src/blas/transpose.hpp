@@ -1,0 +1,33 @@
+// transpose.hpp -- blocked out-of-place transpose.
+//
+// Used when a baseline needs op(X) = X^T materialized (MODGEMM instead folds
+// the transpose into its column-major -> Morton conversion, see
+// layout/convert.hpp) and by the conversion tests.
+#pragma once
+
+#include <cstddef>
+
+#include "common/memmodel.hpp"
+
+namespace strassen::blas {
+
+// dst(j,i) = src(i,j); src is m x n with leading dimension lds, dst is n x m
+// with leading dimension ldd.  Blocked to keep both access streams in cache.
+template <class MM, class T>
+void transpose(MM& mm, int m, int n, const T* src, int lds, T* dst, int ldd) {
+  constexpr int kBlock = 32;
+  for (int j0 = 0; j0 < n; j0 += kBlock) {
+    const int jn = j0 + kBlock < n ? j0 + kBlock : n;
+    for (int i0 = 0; i0 < m; i0 += kBlock) {
+      const int in = i0 + kBlock < m ? i0 + kBlock : m;
+      for (int j = j0; j < jn; ++j)
+        for (int i = i0; i < in; ++i)
+          mm.store(dst + static_cast<std::size_t>(i) * ldd + j,
+                   mm.load(src + static_cast<std::size_t>(j) * lds + i));
+    }
+  }
+}
+
+void transpose(int m, int n, const double* src, int lds, double* dst, int ldd);
+
+}  // namespace strassen::blas

@@ -1,0 +1,144 @@
+// view_ops.hpp -- elementwise operations over strided column-major views.
+//
+// The column-major baselines (DGEFMM, DGEMMW) perform their quadrant
+// additions over views with a leading dimension, which costs two nested
+// loops per addition -- the overhead that Morton storage removes (paper
+// S3.3).  DGEMMW additionally needs the "extent" variants: dynamic overlap
+// treats an odd-sized block as the next even size with a phantom zero row or
+// column, so a source view may be smaller than the operation region and
+// reads beyond its real extent yield zero.
+//
+// All ops are alias-safe for dst == a or dst == b (elementwise read-then-
+// write).
+#pragma once
+
+#include <cstddef>
+
+#include "common/memmodel.hpp"
+
+namespace strassen::blas {
+
+// dst(r x c) = a + b (all views fully cover the region).
+template <class MM, class T>
+void view_add(MM& mm, int r, int c, T* dst, int ldd, const T* a, int lda,
+              const T* b, int ldb) {
+  for (int j = 0; j < c; ++j) {
+    T* d = dst + static_cast<std::size_t>(j) * ldd;
+    const T* x = a + static_cast<std::size_t>(j) * lda;
+    const T* y = b + static_cast<std::size_t>(j) * ldb;
+    for (int i = 0; i < r; ++i)
+      mm.store(d + i, static_cast<T>(mm.load(x + i) + mm.load(y + i)));
+  }
+}
+
+// dst(r x c) = a - b.
+template <class MM, class T>
+void view_sub(MM& mm, int r, int c, T* dst, int ldd, const T* a, int lda,
+              const T* b, int ldb) {
+  for (int j = 0; j < c; ++j) {
+    T* d = dst + static_cast<std::size_t>(j) * ldd;
+    const T* x = a + static_cast<std::size_t>(j) * lda;
+    const T* y = b + static_cast<std::size_t>(j) * ldb;
+    for (int i = 0; i < r; ++i)
+      mm.store(d + i, static_cast<T>(mm.load(x + i) - mm.load(y + i)));
+  }
+}
+
+// dst(r x c) += a.
+template <class MM, class T>
+void view_add_inplace(MM& mm, int r, int c, T* dst, int ldd, const T* a,
+                      int lda) {
+  for (int j = 0; j < c; ++j) {
+    T* d = dst + static_cast<std::size_t>(j) * ldd;
+    const T* x = a + static_cast<std::size_t>(j) * lda;
+    for (int i = 0; i < r; ++i)
+      mm.store(d + i, static_cast<T>(mm.load(d + i) + mm.load(x + i)));
+  }
+}
+
+// dst(r x c) -= a.
+template <class MM, class T>
+void view_sub_inplace(MM& mm, int r, int c, T* dst, int ldd, const T* a,
+                      int lda) {
+  for (int j = 0; j < c; ++j) {
+    T* d = dst + static_cast<std::size_t>(j) * ldd;
+    const T* x = a + static_cast<std::size_t>(j) * lda;
+    for (int i = 0; i < r; ++i)
+      mm.store(d + i, static_cast<T>(mm.load(d + i) - mm.load(x + i)));
+  }
+}
+
+// dst(r x c) = src.
+template <class MM, class T>
+void view_copy(MM& mm, int r, int c, T* dst, int ldd, const T* src, int lds) {
+  for (int j = 0; j < c; ++j) {
+    T* d = dst + static_cast<std::size_t>(j) * ldd;
+    const T* x = src + static_cast<std::size_t>(j) * lds;
+    for (int i = 0; i < r; ++i) mm.store(d + i, mm.load(x + i));
+  }
+}
+
+// ---- extent variants (phantom-zero reads outside [ar x ac] / [br x bc]) ----
+
+namespace detail {
+template <class MM, class T>
+T ext_load(MM& mm, const T* p, int ld, int i, int j, int rr, int rc) {
+  return (i < rr && j < rc) ? mm.load(p + static_cast<std::size_t>(j) * ld + i)
+                            : T{0};
+}
+}  // namespace detail
+
+// dst(r x c) = a - b where a is real [ar x ac] and b is real [br x bc];
+// elements outside a source's real extent read as zero.
+template <class MM, class T>
+void ext_sub(MM& mm, int r, int c, T* dst, int ldd, const T* a, int lda,
+             int ar, int ac, const T* b, int ldb, int br, int bc) {
+  for (int j = 0; j < c; ++j) {
+    T* d = dst + static_cast<std::size_t>(j) * ldd;
+    for (int i = 0; i < r; ++i)
+      mm.store(d + i,
+               static_cast<T>(detail::ext_load(mm, a, lda, i, j, ar, ac) -
+                              detail::ext_load(mm, b, ldb, i, j, br, bc)));
+  }
+}
+
+// dst(r x c) = a + b with extents, as ext_sub.
+template <class MM, class T>
+void ext_add(MM& mm, int r, int c, T* dst, int ldd, const T* a, int lda,
+             int ar, int ac, const T* b, int ldb, int br, int bc) {
+  for (int j = 0; j < c; ++j) {
+    T* d = dst + static_cast<std::size_t>(j) * ldd;
+    for (int i = 0; i < r; ++i)
+      mm.store(d + i,
+               static_cast<T>(detail::ext_load(mm, a, lda, i, j, ar, ac) +
+                              detail::ext_load(mm, b, ldb, i, j, br, bc)));
+  }
+}
+
+// dst(r x c) += a with extents.
+template <class MM, class T>
+void ext_add_inplace(MM& mm, int r, int c, T* dst, int ldd, const T* a,
+                     int lda, int ar, int ac) {
+  for (int j = 0; j < c; ++j) {
+    T* d = dst + static_cast<std::size_t>(j) * ldd;
+    for (int i = 0; i < r; ++i)
+      mm.store(d + i,
+               static_cast<T>(mm.load(d + i) +
+                              detail::ext_load(mm, a, lda, i, j, ar, ac)));
+  }
+}
+
+// dst(r x c) -= a with extents.
+template <class MM, class T>
+void ext_sub_inplace(MM& mm, int r, int c, T* dst, int ldd, const T* a,
+                     int lda, int ar, int ac) {
+  for (int j = 0; j < c; ++j) {
+    T* d = dst + static_cast<std::size_t>(j) * ldd;
+    for (int i = 0; i < r; ++i)
+      mm.store(d + i,
+               static_cast<T>(mm.load(d + i) -
+                              detail::ext_load(mm, a, lda, i, j, ar, ac)));
+  }
+}
+
+}  // namespace strassen::blas

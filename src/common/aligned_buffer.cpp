@@ -1,0 +1,48 @@
+#include "common/aligned_buffer.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace strassen {
+
+AlignedBuffer::AlignedBuffer(std::size_t bytes, std::size_t alignment) {
+  STRASSEN_REQUIRE(alignment != 0 && (alignment & (alignment - 1)) == 0,
+                   "alignment must be a power of two");
+  if (bytes == 0) return;
+  // std::aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (bytes + alignment - 1) / alignment * alignment;
+  ptr_ = std::aligned_alloc(alignment, rounded);
+  if (ptr_ == nullptr) throw std::bad_alloc();
+  bytes_ = bytes;
+}
+
+AlignedBuffer::~AlignedBuffer() { reset(); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : ptr_(std::exchange(other.ptr_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    reset();
+    ptr_ = std::exchange(other.ptr_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+  }
+  return *this;
+}
+
+void AlignedBuffer::zero() {
+  if (ptr_ != nullptr) std::memset(ptr_, 0, bytes_);
+}
+
+void AlignedBuffer::reset() {
+  std::free(ptr_);
+  ptr_ = nullptr;
+  bytes_ = 0;
+}
+
+}  // namespace strassen

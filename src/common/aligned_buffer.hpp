@@ -1,0 +1,55 @@
+// aligned_buffer.hpp -- RAII owner of cache-line/page aligned storage.
+//
+// All matrix storage in the library comes from AlignedBuffer so that
+//   * tiles and Morton quadrants start on cache-line boundaries (the layout
+//     arguments in the paper assume this), and
+//   * the cache simulator sees realistic, malloc-like base addresses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace strassen {
+
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kDefaultAlignment = 64;  // one cache line
+
+  AlignedBuffer() = default;
+  // Allocates `bytes` bytes aligned to `alignment` (a power of two).
+  // The memory is NOT zero-initialized; call zero() if needed.
+  explicit AlignedBuffer(std::size_t bytes,
+                         std::size_t alignment = kDefaultAlignment);
+  ~AlignedBuffer();
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  void* data() { return ptr_; }
+  const void* data() const { return ptr_; }
+  std::size_t size_bytes() const { return bytes_; }
+  bool empty() const { return ptr_ == nullptr; }
+
+  template <class T>
+  T* as() {
+    return static_cast<T*>(ptr_);
+  }
+  template <class T>
+  const T* as() const {
+    return static_cast<const T*>(ptr_);
+  }
+
+  // Fills the buffer with zero bytes.
+  void zero();
+
+  // Releases the storage and returns to the empty state.
+  void reset();
+
+ private:
+  void* ptr_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace strassen

@@ -1,0 +1,36 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <new>
+
+#include "common/check.hpp"
+
+namespace strassen {
+
+namespace {
+constexpr std::size_t kChunkAlign = 64;
+
+std::size_t round_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) / a * a;
+}
+}  // namespace
+
+Arena::Arena(std::size_t bytes, std::size_t alignment)
+    : buffer_(round_up(std::max<std::size_t>(bytes, 1), kChunkAlign),
+              alignment) {}
+
+void* Arena::push_bytes(std::size_t bytes) {
+  const std::size_t need = round_up(bytes, kChunkAlign);
+  if (top_ + need > buffer_.size_bytes()) throw std::bad_alloc();
+  void* p = static_cast<char*>(buffer_.data()) + top_;
+  top_ += need;
+  peak_ = std::max(peak_, top_);
+  return p;
+}
+
+void Arena::pop(Marker m) {
+  STRASSEN_ASSERT(m <= top_);
+  top_ = m;
+}
+
+}  // namespace strassen

@@ -1,0 +1,69 @@
+// arena.hpp -- stack (LIFO) allocator for recursion temporaries.
+//
+// The Winograd recursion needs three quadrant-sized temporaries per level.
+// Because children are invoked strictly sequentially, the live temporaries at
+// any instant form a stack; the workspace module computes the exact peak size
+// up front and the recursion draws from this arena with push/pop semantics.
+// This gives Strassen's temporaries the locality of a contiguous region and
+// removes every allocation from the hot path.
+#pragma once
+
+#include <cstddef>
+
+#include "common/aligned_buffer.hpp"
+
+namespace strassen {
+
+class Arena {
+ public:
+  Arena() = default;
+  // Creates an arena of `bytes` capacity, aligned to `alignment`.
+  explicit Arena(std::size_t bytes,
+                 std::size_t alignment = AlignedBuffer::kDefaultAlignment);
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Allocates `count` elements of T from the top of the stack.  Every
+  // allocation is aligned to 64 bytes.  Throws std::bad_alloc on overflow
+  // (which indicates a workspace-sizing bug, see core/workspace).
+  template <class T>
+  T* push(std::size_t count) {
+    return static_cast<T*>(push_bytes(count * sizeof(T)));
+  }
+
+  // A marker capturing the current stack top; pop(marker) releases every
+  // allocation made after mark() was called.
+  using Marker = std::size_t;
+  Marker mark() const { return top_; }
+  void pop(Marker m);
+
+  std::size_t capacity() const { return buffer_.size_bytes(); }
+  std::size_t used() const { return top_; }
+  // High-water mark over the lifetime of the arena (for workspace tests).
+  std::size_t peak() const { return peak_; }
+
+  // RAII frame: releases everything pushed during its lifetime.
+  class Frame {
+   public:
+    explicit Frame(Arena& a) : arena_(a), marker_(a.mark()) {}
+    ~Frame() { arena_.pop(marker_); }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+   private:
+    Arena& arena_;
+    Marker marker_;
+  };
+
+ private:
+  void* push_bytes(std::size_t bytes);
+
+  AlignedBuffer buffer_;
+  std::size_t top_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace strassen

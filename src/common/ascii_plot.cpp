@@ -1,0 +1,115 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace strassen {
+
+namespace {
+
+bool usable(double v) { return std::isfinite(v); }
+
+}  // namespace
+
+std::string render_plot(const std::vector<double>& x,
+                        const std::vector<PlotSeries>& series,
+                        const PlotOptions& opt) {
+  STRASSEN_REQUIRE(opt.width >= 8 && opt.height >= 3, "plot area too small");
+  STRASSEN_REQUIRE(!x.empty(), "empty x axis");
+  for (const auto& s : series)
+    STRASSEN_REQUIRE(s.y.size() == x.size(),
+                     "series length must match the x axis");
+
+  // Determine the y range.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  if (opt.fix_range) {
+    lo = opt.y_min;
+    hi = opt.y_max;
+  } else {
+    for (const auto& s : series)
+      for (double v : s.y)
+        if (usable(v)) {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+    if (usable(opt.reference)) {
+      lo = std::min(lo, opt.reference);
+      hi = std::max(hi, opt.reference);
+    }
+    if (!(lo < hi)) {  // flat or empty data: make a degenerate range usable
+      if (!usable(lo)) {
+        lo = 0.0;
+        hi = 1.0;
+      } else {
+        hi = lo + 1.0;
+        lo = lo - 1.0;
+      }
+    }
+    const double margin = 0.05 * (hi - lo);
+    lo -= margin;
+    hi += margin;
+  }
+
+  const double x0 = x.front();
+  const double x1 = x.back();
+  const double xspan = x1 > x0 ? x1 - x0 : 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(opt.height),
+                                std::string(static_cast<std::size_t>(opt.width),
+                                            ' '));
+  auto row_of = [&](double v) {
+    const double t = (v - lo) / (hi - lo);
+    int r = opt.height - 1 - static_cast<int>(std::lround(t * (opt.height - 1)));
+    return std::clamp(r, 0, opt.height - 1);
+  };
+  auto col_of = [&](double v) {
+    const double t = (v - x0) / xspan;
+    return std::clamp(static_cast<int>(std::lround(t * (opt.width - 1))), 0,
+                      opt.width - 1);
+  };
+
+  if (usable(opt.reference) && opt.reference >= lo && opt.reference <= hi) {
+    const int r = row_of(opt.reference);
+    for (int c = 0; c < opt.width; ++c) grid[r][c] = '-';
+  }
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (!usable(s.y[i])) continue;
+      if (opt.fix_range && (s.y[i] < lo || s.y[i] > hi)) continue;
+      grid[row_of(s.y[i])][static_cast<std::size_t>(col_of(x[i]))] = s.marker;
+    }
+  }
+
+  std::ostringstream os;
+  char label[32];
+  for (int r = 0; r < opt.height; ++r) {
+    if (r == 0) {
+      std::snprintf(label, sizeof(label), "%9.3g |", hi);
+    } else if (r == opt.height - 1) {
+      std::snprintf(label, sizeof(label), "%9.3g |", lo);
+    } else {
+      std::snprintf(label, sizeof(label), "%9s |", "");
+    }
+    os << label << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << "          +" << std::string(static_cast<std::size_t>(opt.width), '-')
+     << '\n';
+  std::snprintf(label, sizeof(label), "%-12.6g", x0);
+  os << "           " << label;
+  const int pad = opt.width - 24;
+  if (pad > 0) os << std::string(static_cast<std::size_t>(pad), ' ');
+  std::snprintf(label, sizeof(label), "%12.6g", x1);
+  os << label << '\n';
+  os << "           legend:";
+  for (const auto& s : series) os << "  " << s.marker << " = " << s.name;
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace strassen

@@ -1,0 +1,43 @@
+// ascii_plot.hpp -- terminal line charts for the figure benches.
+//
+// The paper's results are FIGURES; the bench binaries print their rows as
+// tables, and this renderer additionally draws the series so the shape the
+// paper plots (the n=513 cliff, the conversion-fraction decay, the
+// normalized-time band around 1.0) is visible directly in the terminal.
+//
+// Pure text: y is scaled into `height` rows, each series gets a marker
+// character, collisions show the later series' marker.  NaNs are skipped.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace strassen {
+
+struct PlotSeries {
+  std::string name;
+  char marker = '*';
+  std::vector<double> y;  // same length as the shared x vector
+};
+
+struct PlotOptions {
+  int width = 72;    // columns of the plot area
+  int height = 16;   // rows of the plot area
+  // When set, the y range is fixed instead of auto-scaled.
+  bool fix_range = false;
+  double y_min = 0.0;
+  double y_max = 1.0;
+  // Draw a horizontal reference line at this value (e.g. ratio 1.0);
+  // NaN disables it.
+  double reference = std::numeric_limits<double>::quiet_NaN();
+};
+
+// Renders series sharing an x axis; x must be ascending.  Returns a
+// multi-line string (ends with '\n') with a y-axis scale, the plot area, an
+// x-axis line labelled with the first/last x values, and a legend.
+std::string render_plot(const std::vector<double>& x,
+                        const std::vector<PlotSeries>& series,
+                        const PlotOptions& opt = {});
+
+}  // namespace strassen

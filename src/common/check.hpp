@@ -1,0 +1,37 @@
+// check.hpp -- lightweight precondition checking for the strassen library.
+//
+// Library entry points validate their arguments with STRASSEN_REQUIRE, which
+// throws std::invalid_argument on failure (a caller error, per the BLAS
+// convention of rejecting bad dimensions).  Internal invariants use
+// STRASSEN_ASSERT, which is compiled out in release builds like assert().
+#pragma once
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace strassen {
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "strassen: requirement failed: " << expr << " at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " (" << msg << ')';
+  throw std::invalid_argument(os.str());
+}
+}  // namespace detail
+
+// Precondition check that is always on (cheap; guards public entry points).
+#define STRASSEN_REQUIRE(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::strassen::detail::require_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+// Internal invariant; compiled out with NDEBUG.
+#define STRASSEN_ASSERT(expr) assert(expr)
+
+}  // namespace strassen

@@ -1,0 +1,21 @@
+#include "common/matrix.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace strassen {
+
+std::string to_string(ConstMatrixView<double> m, int precision) {
+  std::ostringstream os;
+  char buf[64];
+  for (int i = 0; i < m.rows; ++i) {
+    for (int j = 0; j < m.cols; ++j) {
+      std::snprintf(buf, sizeof(buf), "% .*f", precision, m.at(i, j));
+      os << buf << (j + 1 < m.cols ? " " : "");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace strassen

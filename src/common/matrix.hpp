@@ -1,0 +1,168 @@
+// matrix.hpp -- column-major matrices and views (the BLAS-facing data model).
+//
+// Everything at the library interface is a column-major matrix with a leading
+// dimension, exactly as in Level 3 BLAS: element (i,j) of a view V lives at
+// V.data[i + j*V.ld].  Morton storage is internal to src/layout and src/core.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "common/aligned_buffer.hpp"
+#include "common/check.hpp"
+
+namespace strassen {
+
+// Transposition selector, as in the dgemm TRANSA/TRANSB arguments.
+enum class Op { NoTrans, Trans };
+
+inline char op_char(Op op) { return op == Op::NoTrans ? 'N' : 'T'; }
+
+// Dimensions of op(X) given the stored dimensions of X.
+inline int op_rows(Op op, int rows, int cols) {
+  return op == Op::NoTrans ? rows : cols;
+}
+inline int op_cols(Op op, int rows, int cols) {
+  return op == Op::NoTrans ? cols : rows;
+}
+
+// Non-owning mutable view of a column-major matrix.
+template <class T>
+struct MatrixView {
+  T* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;  // leading dimension (>= rows)
+
+  T& at(int i, int j) const {
+    STRASSEN_ASSERT(i >= 0 && i < rows && j >= 0 && j < cols);
+    return data[static_cast<std::size_t>(j) * ld + i];
+  }
+
+  // Sub-view of `r` rows and `c` cols starting at (i0, j0); shares storage.
+  MatrixView block(int i0, int j0, int r, int c) const {
+    STRASSEN_ASSERT(i0 >= 0 && j0 >= 0 && i0 + r <= rows && j0 + c <= cols);
+    return MatrixView{data + static_cast<std::size_t>(j0) * ld + i0, r, c, ld};
+  }
+};
+
+// Non-owning read-only view.
+template <class T>
+struct ConstMatrixView {
+  const T* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;
+
+  ConstMatrixView() = default;
+  ConstMatrixView(const T* d, int r, int c, int l)
+      : data(d), rows(r), cols(c), ld(l) {}
+  // Implicit widening from a mutable view.
+  ConstMatrixView(const MatrixView<T>& v)
+      : data(v.data), rows(v.rows), cols(v.cols), ld(v.ld) {}
+
+  const T& at(int i, int j) const {
+    STRASSEN_ASSERT(i >= 0 && i < rows && j >= 0 && j < cols);
+    return data[static_cast<std::size_t>(j) * ld + i];
+  }
+
+  ConstMatrixView block(int i0, int j0, int r, int c) const {
+    STRASSEN_ASSERT(i0 >= 0 && j0 >= 0 && i0 + r <= rows && j0 + c <= cols);
+    return ConstMatrixView{data + static_cast<std::size_t>(j0) * ld + i0, r, c,
+                           ld};
+  }
+};
+
+// Owning column-major matrix backed by aligned storage.  The leading
+// dimension can exceed `rows` to reproduce the paper's non-contiguous
+// submatrix experiments (Fig. 3).
+template <class T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols) : Matrix(rows, cols, rows) {}
+  Matrix(int rows, int cols, int ld)
+      : buffer_(static_cast<std::size_t>(ld) * cols * sizeof(T)),
+        rows_(rows),
+        cols_(cols),
+        ld_(ld) {
+    STRASSEN_REQUIRE(rows >= 0 && cols >= 0 && ld >= rows,
+                     "bad matrix dimensions");
+    buffer_.zero();
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int ld() const { return ld_; }
+  T* data() { return buffer_.template as<T>(); }
+  const T* data() const { return buffer_.template as<T>(); }
+  std::size_t size() const { return static_cast<std::size_t>(ld_) * cols_; }
+
+  T& at(int i, int j) {
+    STRASSEN_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data()[static_cast<std::size_t>(j) * ld_ + i];
+  }
+  const T& at(int i, int j) const {
+    STRASSEN_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data()[static_cast<std::size_t>(j) * ld_ + i];
+  }
+
+  MatrixView<T> view() { return {data(), rows_, cols_, ld_}; }
+  ConstMatrixView<T> view() const { return {data(), rows_, cols_, ld_}; }
+  MatrixView<T> block(int i0, int j0, int r, int c) {
+    return view().block(i0, j0, r, c);
+  }
+
+  // The full backing store, including any ld > rows gap (used by fills).
+  std::span<T> storage() { return {data(), size()}; }
+  std::span<const T> storage() const { return {data(), size()}; }
+
+ private:
+  AlignedBuffer buffer_;
+  int rows_ = 0;
+  int cols_ = 0;
+  int ld_ = 0;
+};
+
+// Largest absolute elementwise difference between two equally-sized views.
+template <class T>
+double max_abs_diff(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+  STRASSEN_REQUIRE(a.rows == b.rows && a.cols == b.cols,
+                   "shape mismatch in max_abs_diff");
+  double worst = 0.0;
+  for (int j = 0; j < a.cols; ++j)
+    for (int i = 0; i < a.rows; ++i) {
+      const double d = static_cast<double>(a.at(i, j)) - b.at(i, j);
+      if (d > worst) worst = d;
+      if (-d > worst) worst = -d;
+    }
+  return worst;
+}
+
+// Largest absolute element of a view (for relative-error scaling).
+template <class T>
+double max_abs(ConstMatrixView<T> a) {
+  double worst = 0.0;
+  for (int j = 0; j < a.cols; ++j)
+    for (int i = 0; i < a.rows; ++i) {
+      const double d = static_cast<double>(a.at(i, j));
+      if (d > worst) worst = d;
+      if (-d > worst) worst = -d;
+    }
+  return worst;
+}
+
+// Copies src into dst elementwise (shapes must match; lds may differ).
+template <class T>
+void copy_matrix(ConstMatrixView<T> src, MatrixView<T> dst) {
+  STRASSEN_REQUIRE(src.rows == dst.rows && src.cols == dst.cols,
+                   "shape mismatch in copy_matrix");
+  for (int j = 0; j < src.cols; ++j)
+    for (int i = 0; i < src.rows; ++i) dst.at(i, j) = src.at(i, j);
+}
+
+// Debug helper: renders a small matrix as text.
+std::string to_string(ConstMatrixView<double> m, int precision = 3);
+
+}  // namespace strassen

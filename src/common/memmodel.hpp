@@ -1,0 +1,44 @@
+// memmodel.hpp -- the memory-model policy that lets every compute kernel in
+// this library run either at full speed or under cache simulation.
+//
+// The SC'98 paper instrumented its binaries with ATOM to collect the address
+// trace of the whole computation and fed it to a cache simulator (paper
+// Fig. 9).  We reproduce that capability at the source level: every kernel is
+// a template over a MemModel policy `MM`, and performs all element accesses
+// through `mm.load(p)` / `mm.store(p, v)`.
+//
+//   * RawMem       -- the production model.  load/store compile to plain
+//                     memory accesses; GCC/Clang at -O2 generate the same
+//                     code as hand-written loops.
+//   * TracingMem   -- defined in trace/memmodel-adapters; records the byte
+//                     address of every access into a cache model before
+//                     performing it.
+//
+// A model is passed by reference so stateful tracing models work; RawMem is
+// an empty object and costs nothing.
+#pragma once
+
+#include <cstddef>
+
+namespace strassen {
+
+// Production memory model: direct loads and stores, zero overhead.
+struct RawMem {
+  template <class T>
+  T load(const T* p) const {
+    return *p;
+  }
+  template <class T>
+  void store(T* p, T v) const {
+    *p = v;
+  }
+};
+
+// Concept-style documentation of the policy (C++20).
+template <class MM, class T = double>
+concept MemModel = requires(MM& mm, const T* cp, T* p, T v) {
+  { mm.load(cp) };
+  { mm.store(p, v) };
+};
+
+}  // namespace strassen

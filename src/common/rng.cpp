@@ -1,0 +1,35 @@
+#include "common/rng.hpp"
+
+namespace strassen {
+
+void Rng::fill_uniform(std::span<double> out, double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  for (double& x : out) x = dist(engine_);
+}
+
+void Rng::fill_uniform(std::span<float> out, float lo, float hi) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (float& x : out) x = dist(engine_);
+}
+
+void Rng::fill_int(std::span<double> out, int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  for (double& x : out) x = static_cast<double>(dist(engine_));
+}
+
+void Rng::fill_int(std::span<float> out, int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  for (float& x : out) x = static_cast<float>(dist(engine_));
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+}  // namespace strassen

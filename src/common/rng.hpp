@@ -1,0 +1,40 @@
+// rng.hpp -- deterministic random data generation for tests and benchmarks.
+//
+// Two fill modes matter for this library:
+//   * uniform reals in [-1, 1] -- the benchmark workload;
+//   * small integers           -- Strassen-Winograd performs only +,-,* so a
+//     multiply of small-integer matrices is EXACT in double precision, which
+//     lets tests assert bit-exact equality against the naive algorithm.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+namespace strassen {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5C98u) : engine_(seed) {}
+
+  // Fills with uniform doubles in [lo, hi].
+  void fill_uniform(std::span<double> out, double lo = -1.0, double hi = 1.0);
+  void fill_uniform(std::span<float> out, float lo = -1.0f, float hi = 1.0f);
+
+  // Fills with uniform integers in [lo, hi], stored exactly in the element
+  // type.  With |values| <= 8 and problem sizes <= a few thousand, every
+  // intermediate of Strassen-Winograd is an integer below 2^53, so double
+  // arithmetic is exact.
+  void fill_int(std::span<double> out, int lo = -4, int hi = 4);
+  void fill_int(std::span<float> out, int lo = -4, int hi = 4);
+
+  double uniform(double lo, double hi);
+  int uniform_int(int lo, int hi);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace strassen

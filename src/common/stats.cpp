@@ -1,0 +1,41 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace strassen {
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(samples.size());
+  double sq = 0.0;
+  for (double x : samples) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+std::uint64_t gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k) {
+  return static_cast<std::uint64_t>(2) * m * n * k;
+}
+
+std::uint64_t winograd_flops(std::int64_t padded, int depth) {
+  if (depth == 0) return gemm_flops(padded, padded, padded);
+  const std::int64_t half = padded / 2;
+  // 7 recursive products + 15 additions over half x half quadrants.
+  return 7 * winograd_flops(half, depth - 1) +
+         static_cast<std::uint64_t>(15) * half * half;
+}
+
+double gflops(std::uint64_t flops, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(flops) / seconds * 1e-9 : 0.0;
+}
+
+}  // namespace strassen

@@ -1,0 +1,32 @@
+// stats.hpp -- small statistics and rate helpers used by the bench harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace strassen {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+Summary summarize(std::span<const double> samples);
+
+// Floating-point operation counts.
+// Conventional gemm: 2*m*n*k (multiply + add).
+std::uint64_t gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k);
+
+// Exact flop count of Strassen-Winograd on an (n x n) problem that recurses
+// `depth` times from padded size `padded` down to tiles of size padded>>depth
+// (7 products, 15 quadrant additions per level).  Used to report effective
+// GFLOP/s and to sanity-check the operation-count crossover.
+std::uint64_t winograd_flops(std::int64_t padded, int depth);
+
+double gflops(std::uint64_t flops, double seconds);
+
+}  // namespace strassen

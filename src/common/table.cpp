@@ -1,0 +1,78 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace strassen {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  STRASSEN_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::mirror_csv(const std::string& path) {
+  csv_.open(path);
+  if (!csv_) {
+    std::cerr << "strassen: could not open CSV mirror '" << path << "'\n";
+    return;
+  }
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    if (i) csv_ << ',';
+    csv_ << headers_[i];
+  }
+  csv_ << '\n';
+  csv_header_written_ = true;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  STRASSEN_REQUIRE(cells.size() == headers_.size(),
+                   "row width must match header width");
+  if (csv_.is_open() && csv_header_written_) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) csv_ << ',';
+      csv_ << cells[i];
+    }
+    csv_ << '\n';
+    csv_.flush();
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(long long v) { return std::to_string(v); }
+
+void Table::print() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    width[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << "  ";
+      os << row[i];
+      for (std::size_t pad = row[i].size(); pad < width[i]; ++pad) os << ' ';
+    }
+    std::cout << os.str() << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = headers_.size() > 0 ? (headers_.size() - 1) * 2 : 0;
+  for (std::size_t w : width) total += w;
+  std::cout << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+}  // namespace strassen

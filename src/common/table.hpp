@@ -1,0 +1,41 @@
+// table.hpp -- aligned console tables and CSV emission for the bench harness.
+//
+// Every bench binary prints the same rows/series the paper's figure reports;
+// Table keeps that output readable on a terminal and optionally mirrors it to
+// a CSV file for plotting.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace strassen {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Optionally mirror all rows to a CSV file (best effort; failures to open
+  // the file are reported once to stderr and otherwise ignored).
+  void mirror_csv(const std::string& path);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` digits after the point.
+  static std::string num(double v, int precision = 3);
+  static std::string num(long long v);
+
+  // Prints the aligned table to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::ofstream csv_;
+  bool csv_header_written_ = false;
+};
+
+}  // namespace strassen

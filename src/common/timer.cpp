@@ -1,0 +1,31 @@
+#include "common/timer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace strassen {
+
+MeasureOptions paper_protocol(int n, int threshold) {
+  MeasureOptions opt;
+  opt.outer_reps = 3;
+  opt.inner_reps = (n < threshold) ? 10 : 1;
+  opt.warmup = 1;
+  return opt;
+}
+
+double measure(const std::function<void()>& fn, const MeasureOptions& opt) {
+  STRASSEN_REQUIRE(opt.outer_reps >= 1 && opt.inner_reps >= 1,
+                   "measurement repetitions must be positive");
+  for (int w = 0; w < opt.warmup; ++w) fn();
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < opt.outer_reps; ++rep) {
+    WallTimer t;
+    for (int i = 0; i < opt.inner_reps; ++i) fn();
+    best = std::min(best, t.seconds() / opt.inner_reps);
+  }
+  return best;
+}
+
+}  // namespace strassen

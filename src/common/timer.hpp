@@ -1,0 +1,45 @@
+// timer.hpp -- wall-clock timing and the paper's measurement protocol.
+//
+// The SC'98 evaluation timed each implementation with getrusage, averaging 10
+// invocations for matrices below 500 (to overcome clock resolution), running
+// the whole experiment 3 times and reporting the minimum.  measure() encodes
+// exactly that protocol on top of steady_clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace strassen {
+
+// Simple wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { restart(); }
+  void restart() { start_ = Clock::now(); }
+  // Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Parameters of the paper's measurement protocol.
+struct MeasureOptions {
+  int outer_reps = 3;    // experiment repetitions; the minimum is reported
+  int inner_reps = 1;    // invocations averaged inside one repetition
+  int warmup = 1;        // untimed warm-up invocations before measuring
+};
+
+// Returns inner_reps tuned per the paper: 10 invocations below the size
+// threshold (default 500), 1 above.
+MeasureOptions paper_protocol(int n, int threshold = 500);
+
+// Runs `fn` under the protocol and returns the best (minimum over outer
+// repetitions) average seconds per invocation.
+double measure(const std::function<void()>& fn, const MeasureOptions& opt);
+
+}  // namespace strassen

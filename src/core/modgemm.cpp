@@ -1,0 +1,22 @@
+#include "core/modgemm.hpp"
+
+namespace strassen::core {
+
+void modgemm(Op opa, Op opb, int m, int n, int k, double alpha,
+             const double* A, int lda, const double* B, int ldb, double beta,
+             double* C, int ldc, const ModgemmOptions& opt,
+             ModgemmReport* report) {
+  RawMem raw;
+  modgemm_mm(raw, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc, opt,
+             report);
+}
+
+void modgemm(Op opa, Op opb, int m, int n, int k, float alpha, const float* A,
+             int lda, const float* B, int ldb, float beta, float* C, int ldc,
+             const ModgemmOptions& opt, ModgemmReport* report) {
+  RawMem raw;
+  modgemm_mm(raw, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc, opt,
+             report);
+}
+
+}  // namespace strassen::core

@@ -1,0 +1,225 @@
+// modgemm.hpp -- MODGEMM: the paper's memory-friendly Strassen-Winograd GEMM.
+//
+// Public semantics are exactly Level 3 BLAS dgemm (paper S2.1):
+//
+//     C <- alpha * op(A) . op(B) + beta * C
+//
+// with column-major A, B, C and leading dimensions; op(X) is X or X^T.
+//
+// Pipeline for one product (paper S3.5):
+//   1. plan     -- choose the per-dimension truncation tiles and the common
+//                  recursion depth that minimize padding (layout/plan).
+//   2. convert  -- copy op(A), op(B) into zero-padded Morton buffers; the
+//                  transposition is folded into this gather.
+//   3. recurse  -- Strassen-Winograd over the Morton blocks (core/winograd),
+//                  producing D = op(A).op(B) in Morton order.
+//   4. convert  -- write C <- alpha*D + beta*C while converting back to
+//                  column-major (the alpha/beta work is fused here, so the
+//                  common alpha=1, beta=0 case costs nothing extra).
+//
+// Highly rectangular inputs that admit no common recursion depth are first
+// decomposed by layout/split and reconstructed as sums of sub-products
+// (paper Fig. 4); thin problems (min dimension <= direct_threshold) skip
+// Strassen and run the conventional blocked algorithm.
+#pragma once
+
+#include <algorithm>
+
+#include "blas/gemm.hpp"
+#include "common/arena.hpp"
+#include "common/check.hpp"
+#include "common/matrix.hpp"
+#include "common/memmodel.hpp"
+#include "common/timer.hpp"
+#include "core/winograd.hpp"
+#include "core/workspace.hpp"
+#include "layout/convert.hpp"
+#include "layout/plan.hpp"
+#include "layout/split.hpp"
+
+namespace strassen::core {
+
+// Tuning knobs for the MODGEMM driver.
+struct ModgemmOptions {
+  layout::TileOptions tiles{};
+  // Ablation switch: force a fixed truncation tile (static padding, the
+  // paper's strawman).  0 = dynamic selection (the paper's contribution).
+  int fixed_tile = 0;
+};
+
+// Optional instrumentation: where the time went (paper Fig. 7 separates the
+// Morton conversion from the multiply itself).
+struct ModgemmReport {
+  double convert_in_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double convert_out_seconds = 0.0;
+  layout::GemmPlan plan{};       // plan of the (last) single product
+  bool split_used = false;       // highly-rectangular path taken
+  int products = 0;              // sub-products executed (1 if no split)
+  double total_seconds() const {
+    return convert_in_seconds + compute_seconds + convert_out_seconds;
+  }
+  double conversion_fraction() const {
+    const double t = total_seconds();
+    return t > 0 ? (convert_in_seconds + convert_out_seconds) / t : 0.0;
+  }
+};
+
+namespace detail {
+
+// One planned product: C(m x n) {<-,+=} alpha * op(A).op(B) + beta * C.
+// Requires plan.feasible or plan.direct.
+template <class MM, class T>
+void modgemm_single(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
+                    const T* A, int lda, const T* B, int ldb, T beta, T* C,
+                    int ldc, const layout::GemmPlan& plan,
+                    ModgemmReport* report) {
+  if (plan.direct) {
+    WallTimer t;
+    blas::gemm_blocked(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C,
+                       ldc);
+    if (report) {
+      report->compute_seconds += t.seconds();
+      ++report->products;
+    }
+    return;
+  }
+  STRASSEN_ASSERT(plan.feasible && plan.depth >= 1);
+  const layout::MortonLayout la{m, k, plan.m.tile, plan.k.tile, plan.depth};
+  const layout::MortonLayout lb{k, n, plan.k.tile, plan.n.tile, plan.depth};
+  const layout::MortonLayout lc{m, n, plan.m.tile, plan.n.tile, plan.depth};
+
+  const std::size_t round = 64;
+  auto buf_bytes = [&](const layout::MortonLayout& l) {
+    return (static_cast<std::size_t>(l.elems()) * sizeof(T) + round - 1) /
+           round * round;
+  };
+  const std::size_t arena_bytes =
+      buf_bytes(la) + buf_bytes(lb) + buf_bytes(lc) +
+      winograd_workspace_bytes(plan.m.tile, plan.k.tile, plan.n.tile,
+                               plan.depth, sizeof(T));
+  Arena arena(arena_bytes);
+  T* Am = arena.push<T>(static_cast<std::size_t>(la.elems()));
+  T* Bm = arena.push<T>(static_cast<std::size_t>(lb.elems()));
+  T* Cm = arena.push<T>(static_cast<std::size_t>(lc.elems()));
+
+  WallTimer t;
+  layout::to_morton(mm, la, Am, opa, A, lda);
+  layout::to_morton(mm, lb, Bm, opb, B, ldb);
+  const double t_in = t.seconds();
+
+  t.restart();
+  winograd_recurse(mm, Cm, Am, Bm, plan.m.tile, plan.k.tile, plan.n.tile,
+                   plan.depth, arena);
+  const double t_mul = t.seconds();
+
+  t.restart();
+  layout::from_morton(mm, lc, Cm, alpha, C, ldc, beta);
+  const double t_out = t.seconds();
+
+  if (report) {
+    report->convert_in_seconds += t_in;
+    report->compute_seconds += t_mul;
+    report->convert_out_seconds += t_out;
+    report->plan = plan;
+    ++report->products;
+  }
+}
+
+}  // namespace detail
+
+// The full MODGEMM entry point, templated on the memory model so complete
+// executions can be cache-simulated (paper Fig. 9).  Dimensions follow the
+// dgemm convention: op(A) is m x k, op(B) is k x n, C is m x n.
+template <class MM, class T>
+void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
+                const T* A, int lda, const T* B, int ldb, T beta, T* C,
+                int ldc, const ModgemmOptions& opt = {},
+                ModgemmReport* report = nullptr) {
+  STRASSEN_REQUIRE(m >= 0 && n >= 0 && k >= 0, "negative dimension");
+  STRASSEN_REQUIRE(lda >= std::max(1, opa == Op::NoTrans ? m : k),
+                   "lda too small");
+  STRASSEN_REQUIRE(ldb >= std::max(1, opb == Op::NoTrans ? k : n),
+                   "ldb too small");
+  STRASSEN_REQUIRE(ldc >= std::max(1, m), "ldc too small");
+  if (m == 0 || n == 0) return;
+  if (alpha == T{0} || k == 0) {
+    blas::scale_view(mm, m, n, C, ldc, beta);
+    return;
+  }
+
+  if (opt.fixed_tile > 0) {
+    // Ablation: static padding with a fixed truncation point.  The three
+    // dimensions must then share a depth naturally, which holds for the
+    // square problems this mode is meant for; otherwise we fall back to the
+    // largest common depth.
+    layout::GemmPlan plan;
+    plan.m = layout::fixed_tile_dim(m, opt.fixed_tile);
+    plan.k = layout::fixed_tile_dim(k, opt.fixed_tile);
+    plan.n = layout::fixed_tile_dim(n, opt.fixed_tile);
+    plan.depth =
+        std::max({plan.m.depth, plan.k.depth, plan.n.depth});
+    // Re-derive padded sizes at the common depth (tile stays fixed; shallower
+    // dimensions get extra padding, exactly the static-padding cost).
+    auto lift = [&](layout::DimPlan& d) {
+      d.depth = plan.depth;
+      d.padded = opt.fixed_tile << plan.depth;
+      d.tile = opt.fixed_tile;
+    };
+    lift(plan.m);
+    lift(plan.k);
+    lift(plan.n);
+    plan.feasible = true;
+    plan.direct = plan.depth == 0;
+    detail::modgemm_single(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta,
+                           C, ldc, plan, report);
+    return;
+  }
+
+  const layout::GemmPlan plan = layout::plan_gemm(m, k, n, opt.tiles);
+  if (plan.direct || plan.feasible) {
+    detail::modgemm_single(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta,
+                           C, ldc, plan, report);
+    return;
+  }
+
+  // Highly rectangular: decompose into same-depth sub-products (paper Fig. 4)
+  // and reconstruct C[i][j] = sum_r A[i][r] . B[r][j].
+  const layout::SplitPlan split = layout::plan_split(m, k, n, opt.tiles);
+  if (report) report->split_used = true;
+  for (const auto& cm : split.m_chunks) {
+    for (const auto& cn : split.n_chunks) {
+      bool first = true;
+      for (const auto& ck : split.k_chunks) {
+        // Locate the stored sub-blocks of op(A) and op(B).
+        const T* Ablk =
+            opa == Op::NoTrans
+                ? A + static_cast<std::size_t>(ck.offset) * lda + cm.offset
+                : A + static_cast<std::size_t>(cm.offset) * lda + ck.offset;
+        const T* Bblk =
+            opb == Op::NoTrans
+                ? B + static_cast<std::size_t>(cn.offset) * ldb + ck.offset
+                : B + static_cast<std::size_t>(ck.offset) * ldb + cn.offset;
+        T* Cblk = C + static_cast<std::size_t>(cn.offset) * ldc + cm.offset;
+        const layout::GemmPlan sub =
+            layout::plan_gemm(cm.size, ck.size, cn.size, opt.tiles);
+        STRASSEN_ASSERT(sub.direct || sub.feasible);
+        detail::modgemm_single(mm, opa, opb, cm.size, cn.size, ck.size, alpha,
+                               Ablk, lda, Bblk, ldb, first ? beta : T{1}, Cblk,
+                               ldc, sub, report);
+        first = false;
+      }
+    }
+  }
+}
+
+// Production entry points (RawMem).
+void modgemm(Op opa, Op opb, int m, int n, int k, double alpha,
+             const double* A, int lda, const double* B, int ldb, double beta,
+             double* C, int ldc, const ModgemmOptions& opt = {},
+             ModgemmReport* report = nullptr);
+void modgemm(Op opa, Op opb, int m, int n, int k, float alpha, const float* A,
+             int lda, const float* B, int ldb, float beta, float* C, int ldc,
+             const ModgemmOptions& opt = {}, ModgemmReport* report = nullptr);
+
+}  // namespace strassen::core

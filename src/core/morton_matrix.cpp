@@ -1,0 +1,102 @@
+#include "core/morton_matrix.hpp"
+
+#include "common/check.hpp"
+#include "core/winograd.hpp"
+#include "core/workspace.hpp"
+
+namespace strassen::core {
+
+MortonProductPlan plan_morton_product(int m, int k, int n,
+                                      const layout::TileOptions& opt) {
+  const layout::GemmPlan plan = layout::plan_gemm(m, k, n, opt);
+  STRASSEN_REQUIRE(!plan.direct,
+                   "problem too small for the Morton-native path; use "
+                   "blas::gemm or core::modgemm");
+  STRASSEN_REQUIRE(plan.feasible,
+                   "shape too rectangular for a single-depth Morton plan; "
+                   "use core::modgemm, which splits");
+  MortonProductPlan out;
+  out.depth = plan.depth;
+  out.a = layout::MortonLayout{m, k, plan.m.tile, plan.k.tile, plan.depth};
+  out.b = layout::MortonLayout{k, n, plan.k.tile, plan.n.tile, plan.depth};
+  out.c = layout::MortonLayout{m, n, plan.m.tile, plan.n.tile, plan.depth};
+  return out;
+}
+
+MortonMatrix::MortonMatrix(const layout::MortonLayout& layout)
+    : layout_(layout),
+      buffer_(static_cast<std::size_t>(layout.elems()) * sizeof(double)) {
+  STRASSEN_REQUIRE(layout.rows >= 1 && layout.cols >= 1 &&
+                       layout.tile_rows >= 1 && layout.tile_cols >= 1 &&
+                       layout.depth >= 0,
+                   "bad Morton layout");
+  STRASSEN_REQUIRE(layout.padded_rows() >= layout.rows &&
+                       layout.padded_cols() >= layout.cols,
+                   "layout does not cover the logical matrix");
+  buffer_.zero();
+}
+
+MortonMatrix MortonMatrix::from_colmajor(const layout::MortonLayout& layout,
+                                         ConstMatrixView<double> src, Op op) {
+  STRASSEN_REQUIRE(op_rows(op, src.rows, src.cols) == layout.rows &&
+                       op_cols(op, src.rows, src.cols) == layout.cols,
+                   "source shape does not match layout");
+  MortonMatrix out(layout);
+  layout::to_morton(layout, out.data(), op, src.data, src.ld);
+  return out;
+}
+
+double MortonMatrix::at(int i, int j) const {
+  STRASSEN_REQUIRE(i >= 0 && i < rows() && j >= 0 && j < cols(),
+                   "element index out of range");
+  return data()[layout::morton_offset(layout_, i, j)];
+}
+
+void MortonMatrix::set(int i, int j, double v) {
+  STRASSEN_REQUIRE(i >= 0 && i < rows() && j >= 0 && j < cols(),
+                   "element index out of range");
+  data()[layout::morton_offset(layout_, i, j)] = v;
+}
+
+void MortonMatrix::to_colmajor(MatrixView<double> dst, double alpha,
+                               double beta) const {
+  STRASSEN_REQUIRE(dst.rows == rows() && dst.cols == cols(),
+                   "destination shape mismatch");
+  layout::from_morton(layout_, data(), alpha, dst.data, dst.ld, beta);
+}
+
+std::size_t multiply_workspace_bytes(const MortonProductPlan& plan) {
+  return winograd_workspace_bytes(plan.a.tile_rows, plan.a.tile_cols,
+                                  plan.b.tile_cols, plan.depth,
+                                  sizeof(double));
+}
+
+void multiply(const MortonMatrix& A, const MortonMatrix& B, MortonMatrix& C,
+              Arena& arena) {
+  const auto& la = A.layout();
+  const auto& lb = B.layout();
+  const auto& lc = C.layout();
+  STRASSEN_REQUIRE(la.cols == lb.rows, "inner dimensions disagree");
+  STRASSEN_REQUIRE(la.depth == lb.depth && la.depth == lc.depth,
+                   "operand layouts must share the recursion depth");
+  STRASSEN_REQUIRE(la.tile_cols == lb.tile_rows,
+                   "operand layouts must agree on the k-dimension tile");
+  STRASSEN_REQUIRE(lc.rows == la.rows && lc.cols == lb.cols &&
+                       lc.tile_rows == la.tile_rows &&
+                       lc.tile_cols == lb.tile_cols,
+                   "result layout incompatible with operands");
+  RawMem raw;
+  Arena::Frame frame(arena);
+  winograd_recurse(raw, C.data(), A.data(), B.data(), la.tile_rows,
+                   la.tile_cols, lb.tile_cols, la.depth, arena);
+}
+
+void multiply(const MortonMatrix& A, const MortonMatrix& B, MortonMatrix& C) {
+  Arena arena(winograd_workspace_bytes(A.layout().tile_rows,
+                                       A.layout().tile_cols,
+                                       B.layout().tile_cols, A.layout().depth,
+                                       sizeof(double)));
+  multiply(A, B, C, arena);
+}
+
+}  // namespace strassen::core

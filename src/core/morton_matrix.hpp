@@ -1,0 +1,85 @@
+// morton_matrix.hpp -- matrices kept natively in Morton order.
+//
+// The paper's Fig. 8 asks: what does MODGEMM cost if the matrices are
+// ALREADY in Morton order, i.e. when an application keeps its working set in
+// the internal layout across many multiplies and pays conversion only at its
+// own boundaries?  MortonMatrix is that API: an owning Morton-format matrix
+// plus a multiply that runs the Winograd core directly, with no per-call
+// conversion.
+//
+// Layout compatibility: multiplying A (m x k) by B (k x n) requires the two
+// operands to agree on the k-dimension tile and on the recursion depth.
+// plan_morton_product() derives a compatible (A, B, C) layout triple from the
+// problem shape; matrices built from the same triple compose.
+#pragma once
+
+#include <cstddef>
+
+#include "common/aligned_buffer.hpp"
+#include "common/arena.hpp"
+#include "common/matrix.hpp"
+#include "layout/convert.hpp"
+#include "layout/morton.hpp"
+#include "layout/plan.hpp"
+
+namespace strassen::core {
+
+// Compatible layouts for C = A . B.
+struct MortonProductPlan {
+  layout::MortonLayout a;
+  layout::MortonLayout b;
+  layout::MortonLayout c;
+  int depth = 0;
+};
+
+// Plans layouts for an (m x k) by (k x n) product.  Throws if the shape is
+// too rectangular for a single-depth plan (use the modgemm interface, which
+// splits, for such shapes) or too small to benefit (min dim <= threshold).
+MortonProductPlan plan_morton_product(int m, int k, int n,
+                                      const layout::TileOptions& opt = {});
+
+class MortonMatrix {
+ public:
+  MortonMatrix() = default;
+  // Allocates a zeroed Morton buffer with the given layout.
+  explicit MortonMatrix(const layout::MortonLayout& layout);
+
+  // Builds from a column-major view (converts; op folds a transpose).
+  static MortonMatrix from_colmajor(const layout::MortonLayout& layout,
+                                    ConstMatrixView<double> src,
+                                    Op op = Op::NoTrans);
+
+  int rows() const { return layout_.rows; }
+  int cols() const { return layout_.cols; }
+  const layout::MortonLayout& layout() const { return layout_; }
+  double* data() { return buffer_.as<double>(); }
+  const double* data() const { return buffer_.as<double>(); }
+  std::size_t elems() const { return static_cast<std::size_t>(layout_.elems()); }
+
+  // Element access by logical (i, j); O(1) Morton index arithmetic.
+  double at(int i, int j) const;
+  void set(int i, int j, double v);
+
+  // Converts back to column-major: dst <- alpha * this + beta * dst.
+  void to_colmajor(MatrixView<double> dst, double alpha = 1.0,
+                   double beta = 0.0) const;
+
+ private:
+  layout::MortonLayout layout_{};
+  AlignedBuffer buffer_;
+};
+
+// C = A . B entirely in Morton order (no conversions).  Layouts must be
+// compatible (same depth; A.cols tiling == B.rows tiling); verified with
+// STRASSEN_REQUIRE.  Workspace is allocated internally per call.
+void multiply(const MortonMatrix& A, const MortonMatrix& B, MortonMatrix& C);
+
+// Same, reusing a caller-provided arena (for benchmark loops that must not
+// allocate).  The arena is reset (marked/popped) around the call.
+void multiply(const MortonMatrix& A, const MortonMatrix& B, MortonMatrix& C,
+              Arena& arena);
+
+// Bytes of workspace multiply() needs for this product plan.
+std::size_t multiply_workspace_bytes(const MortonProductPlan& plan);
+
+}  // namespace strassen::core

@@ -1,0 +1,68 @@
+#include "core/syrk.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace strassen::core {
+
+namespace {
+
+// Unblocked base case: dot products over the lower triangle only.
+void syrk_base(int n, int k, double alpha, const double* A, int lda,
+               double beta, double* C, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p)
+        acc += A[static_cast<std::size_t>(p) * lda + i] *
+               A[static_cast<std::size_t>(p) * lda + j];
+      double* c = C + static_cast<std::size_t>(j) * ldc + i;
+      *c = beta == 0.0 ? alpha * acc : alpha * acc + beta * *c;
+    }
+  }
+}
+
+void syrk_recurse(int n, int k, double alpha, const double* A, int lda,
+                  double beta, double* C, int ldc, const SyrkOptions& opt) {
+  if (n <= opt.diagonal_block) {
+    syrk_base(n, k, alpha, A, lda, beta, C, ldc);
+    return;
+  }
+  const int n1 = n / 2;
+  const int n2 = n - n1;
+  const double* A1 = A;        // rows [0, n1)
+  const double* A2 = A + n1;   // rows [n1, n)
+  syrk_recurse(n1, k, alpha, A1, lda, beta, C, ldc, opt);
+  // Off-diagonal block through MODGEMM: C21 = alpha*A2.A1^T + beta*C21.
+  modgemm(Op::NoTrans, Op::Trans, n2, n1, k, alpha, A2, lda, A1, lda, beta,
+          C + n1, ldc, opt.gemm);
+  syrk_recurse(n2, k, alpha, A2, lda, beta,
+               C + static_cast<std::size_t>(n1) * ldc + n1, ldc, opt);
+}
+
+}  // namespace
+
+void modsyrk(int n, int k, double alpha, const double* A, int lda, double beta,
+             double* C, int ldc, const SyrkOptions& opt) {
+  STRASSEN_REQUIRE(n >= 0 && k >= 0, "negative dimension");
+  STRASSEN_REQUIRE(lda >= std::max(1, n), "lda too small");
+  STRASSEN_REQUIRE(ldc >= std::max(1, n), "ldc too small");
+  STRASSEN_REQUIRE(opt.diagonal_block >= 1, "bad diagonal block");
+  if (n == 0) return;
+  if (alpha == 0.0 || k == 0) {
+    // Scale the lower triangle only.
+    for (int j = 0; j < n; ++j) {
+      double* col = C + static_cast<std::size_t>(j) * ldc;
+      if (beta == 0.0) {
+        for (int i = j; i < n; ++i) col[i] = 0.0;
+      } else if (beta != 1.0) {
+        for (int i = j; i < n; ++i) col[i] *= beta;
+      }
+    }
+    return;
+  }
+  syrk_recurse(n, k, alpha, A, lda, beta, C, ldc, opt);
+}
+
+}  // namespace strassen::core

@@ -1,0 +1,36 @@
+// syrk.hpp -- symmetric rank-k update on top of MODGEMM.
+//
+// The paper's interface discussion (S2.1, S6) targets Level 3 BLAS adoption;
+// after dgemm, the workhorse of factorization codes is dsyrk:
+//
+//     C <- alpha * A . A^T + beta * C        (C symmetric, n x n; A n x k)
+//
+// referencing only one triangle of C.  Exploiting the symmetry halves the
+// arithmetic relative to calling gemm on the full square, and the recursive
+// block structure routes all large off-diagonal work through MODGEMM:
+//
+//     [ C11      ]    C11 <- syrk(A1)                (recurse)
+//     [ C21  C22 ]    C21 <- alpha * A2.A1^T + beta  (modgemm, op(B) = T)
+//                     C22 <- syrk(A2)                (recurse)
+//
+// Only Lower is implemented (the convention Cholesky uses); an Upper update
+// is the transpose of a Lower one.
+#pragma once
+
+#include "common/matrix.hpp"
+#include "core/modgemm.hpp"
+
+namespace strassen::core {
+
+struct SyrkOptions {
+  ModgemmOptions gemm{};   // options for the off-diagonal products
+  int diagonal_block = 64; // unblocked base-case size for diagonal blocks
+};
+
+// Lower-triangle symmetric rank-k update: for i >= j,
+//     C(i,j) <- alpha * sum_p A(i,p)*A(j,p) + beta * C(i,j).
+// The strict upper triangle of C is neither read nor written.
+void modsyrk(int n, int k, double alpha, const double* A, int lda,
+             double beta, double* C, int ldc, const SyrkOptions& opt = {});
+
+}  // namespace strassen::core

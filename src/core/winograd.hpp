@@ -1,0 +1,112 @@
+// winograd.hpp -- the Strassen-Winograd recursion over Morton storage.
+//
+// This is the computational heart of MODGEMM.  A Morton block of depth d is
+// four contiguous sub-blocks (NW=11, NE=12, SW=21, SE=22 in matrix-quadrant
+// notation) each of depth d-1, so quadrant access is pure pointer arithmetic
+// and all 15 quadrant additions of Winograd's variant are single contiguous
+// loops (paper S3.3).
+//
+// Schedule.  Using the paper's equations (S2) with the S/T/P naming,
+// reordered so that C's quadrants double as scratch and only three
+// temporaries (tS over A-quadrants, tT over B-quadrants, tP over
+// C-quadrants) are live per level:
+//
+//    tS = A11 - A21        (S3)   tT = B22 - B12        (T3)
+//    C21 = tS * tT         (P5 = S3.T3)
+//    tS = A21 + A22        (S1)   tT = B12 - B11        (T1)
+//    C22 = tS * tT         (P3 = S1.T1)
+//    tS = tS - A11         (S2)   tT = B22 - tT         (T2)
+//    C12 = tS * tT         (P4 = S2.T2)
+//    tS = A12 - tS         (S4)   tT = tT - B21         (-T4)
+//    tP  = A11 * B11       (P1)
+//    C12 += tP             (U2 = P1 + P4)
+//    C21 += C12            (U3 = U2 + P5)
+//    C12 += C22            (U6 = U2 + P3)
+//    C22 += C21            (C22 = U5 = U3 + P3)        [final C22]
+//    C11 = A22 * tT        (-P7 = A22 * (T2 - B21))
+//    C21 -= C11            (C21 = U4 = U3 + P7)        [final C21]
+//    C11 = tS * B22        (P6 = S4 * B22)
+//    C12 += C11            (C12 = U7 = U6 + P6)        [final C12]
+//    C11 = A12 * B21       (P2)
+//    C11 += tP             (C11 = U1 = P1 + P2)        [final C11]
+//
+// 7 recursive products, 15 additions -- the minimum for quadrant-based
+// recursion, as the paper notes.
+#pragma once
+
+#include <cstdint>
+
+#include "blas/kernels.hpp"
+#include "blas/level1.hpp"
+#include "common/arena.hpp"
+#include "common/memmodel.hpp"
+
+namespace strassen::core {
+
+// C = A * B on Morton blocks.
+//   A: (tm<<depth) x (tk<<depth), leaf tiles tm x tk (column-major)
+//   B: (tk<<depth) x (tn<<depth), leaf tiles tk x tn
+//   C: (tm<<depth) x (tn<<depth), leaf tiles tm x tn
+// `arena` must have winograd_workspace_bytes(tm,tk,tn,depth,...) available.
+template <class MM, class T>
+void winograd_recurse(MM& mm, T* C, const T* A, const T* B, int tm, int tk,
+                      int tn, int depth, Arena& arena) {
+  if (depth == 0) {
+    blas::gemm_leaf(mm, tm, tn, tk, A, tm, B, tk, C, tm,
+                    blas::LeafMode::Overwrite);
+    return;
+  }
+  const int d1 = depth - 1;
+  const std::size_t scale = std::size_t{1} << (2 * d1);
+  const std::size_t qa = static_cast<std::size_t>(tm) * tk * scale;
+  const std::size_t qb = static_cast<std::size_t>(tk) * tn * scale;
+  const std::size_t qc = static_cast<std::size_t>(tm) * tn * scale;
+
+  // Quadrants in memory order NW, NE, SW, SE == 11, 12, 21, 22.
+  const T* A11 = A;
+  const T* A12 = A + qa;
+  const T* A21 = A + 2 * qa;
+  const T* A22 = A + 3 * qa;
+  const T* B11 = B;
+  const T* B12 = B + qb;
+  const T* B21 = B + 2 * qb;
+  const T* B22 = B + 3 * qb;
+  T* C11 = C;
+  T* C12 = C + qc;
+  T* C21 = C + 2 * qc;
+  T* C22 = C + 3 * qc;
+
+  Arena::Frame frame(arena);
+  T* tS = arena.push<T>(qa);
+  T* tT = arena.push<T>(qb);
+  T* tP = arena.push<T>(qc);
+
+  auto mul = [&](T* dst, const T* a, const T* b) {
+    winograd_recurse(mm, dst, a, b, tm, tk, tn, d1, arena);
+  };
+
+  blas::vsub(mm, qa, tS, A11, A21);   // S3
+  blas::vsub(mm, qb, tT, B22, B12);   // T3
+  mul(C21, tS, tT);                   // P5 = S3.T3
+  blas::vadd(mm, qa, tS, A21, A22);   // S1
+  blas::vsub(mm, qb, tT, B12, B11);   // T1
+  mul(C22, tS, tT);                   // P3 = S1.T1
+  blas::vsub_inplace(mm, qa, tS, A11);  // S2 = S1 - A11
+  blas::vsub(mm, qb, tT, B22, tT);      // T2 = B22 - T1
+  mul(C12, tS, tT);                     // P4 = S2.T2
+  blas::vsub(mm, qa, tS, A12, tS);      // S4 = A12 - S2
+  blas::vsub_inplace(mm, qb, tT, B21);  // -T4 = T2 - B21
+  mul(tP, A11, B11);                    // P1
+  blas::vadd_inplace(mm, qc, C12, tP);  // U2 = P1 + P4
+  blas::vadd_inplace(mm, qc, C21, C12); // U3 = U2 + P5
+  blas::vadd_inplace(mm, qc, C12, C22); // U6 = U2 + P3
+  blas::vadd_inplace(mm, qc, C22, C21); // final C22 = U3 + P3
+  mul(C11, A22, tT);                    // -P7 = A22.(T2 - B21)
+  blas::vsub_inplace(mm, qc, C21, C11); // final C21 = U3 + P7
+  mul(C11, tS, B22);                    // P6 = S4.B22
+  blas::vadd_inplace(mm, qc, C12, C11); // final C12 = U6 + P6
+  mul(C11, A12, B21);                   // P2
+  blas::vadd_inplace(mm, qc, C11, tP);  // final C11 = P1 + P2
+}
+
+}  // namespace strassen::core

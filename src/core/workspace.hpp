@@ -1,0 +1,21 @@
+// workspace.hpp -- exact arena sizing for the Winograd recursion.
+//
+// Each recursion level allocates three quadrant-sized temporaries (an S-temp
+// over A's quadrant shape, a T-temp over B's, and a P-temp over C's) and
+// releases them before returning, so the live set is a stack.  Sizing the
+// arena to the exact peak lets the whole multiply run with a single
+// allocation; the paper's implementations were likewise careful to bound
+// temporary storage (S5.1).
+#pragma once
+
+#include <cstddef>
+
+namespace strassen::core {
+
+// Peak bytes of recursion temporaries for a product of Morton blocks with
+// leaf tiles (tm x tk) * (tk x tn) and `depth` recursion levels, including
+// the arena's per-allocation 64-byte rounding.
+std::size_t winograd_workspace_bytes(int tm, int tk, int tn, int depth,
+                                     std::size_t elem_size);
+
+}  // namespace strassen::core

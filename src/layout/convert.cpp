@@ -1,0 +1,17 @@
+#include "layout/convert.hpp"
+
+namespace strassen::layout {
+
+void to_morton(const MortonLayout& layout, double* dst, Op op,
+               const double* src, int ld_src) {
+  RawMem raw;
+  to_morton(raw, layout, dst, op, src, ld_src);
+}
+
+void from_morton(const MortonLayout& layout, const double* src, double alpha,
+                 double* C, int ld_dst, double beta) {
+  RawMem raw;
+  from_morton(raw, layout, src, alpha, C, ld_dst, beta);
+}
+
+}  // namespace strassen::layout

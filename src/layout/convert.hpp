@@ -1,0 +1,146 @@
+// convert.hpp -- column-major <-> Morton order conversion.
+//
+// MODGEMM is a library routine: callers hand it column-major matrices, so it
+// converts inputs to Morton order at the interface level and converts the
+// result back (the paper measured this at 5-15% of total execution time,
+// Fig. 7).  Two fusions keep that overhead down, both from the paper S3.5:
+//
+//   * op() fusion: any required transposition happens during the inbound
+//     conversion (a gather from the transposed source), so a single core
+//     routine handles all four TRANSA/TRANSB combinations.
+//   * alpha/beta fusion: the outbound conversion computes
+//     C <- alpha * D_morton + beta * C in one pass instead of materializing
+//     D in column-major first.
+//
+// Padding: elements of the padded matrix outside the logical rows x cols
+// region are written as zeros on the way in and skipped on the way out; the
+// Winograd kernel does (cheap, bounded) redundant arithmetic on them.
+#pragma once
+
+#include <algorithm>
+
+#include "common/matrix.hpp"
+#include "common/memmodel.hpp"
+#include "layout/morton.hpp"
+
+namespace strassen::layout {
+
+// dst (Morton buffer of layout.elems() elements) <- op(src), zero-padded.
+//
+// `layout.rows/cols` describe the LOGICAL (post-op) matrix.  When op ==
+// Op::Trans the source is stored transposed: logical (i,j) reads src[j + i*ld].
+// Converts tiles [t_begin, t_end) of the Morton tile sequence -- the unit of
+// work the parallel conversion fans out over (each tile is independent).
+template <class MM, class T>
+void to_morton_range(MM& mm, const MortonLayout& layout, T* dst, Op op,
+                     const T* src, int ld_src, int t_begin, int t_end) {
+  STRASSEN_REQUIRE(layout.padded_rows() >= layout.rows &&
+                       layout.padded_cols() >= layout.cols,
+                   "layout does not cover the logical matrix");
+  STRASSEN_REQUIRE(ld_src >= (op == Op::NoTrans ? layout.rows : layout.cols),
+                   "source leading dimension too small");
+  const int tr = layout.tile_rows;
+  const int tc = layout.tile_cols;
+  const std::int64_t tile_elems = layout.tile_elems();
+  T* out = dst + tile_elems * t_begin;
+  for (int t = t_begin; t < t_end; ++t, out += tile_elems) {
+    std::uint32_t trow, tcol;
+    morton_deinterleave(static_cast<std::uint32_t>(t), trow, tcol);
+    const int row0 = static_cast<int>(trow) * tr;
+    const int col0 = static_cast<int>(tcol) * tc;
+    const bool full = row0 + tr <= layout.rows && col0 + tc <= layout.cols;
+    if (full && op == Op::NoTrans) {
+      // Hot path: contiguous column copies from the source panel.
+      const T* in = src + static_cast<std::size_t>(col0) * ld_src + row0;
+      for (int jj = 0; jj < tc; ++jj) {
+        const T* col = in + static_cast<std::size_t>(jj) * ld_src;
+        T* o = out + static_cast<std::size_t>(jj) * tr;
+        for (int ii = 0; ii < tr; ++ii) mm.store(o + ii, mm.load(col + ii));
+      }
+    } else {
+      for (int jj = 0; jj < tc; ++jj) {
+        const int j = col0 + jj;
+        T* o = out + static_cast<std::size_t>(jj) * tr;
+        for (int ii = 0; ii < tr; ++ii) {
+          const int i = row0 + ii;
+          T v{0};
+          if (i < layout.rows && j < layout.cols) {
+            v = op == Op::NoTrans
+                    ? mm.load(src + static_cast<std::size_t>(j) * ld_src + i)
+                    : mm.load(src + static_cast<std::size_t>(i) * ld_src + j);
+          }
+          mm.store(o + ii, v);
+        }
+      }
+    }
+  }
+}
+
+// dst (Morton buffer of layout.elems() elements) <- op(src), zero-padded.
+//
+// `layout.rows/cols` describe the LOGICAL (post-op) matrix.  When op ==
+// Op::Trans the source is stored transposed: logical (i,j) reads src[j + i*ld].
+template <class MM, class T>
+void to_morton(MM& mm, const MortonLayout& layout, T* dst, Op op, const T* src,
+               int ld_src) {
+  const int side = layout.tiles_per_side();
+  to_morton_range(mm, layout, dst, op, src, ld_src, 0, side * side);
+}
+
+// Tile-range slice of from_morton, as to_morton_range.
+template <class MM, class T>
+void from_morton_range(MM& mm, const MortonLayout& layout, const T* src,
+                       T alpha, T* C, int ld_dst, T beta, int t_begin,
+                       int t_end) {
+  STRASSEN_REQUIRE(layout.padded_rows() >= layout.rows &&
+                       layout.padded_cols() >= layout.cols,
+                   "layout does not cover the logical matrix");
+  STRASSEN_REQUIRE(ld_dst >= layout.rows,
+                   "destination leading dimension too small");
+  const int tr = layout.tile_rows;
+  const int tc = layout.tile_cols;
+  const std::int64_t tile_elems = layout.tile_elems();
+  const bool plain = (alpha == T{1} && beta == T{0});
+  const T* in = src + tile_elems * t_begin;
+  for (int t = t_begin; t < t_end; ++t, in += tile_elems) {
+    std::uint32_t trow, tcol;
+    morton_deinterleave(static_cast<std::uint32_t>(t), trow, tcol);
+    const int row0 = static_cast<int>(trow) * tr;
+    const int col0 = static_cast<int>(tcol) * tc;
+    if (row0 >= layout.rows || col0 >= layout.cols) continue;  // all pad
+    const int rr = std::min(tr, layout.rows - row0);
+    const int cc = std::min(tc, layout.cols - col0);
+    T* outbase = C + static_cast<std::size_t>(col0) * ld_dst + row0;
+    for (int jj = 0; jj < cc; ++jj) {
+      const T* icol = in + static_cast<std::size_t>(jj) * tr;
+      T* ocol = outbase + static_cast<std::size_t>(jj) * ld_dst;
+      if (plain) {
+        for (int ii = 0; ii < rr; ++ii) mm.store(ocol + ii, mm.load(icol + ii));
+      } else if (beta == T{0}) {
+        for (int ii = 0; ii < rr; ++ii)
+          mm.store(ocol + ii, static_cast<T>(alpha * mm.load(icol + ii)));
+      } else {
+        for (int ii = 0; ii < rr; ++ii)
+          mm.store(ocol + ii, static_cast<T>(alpha * mm.load(icol + ii) +
+                                             beta * mm.load(ocol + ii)));
+      }
+    }
+  }
+}
+
+// C(logical rows x cols, column-major, ld_dst) <- alpha * src_morton + beta*C.
+// Pad elements of the Morton buffer are ignored.
+template <class MM, class T>
+void from_morton(MM& mm, const MortonLayout& layout, const T* src, T alpha,
+                 T* C, int ld_dst, T beta) {
+  const int side = layout.tiles_per_side();
+  from_morton_range(mm, layout, src, alpha, C, ld_dst, beta, 0, side * side);
+}
+
+// Production-model double-precision wrappers.
+void to_morton(const MortonLayout& layout, double* dst, Op op,
+               const double* src, int ld_src);
+void from_morton(const MortonLayout& layout, const double* src, double alpha,
+                 double* C, int ld_dst, double beta);
+
+}  // namespace strassen::layout

@@ -1,0 +1,50 @@
+#include "layout/morton.hpp"
+
+#include "common/check.hpp"
+
+namespace strassen::layout {
+
+std::uint32_t morton_spread(std::uint32_t x) {
+  // Classic bit-twiddling spread of 16 bits into 32.
+  x &= 0x0000FFFFu;
+  x = (x | (x << 8)) & 0x00FF00FFu;
+  x = (x | (x << 4)) & 0x0F0F0F0Fu;
+  x = (x | (x << 2)) & 0x33333333u;
+  x = (x | (x << 1)) & 0x55555555u;
+  return x;
+}
+
+std::uint32_t morton_compact(std::uint32_t x) {
+  x &= 0x55555555u;
+  x = (x | (x >> 1)) & 0x33333333u;
+  x = (x | (x >> 2)) & 0x0F0F0F0Fu;
+  x = (x | (x >> 4)) & 0x00FF00FFu;
+  x = (x | (x >> 8)) & 0x0000FFFFu;
+  return x;
+}
+
+std::uint32_t morton_interleave(std::uint32_t tile_row,
+                                std::uint32_t tile_col) {
+  // Row bits land in the higher bit of each pair: NW, NE, SW, SE order.
+  return (morton_spread(tile_row) << 1) | morton_spread(tile_col);
+}
+
+void morton_deinterleave(std::uint32_t index, std::uint32_t& tile_row,
+                         std::uint32_t& tile_col) {
+  tile_row = morton_compact(index >> 1);
+  tile_col = morton_compact(index);
+}
+
+std::int64_t morton_offset(const MortonLayout& layout, int i, int j) {
+  STRASSEN_ASSERT(i >= 0 && i < layout.padded_rows());
+  STRASSEN_ASSERT(j >= 0 && j < layout.padded_cols());
+  const std::uint32_t tr = static_cast<std::uint32_t>(i / layout.tile_rows);
+  const std::uint32_t tc = static_cast<std::uint32_t>(j / layout.tile_cols);
+  const int ii = i % layout.tile_rows;
+  const int jj = j % layout.tile_cols;
+  const std::int64_t tile = morton_interleave(tr, tc);
+  return tile * layout.tile_elems() +
+         static_cast<std::int64_t>(jj) * layout.tile_rows + ii;
+}
+
+}  // namespace strassen::layout

@@ -1,0 +1,63 @@
+// morton.hpp -- Morton (Z-order / quadtree) index arithmetic.
+//
+// The paper's layout (Fig. 1): divide the matrix into four quadrants, lay
+// them out in memory in the order NW, NE, SW, SE, recurse inside each
+// quadrant, and store the T x T tiles at the leaves in column-major order.
+//
+// For a tile at (tile_row tr, tile_col tc) the linear tile index is the bit
+// interleave of tr and tc with the ROW bit in the more significant position
+// of each pair -- that places NW(0,0)=0, NE(0,1)=1, SW(1,0)=2, SE(1,1)=3 at
+// every level, matching the paper's figure.
+#pragma once
+
+#include <cstdint>
+
+namespace strassen::layout {
+
+// Interleaves the low 16 bits of row/col tile coordinates into a Morton tile
+// index (row bits at odd positions, i.e. the higher bit of each pair).
+std::uint32_t morton_interleave(std::uint32_t tile_row, std::uint32_t tile_col);
+
+// Inverse of morton_interleave.
+void morton_deinterleave(std::uint32_t index, std::uint32_t& tile_row,
+                         std::uint32_t& tile_col);
+
+// Spreads the low 16 bits of x so that bit i moves to bit 2i ("0b0a0b"
+// pattern); the building block of the interleave.  Exposed for tests.
+std::uint32_t morton_spread(std::uint32_t x);
+
+// Inverse of morton_spread: collects even-position bits back together.
+std::uint32_t morton_compact(std::uint32_t x);
+
+// Description of a Morton-laid-out (possibly padded) matrix.
+//
+//   logical matrix:  rows x cols  (what the caller sees)
+//   padded matrix:   (tile_rows << depth) x (tile_cols << depth)
+//
+// The padded matrix is a complete quadtree of `depth` levels whose leaves are
+// tile_rows x tile_cols column-major tiles; pad elements hold zeros and
+// participate in (redundant) arithmetic, per the paper's S3.5.
+struct MortonLayout {
+  int rows = 0;       // logical rows
+  int cols = 0;       // logical cols
+  int tile_rows = 0;  // leaf tile height
+  int tile_cols = 0;  // leaf tile width
+  int depth = 0;      // quadtree depth (0 = single tile)
+
+  int padded_rows() const { return tile_rows << depth; }
+  int padded_cols() const { return tile_cols << depth; }
+  int tiles_per_side() const { return 1 << depth; }
+  std::int64_t tile_elems() const {
+    return static_cast<std::int64_t>(tile_rows) * tile_cols;
+  }
+  std::int64_t elems() const {
+    return tile_elems() * tiles_per_side() * tiles_per_side();
+  }
+};
+
+// Offset of logical element (i, j) inside a Morton buffer with this layout.
+// O(1); used by tests and by element-granularity accessors (not by the hot
+// kernels, which walk tiles directly).
+std::int64_t morton_offset(const MortonLayout& layout, int i, int j);
+
+}  // namespace strassen::layout

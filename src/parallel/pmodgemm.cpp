@@ -1,0 +1,196 @@
+#include "parallel/pmodgemm.hpp"
+
+#include <algorithm>
+
+#include "blas/level1.hpp"
+#include "common/aligned_buffer.hpp"
+#include "common/arena.hpp"
+#include "common/check.hpp"
+#include "core/winograd.hpp"
+#include "core/workspace.hpp"
+#include "layout/convert.hpp"
+
+namespace strassen::parallel {
+
+namespace {
+
+std::size_t round_up64(std::size_t n) { return (n + 63) / 64 * 64; }
+
+// One spawn level's temporaries: S1..S4 over A-quadrants, T1..T4 over
+// B-quadrants, P1..P7 over C-quadrants.
+std::size_t spawn_level_bytes(std::size_t qa, std::size_t qb, std::size_t qc,
+                              std::size_t elem) {
+  return 4 * round_up64(qa * elem) + 4 * round_up64(qb * elem) +
+         7 * round_up64(qc * elem);
+}
+
+// The parallel recursion.  Below the spawn levels this is exactly
+// core::winograd_recurse, so results are bit-identical to the serial code.
+void recurse(ThreadPool* pool, int spawn, double* C, const double* A,
+             const double* B, int tm, int tk, int tn, int depth) {
+  if (spawn <= 0 || depth == 0) {
+    Arena arena(
+        core::winograd_workspace_bytes(tm, tk, tn, depth, sizeof(double)));
+    RawMem mm;
+    core::winograd_recurse(mm, C, A, B, tm, tk, tn, depth, arena);
+    return;
+  }
+  const int d1 = depth - 1;
+  const std::size_t scale = std::size_t{1} << (2 * d1);
+  const std::size_t qa = static_cast<std::size_t>(tm) * tk * scale;
+  const std::size_t qb = static_cast<std::size_t>(tk) * tn * scale;
+  const std::size_t qc = static_cast<std::size_t>(tm) * tn * scale;
+
+  const double* A11 = A;
+  const double* A12 = A + qa;
+  const double* A21 = A + 2 * qa;
+  const double* A22 = A + 3 * qa;
+  const double* B11 = B;
+  const double* B12 = B + qb;
+  const double* B21 = B + 2 * qb;
+  const double* B22 = B + 3 * qb;
+  double* C11 = C;
+  double* C12 = C + qc;
+  double* C21 = C + 2 * qc;
+  double* C22 = C + 3 * qc;
+
+  Arena level(spawn_level_bytes(qa, qb, qc, sizeof(double)));
+  double* S1 = level.push<double>(qa);
+  double* S2 = level.push<double>(qa);
+  double* S3 = level.push<double>(qa);
+  double* S4 = level.push<double>(qa);
+  double* T1 = level.push<double>(qb);
+  double* T2 = level.push<double>(qb);
+  double* T3 = level.push<double>(qb);
+  double* T4 = level.push<double>(qb);  // holds T2 - B21 (= -T4 of the paper)
+  double* M1 = level.push<double>(qc);
+  double* M2 = level.push<double>(qc);
+  double* M3 = level.push<double>(qc);
+  double* M4 = level.push<double>(qc);
+  double* M5 = level.push<double>(qc);
+  double* M6 = level.push<double>(qc);
+  double* M7 = level.push<double>(qc);
+
+  RawMem mm;
+  // Operand sums (same expressions as the serial schedule).
+  blas::vadd(mm, qa, S1, A21, A22);
+  blas::vsub(mm, qa, S2, S1, A11);
+  blas::vsub(mm, qa, S3, A11, A21);
+  blas::vsub(mm, qa, S4, A12, S2);
+  blas::vsub(mm, qb, T1, B12, B11);
+  blas::vsub(mm, qb, T2, B22, T1);
+  blas::vsub(mm, qb, T3, B22, B12);
+  blas::vsub(mm, qb, T4, T2, B21);
+
+  // The seven independent products, forked.
+  {
+    TaskGroup group(pool);
+    auto fork = [&](double* dst, const double* a, const double* b) {
+      group.run([=] { recurse(pool, spawn - 1, dst, a, b, tm, tk, tn, d1); });
+    };
+    fork(M1, A11, B11);
+    fork(M2, A12, B21);
+    fork(M3, S4, B22);
+    fork(M4, A22, T4);  // A22 . (T2 - B21)
+    fork(M5, S1, T1);
+    fork(M6, S2, T2);
+    fork(M7, S3, T3);
+    group.wait();
+  }
+
+  // U-chain combination (commutatively identical to the serial in-place
+  // order, so results match bit for bit).
+  blas::vadd(mm, qc, C11, M1, M2);           // C11 = M1 + M2
+  blas::vadd_inplace(mm, qc, M1, M6);        // M1 := U2 = M1 + M6
+  blas::vadd_inplace(mm, qc, M7, M1);        // M7 := U3 = U2 + M7
+  blas::vsub(mm, qc, C21, M7, M4);           // C21 = U3 - M4
+  blas::vadd(mm, qc, C22, M7, M5);           // C22 = U3 + M5
+  blas::vadd_inplace(mm, qc, M1, M5);        // M1 := U4 = U2 + M5
+  blas::vadd(mm, qc, C12, M1, M3);           // C12 = U4 + M3
+}
+
+}  // namespace
+
+std::size_t pmodgemm_workspace_bytes(int tm, int tk, int tn, int depth,
+                                     int spawn_levels,
+                                     std::size_t elem_size) {
+  STRASSEN_REQUIRE(tm >= 1 && tk >= 1 && tn >= 1 && depth >= 0 &&
+                       spawn_levels >= 0,
+                   "bad workspace request");
+  if (spawn_levels == 0 || depth == 0)
+    return core::winograd_workspace_bytes(tm, tk, tn, depth, elem_size);
+  const std::size_t scale = std::size_t{1} << (2 * (depth - 1));
+  const std::size_t qa = static_cast<std::size_t>(tm) * tk * scale;
+  const std::size_t qb = static_cast<std::size_t>(tk) * tn * scale;
+  const std::size_t qc = static_cast<std::size_t>(tm) * tn * scale;
+  // All 7 child arenas can be live at once.
+  return spawn_level_bytes(qa, qb, qc, elem_size) +
+         7 * pmodgemm_workspace_bytes(tm, tk, tn, depth - 1, spawn_levels - 1,
+                                      elem_size);
+}
+
+void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
+              double alpha, const double* A, int lda, const double* B, int ldb,
+              double beta, double* C, int ldc, const ParallelOptions& opt) {
+  STRASSEN_REQUIRE(m >= 0 && n >= 0 && k >= 0, "negative dimension");
+  STRASSEN_REQUIRE(opt.spawn_levels >= 0, "negative spawn_levels");
+  if (m == 0 || n == 0) return;
+  if (alpha == 0.0 || k == 0) {
+    RawMem mm;
+    blas::scale_view(mm, m, n, C, ldc, beta);
+    return;
+  }
+  const layout::GemmPlan plan = layout::plan_gemm(m, k, n, opt.tiles);
+  if (plan.direct || !plan.feasible) {
+    // Thin or highly rectangular shapes: defer to the serial driver (the
+    // split path's sub-products are typically small; parallelizing them is
+    // future work, as in the paper's own outlook for rectangular inputs).
+    core::ModgemmOptions serial;
+    serial.tiles = opt.tiles;
+    core::modgemm(opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc,
+                  serial);
+    return;
+  }
+
+  const layout::MortonLayout la{m, k, plan.m.tile, plan.k.tile, plan.depth};
+  const layout::MortonLayout lb{k, n, plan.k.tile, plan.n.tile, plan.depth};
+  const layout::MortonLayout lc{m, n, plan.m.tile, plan.n.tile, plan.depth};
+  AlignedBuffer abuf(static_cast<std::size_t>(la.elems()) * sizeof(double));
+  AlignedBuffer bbuf(static_cast<std::size_t>(lb.elems()) * sizeof(double));
+  AlignedBuffer cbuf(static_cast<std::size_t>(lc.elems()) * sizeof(double));
+  double* Am = abuf.as<double>();
+  double* Bm = bbuf.as<double>();
+  double* Cm = cbuf.as<double>();
+
+  // Parallel conversions: fan out over Morton tile ranges.
+  const auto convert_in = [&](const layout::MortonLayout& l, double* dst,
+                              Op op, const double* src, int ld) {
+    const std::int64_t tiles =
+        static_cast<std::int64_t>(l.tiles_per_side()) * l.tiles_per_side();
+    parallel_for(pool, 0, tiles, /*min_grain=*/8,
+                 [&](std::int64_t t0, std::int64_t t1) {
+                   RawMem mm;
+                   layout::to_morton_range(mm, l, dst, op, src, ld,
+                                           static_cast<int>(t0),
+                                           static_cast<int>(t1));
+                 });
+  };
+  convert_in(la, Am, opa, A, lda);
+  convert_in(lb, Bm, opb, B, ldb);
+
+  const int spawn = std::min(opt.spawn_levels, plan.depth);
+  recurse(pool, spawn, Cm, Am, Bm, plan.m.tile, plan.k.tile, plan.n.tile,
+          plan.depth);
+
+  const std::int64_t ctiles =
+      static_cast<std::int64_t>(lc.tiles_per_side()) * lc.tiles_per_side();
+  parallel_for(pool, 0, ctiles, /*min_grain=*/8,
+               [&](std::int64_t t0, std::int64_t t1) {
+                 RawMem mm;
+                 layout::from_morton_range(mm, lc, Cm, alpha, C, ldc, beta,
+                                           static_cast<int>(t0),
+                                           static_cast<int>(t1));
+               });
+}
+
+}  // namespace strassen::parallel

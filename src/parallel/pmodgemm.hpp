@@ -1,0 +1,53 @@
+// pmodgemm.hpp -- task-parallel MODGEMM.
+//
+// The seven Strassen-Winograd products of one recursion level are mutually
+// independent: they read the input quadrants and the S/T operand sums, and
+// only the U-chain combination afterwards has cross-product dependencies.
+// This module exploits exactly that structure:
+//
+//   * at each of the top `spawn_levels` recursion levels, the 8 operand sums
+//     are formed into dedicated temporaries (S1..S4, T1..T4), the 7 products
+//     are submitted to a thread pool (each recursing independently, with its
+//     own arena), and the quadrant combination runs after the join;
+//   * below the spawn levels each task runs the serial Morton recursion of
+//     core/winograd.hpp unchanged -- so the arithmetic performed (and hence
+//     the result, bit for bit) is IDENTICAL to the serial algorithm;
+//   * the layout conversions fan out over Morton tile ranges (each tile is
+//     written independently).
+//
+// Memory: a spawn level keeps all 15 temporaries live at once
+// (4 A-quadrants + 4 B-quadrants + 7 C-quadrants ~ 3.75x the quadrant set of
+// the serial schedule) -- the classic space-for-parallelism trade.  Use
+// spawn_levels = 1 (7-way) or 2 (49-way); more is rarely useful.
+//
+// Restrictions: RawMem only (the cache simulator is not thread-safe by
+// design -- a traced run must be a deterministic serial address stream), and
+// shapes must plan at a single depth (highly rectangular shapes fall back to
+// the serial splitter path).
+#pragma once
+
+#include "common/matrix.hpp"
+#include "core/modgemm.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace strassen::parallel {
+
+struct ParallelOptions {
+  layout::TileOptions tiles{};
+  int spawn_levels = 1;  // recursion levels that fork (0 = fully serial)
+};
+
+// Bytes of spawn-level temporaries + per-task arenas pmodgemm needs beyond
+// the Morton buffers themselves (informational; allocation is internal).
+std::size_t pmodgemm_workspace_bytes(int tm, int tk, int tn, int depth,
+                                     int spawn_levels, std::size_t elem_size);
+
+// C <- alpha * op(A).op(B) + beta * C, using `pool` for parallelism.
+// pool == nullptr runs the whole pipeline inline (useful for tests).
+// Bit-for-bit identical to core::modgemm for every input.
+void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
+              double alpha, const double* A, int lda, const double* B, int ldb,
+              double beta, double* C, int ldc,
+              const ParallelOptions& opt = {});
+
+}  // namespace strassen::parallel

@@ -1,0 +1,121 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.hpp"
+
+namespace strassen::parallel {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  STRASSEN_REQUIRE(task != nullptr, "null task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  if (pool_ == nullptr) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_->submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mutex_);
+    --pending_;
+    if (pending_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  for (;;) {
+    // Help-first: drain queued work on this thread before blocking, so a
+    // worker waiting on its children never starves them of a thread.
+    if (pool_ != nullptr) {
+      while (pool_->try_run_one()) {
+      }
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (pending_ == 0) return;
+    // Our tasks may be in flight on other workers (queue empty, pending
+    // nonzero); bounded wait covers the race with new queue arrivals.
+    cv_.wait_for(lock, std::chrono::milliseconds(1),
+                 [this] { return pending_ == 0; });
+    if (pending_ == 0) return;
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::int64_t begin, std::int64_t end,
+                  std::int64_t min_grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  STRASSEN_REQUIRE(min_grain >= 1, "grain must be positive");
+  const std::int64_t count = end - begin;
+  if (count <= 0) return;
+  const int width = pool ? pool->thread_count() : 1;
+  if (width <= 1 || count <= min_grain) {
+    fn(begin, end);
+    return;
+  }
+  const std::int64_t chunks =
+      std::min<std::int64_t>(width, (count + min_grain - 1) / min_grain);
+  const std::int64_t per = (count + chunks - 1) / chunks;
+  TaskGroup group(pool);
+  for (std::int64_t c = begin; c < end; c += per) {
+    const std::int64_t hi = std::min(end, c + per);
+    group.run([&fn, c, hi] { fn(c, hi); });
+  }
+  group.wait();
+}
+
+}  // namespace strassen::parallel

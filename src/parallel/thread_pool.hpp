@@ -1,0 +1,86 @@
+// thread_pool.hpp -- a small fixed-size worker pool for task parallelism.
+//
+// The paper's future work asks for further performance on top of the
+// memory-friendly algorithm; the natural next step on a multicore host is to
+// run the seven independent Strassen-Winograd products concurrently (they
+// only synchronize at the U-chain combination).  This pool provides exactly
+// the primitives that needs: submit() for fire-and-forget tasks and
+// TaskGroup for fork/join.
+//
+// Deliberately simple: one mutex-protected FIFO, N worker threads, no work
+// stealing -- the library spawns a handful of coarse tasks (7 or 49 products,
+// or tile-range chunks of a conversion), so queue contention is negligible.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace strassen::parallel {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (0 = std::thread::hardware_concurrency()).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task.  Tasks must not throw (enforced by wrapping; a throwing
+  // task terminates, as an escaped exception on a worker thread would).
+  void submit(std::function<void()> task);
+
+  // Pops one queued task and runs it on the CALLING thread; returns false if
+  // the queue was empty.  TaskGroup::wait() uses this to "help" instead of
+  // blocking, which makes nested fork/join (spawn_levels >= 2) deadlock-free
+  // even on a single-thread pool.
+  bool try_run_one();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+// Fork/join helper: run() submits to the pool (or runs inline if no pool),
+// wait() blocks until every task launched through this group finished.
+class TaskGroup {
+ public:
+  // pool == nullptr makes run() execute inline -- callers can treat the
+  // serial and parallel paths uniformly.
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> task);
+  void wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+};
+
+// Splits [begin, end) into roughly pool-width chunks and applies
+// fn(chunk_begin, chunk_end) in parallel.  Runs inline when pool is null or
+// single-threaded or when the range is smaller than min_grain.
+void parallel_for(ThreadPool* pool, std::int64_t begin, std::int64_t end,
+                  std::int64_t min_grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace strassen::parallel

@@ -1,0 +1,144 @@
+#include "trace/cache.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace strassen::trace {
+
+namespace {
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  STRASSEN_REQUIRE(is_pow2(config.block_bytes), "block size must be 2^k");
+  STRASSEN_REQUIRE(config.associativity >= 1, "associativity must be >= 1");
+  STRASSEN_REQUIRE(config.size_bytes %
+                           (config.block_bytes * config.associativity) ==
+                       0,
+                   "cache size must be a whole number of sets");
+  num_sets_ =
+      config.size_bytes / (config.block_bytes * config.associativity);
+  STRASSEN_REQUIRE(is_pow2(num_sets_), "set count must be a power of two");
+  block_shift_ = std::countr_zero(config.block_bytes);
+  ways_.assign(num_sets_ * config.associativity, kEmpty);
+  shadow_capacity_ = config.size_bytes / config.block_bytes;
+}
+
+bool Cache::access(std::uintptr_t addr, bool is_write) {
+  ++accesses_;
+  if (is_write) ++writes_;
+  const std::uint64_t block = static_cast<std::uint64_t>(addr) >> block_shift_;
+  const std::size_t set = static_cast<std::size_t>(block) & (num_sets_ - 1);
+  const int assoc = config_.associativity;
+  std::uint64_t* w = &ways_[set * assoc];
+
+  bool hit = false;
+  if (assoc == 1) {  // direct-mapped fast path (the paper's Fig. 9 geometry)
+    hit = (w[0] == block);
+    if (!hit) {
+      w[0] = block;
+      ++misses_;
+    }
+  } else {
+    for (int i = 0; i < assoc; ++i) {
+      if (w[i] == block) {
+        // Move to MRU position (true LRU ordering).
+        for (int j = i; j > 0; --j) w[j] = w[j - 1];
+        w[0] = block;
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) {
+      ++misses_;
+      for (int j = assoc - 1; j > 0; --j) w[j] = w[j - 1];
+      w[0] = block;
+    }
+  }
+
+  if (config_.classify) {
+    // Shadow hit status must be sampled BEFORE touching the shadow model.
+    const bool shadow_hit = shadow_index_.find(block) != shadow_index_.end();
+    shadow_touch(block);
+    if (!hit) classify_miss_tally(block, shadow_hit);
+  }
+  return hit;
+}
+
+void Cache::shadow_touch(std::uint64_t block) {
+  auto it = shadow_index_.find(block);
+  if (it != shadow_index_.end()) {
+    shadow_lru_.splice(shadow_lru_.begin(), shadow_lru_, it->second);
+    return;
+  }
+  shadow_lru_.push_front(block);
+  shadow_index_[block] = shadow_lru_.begin();
+  if (shadow_lru_.size() > shadow_capacity_) {
+    shadow_index_.erase(shadow_lru_.back());
+    shadow_lru_.pop_back();
+  }
+}
+
+void Cache::classify_miss_tally(std::uint64_t block, bool shadow_hit) {
+  if (ever_seen_.insert(block).second) {
+    ++breakdown_.compulsory;  // first touch of this block ever
+  } else if (!shadow_hit) {
+    ++breakdown_.capacity;  // even full associativity would have missed
+  } else {
+    ++breakdown_.conflict;  // only the set mapping missed
+  }
+}
+
+void Cache::reset_stats() {
+  accesses_ = 0;
+  misses_ = 0;
+  writes_ = 0;
+  breakdown_ = MissBreakdown{};
+}
+
+void Cache::flush() {
+  reset_stats();
+  ways_.assign(ways_.size(), kEmpty);
+  ever_seen_.clear();
+  shadow_lru_.clear();
+  shadow_index_.clear();
+}
+
+CacheHierarchy::CacheHierarchy(std::string name,
+                               std::vector<CacheConfig> levels,
+                               double memory_latency)
+    : name_(std::move(name)), memory_latency_(memory_latency) {
+  STRASSEN_REQUIRE(!levels.empty(), "hierarchy needs at least one level");
+  levels_.reserve(levels.size());
+  for (const auto& cfg : levels) levels_.emplace_back(cfg);
+}
+
+void CacheHierarchy::access(std::uintptr_t addr, bool is_write) {
+  for (auto& level : levels_) {
+    if (level.access(addr, is_write)) return;
+  }
+  ++memory_accesses_;
+}
+
+void CacheHierarchy::reset_stats() {
+  for (auto& level : levels_) level.reset_stats();
+  memory_accesses_ = 0;
+}
+
+void CacheHierarchy::flush() {
+  for (auto& level : levels_) level.flush();
+  memory_accesses_ = 0;
+}
+
+double CacheHierarchy::estimated_cycles() const {
+  double cycles = 0.0;
+  for (const auto& level : levels_) {
+    const std::uint64_t hits = level.accesses() - level.misses();
+    cycles += static_cast<double>(hits) * level.config().hit_latency;
+  }
+  cycles += static_cast<double>(memory_accesses_) * memory_latency_;
+  return cycles;
+}
+
+}  // namespace strassen::trace

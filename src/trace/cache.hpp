@@ -1,0 +1,134 @@
+// cache.hpp -- trace-driven cache simulation (the ATOM + cache-sim stand-in).
+//
+// The paper collected full address traces with ATOM binary instrumentation
+// and replayed them through a cache simulator (16KB direct-mapped, 32-byte
+// blocks for Fig. 9).  Here the address stream comes from the MemModel
+// template hook (common/memmodel.hpp): running any kernel with a TracingMem
+// (trace/memmodel.hpp) drives every data load/store through a CacheHierarchy.
+//
+// The model: per level, a set-associative cache with true-LRU replacement,
+// write-allocate, and (for multi-level hierarchies) misses forwarded to the
+// next level.  Writebacks are not modeled -- miss RATIOS, which is what the
+// paper reports, do not depend on them.  A simple latency model turns the
+// per-level hit counts into an estimated memory-system cost, which the
+// platform-emulation bench (Fig. 6) uses to contrast the DEC Alpha and Sun
+// Ultra cache geometries on identical address streams.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace strassen::trace {
+
+struct CacheConfig {
+  std::string name = "L1";
+  std::size_t size_bytes = 16 * 1024;
+  std::size_t block_bytes = 32;
+  int associativity = 1;       // 1 = direct-mapped
+  double hit_latency = 1.0;    // cycles charged per access that HITS here
+  // Enable three-C's miss classification (the paper's CProf analysis,
+  // S4.2): each miss is attributed as compulsory (first touch of the
+  // block), capacity (a fully-associative LRU cache of the same size would
+  // also miss), or conflict (only this cache's set mapping misses).  Costs
+  // a shadow fully-associative model per access; off by default.
+  bool classify = false;
+};
+
+// Three-C's attribution of the misses of one cache level.
+struct MissBreakdown {
+  std::uint64_t compulsory = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t conflict = 0;
+  std::uint64_t total() const { return compulsory + capacity + conflict; }
+};
+
+// One level of set-associative cache with LRU replacement.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  // Touches `addr`; returns true on hit.  On miss the block is installed.
+  bool access(std::uintptr_t addr, bool is_write);
+
+  void reset_stats();
+  // Drops all cached blocks and statistics (cold restart).
+  void flush();
+
+  const CacheConfig& config() const { return config_; }
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t writes() const { return writes_; }
+  double miss_ratio() const {
+    return accesses_ ? static_cast<double>(misses_) / accesses_ : 0.0;
+  }
+  // Valid only when config().classify is set; breakdown.total() == misses().
+  const MissBreakdown& breakdown() const { return breakdown_; }
+
+ private:
+  // Attributes a miss to one of the three C's given the shadow-model state.
+  void classify_miss_tally(std::uint64_t block, bool shadow_hit);
+  // Keeps the shadow fully-associative LRU model in sync (hits and misses).
+  void shadow_touch(std::uint64_t block);
+
+  CacheConfig config_;
+  std::size_t num_sets_;
+  std::size_t block_shift_;
+  // ways_[set * associativity + way] = block tag; kEmpty when invalid.
+  // Way order within a set is LRU: way 0 is most recently used.
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+  std::vector<std::uint64_t> ways_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writes_ = 0;
+
+  // --- classification state (allocated only when config_.classify) ---
+  MissBreakdown breakdown_;
+  std::unordered_set<std::uint64_t> ever_seen_;  // compulsory detection
+  // Shadow fully-associative LRU cache of the same capacity: front = MRU.
+  std::size_t shadow_capacity_ = 0;
+  std::list<std::uint64_t> shadow_lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      shadow_index_;
+};
+
+// An inclusive multi-level hierarchy: every access touches L1; L1 misses
+// probe L2; and so on.  Accesses missing every level are charged
+// memory_latency.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(std::string name, std::vector<CacheConfig> levels,
+                 double memory_latency = 60.0);
+
+  void access(std::uintptr_t addr, bool is_write);
+
+  void reset_stats();
+  void flush();
+
+  const std::string& name() const { return name_; }
+  std::size_t num_levels() const { return levels_.size(); }
+  const Cache& level(std::size_t i) const { return levels_[i]; }
+  std::uint64_t total_accesses() const {
+    return levels_.empty() ? 0 : levels_[0].accesses();
+  }
+  // Misses that fell through the last level to memory.
+  std::uint64_t memory_accesses() const { return memory_accesses_; }
+  double l1_miss_ratio() const {
+    return levels_.empty() ? 0.0 : levels_[0].miss_ratio();
+  }
+  // Latency-weighted cost of the recorded access stream, in model cycles:
+  // each access is charged the hit latency of the level that served it
+  // (memory_latency if none did).
+  double estimated_cycles() const;
+
+ private:
+  std::string name_;
+  std::vector<Cache> levels_;
+  double memory_latency_;
+  std::uint64_t memory_accesses_ = 0;
+};
+
+}  // namespace strassen::trace

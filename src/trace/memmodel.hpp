@@ -1,0 +1,37 @@
+// trace/memmodel.hpp -- the tracing MemModel: kernels under cache simulation.
+//
+// Drop-in for RawMem (common/memmodel.hpp): performs the access AND drives
+// its byte address through a CacheHierarchy.  Instantiating any kernel in
+// the library with TracingMem reproduces the paper's ATOM methodology at the
+// source level: the full data-reference stream of the real computation, in
+// execution order, against a configurable cache.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/cache.hpp"
+
+namespace strassen::trace {
+
+class TracingMem {
+ public:
+  explicit TracingMem(CacheHierarchy& hierarchy) : hierarchy_(&hierarchy) {}
+
+  template <class T>
+  T load(const T* p) {
+    hierarchy_->access(reinterpret_cast<std::uintptr_t>(p), /*is_write=*/false);
+    return *p;
+  }
+  template <class T>
+  void store(T* p, T v) {
+    hierarchy_->access(reinterpret_cast<std::uintptr_t>(p), /*is_write=*/true);
+    *p = v;
+  }
+
+  CacheHierarchy& hierarchy() { return *hierarchy_; }
+
+ private:
+  CacheHierarchy* hierarchy_;
+};
+
+}  // namespace strassen::trace

@@ -1,0 +1,37 @@
+#include "trace/presets.hpp"
+
+namespace strassen::trace {
+
+CacheHierarchy paper_fig9_cache() {
+  return CacheHierarchy("fig9-16KB-DM",
+                        {CacheConfig{"L1", 16 * 1024, 32, 1, 1.0}},
+                        /*memory_latency=*/60.0);
+}
+
+CacheHierarchy paper_fig9_cache_classified() {
+  CacheConfig l1{"L1", 16 * 1024, 32, 1, 1.0};
+  l1.classify = true;
+  return CacheHierarchy("fig9-16KB-DM+3C", {l1}, /*memory_latency=*/60.0);
+}
+
+CacheHierarchy alpha_miata_hierarchy() {
+  return CacheHierarchy("alpha-miata",
+                        {CacheConfig{"L1", 8 * 1024, 32, 1, 1.0},
+                         CacheConfig{"L2", 96 * 1024, 64, 3, 6.0},
+                         CacheConfig{"L3", 2 * 1024 * 1024, 64, 1, 20.0}},
+                        /*memory_latency=*/80.0);
+}
+
+CacheHierarchy ultra60_hierarchy() {
+  return CacheHierarchy("ultra-60",
+                        {CacheConfig{"L1", 16 * 1024, 32, 1, 1.0},
+                         CacheConfig{"L2", 2 * 1024 * 1024, 64, 1, 10.0}},
+                        /*memory_latency=*/70.0);
+}
+
+CacheHierarchy alpha_l1_only() {
+  return CacheHierarchy("alpha-L1", {CacheConfig{"L1", 8 * 1024, 32, 1, 1.0}},
+                        /*memory_latency=*/60.0);
+}
+
+}  // namespace strassen::trace

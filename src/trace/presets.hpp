@@ -1,0 +1,40 @@
+// presets.hpp -- cache geometries of the paper's experimental platforms.
+//
+// The SC'98 evaluation ran on two machines whose cache organizations drive
+// all of its architecture-dependent effects:
+//
+//   * DEC Alpha Miata (21164, 500 MHz): 8KB direct-mapped L1, 96KB 3-way L2,
+//     2MB direct-mapped board L3.
+//   * Sun Ultra 60 (UltraSPARC II, 300 MHz): 16KB direct-mapped L1,
+//     2MB direct-mapped L2.
+//
+// plus the simulated cache used for Fig. 9: 16KB direct-mapped, 32-byte
+// blocks.  We cannot run on that hardware, so these presets configure the
+// simulator with the same geometries; the cross-platform comparisons in the
+// paper are cache-geometry effects, which these reproduce (see DESIGN.md,
+// substitutions).
+#pragma once
+
+#include "trace/cache.hpp"
+
+namespace strassen::trace {
+
+// The Fig. 9 simulation target: 16KB direct-mapped, 32-byte blocks.
+CacheHierarchy paper_fig9_cache();
+
+// Same geometry with three-C's miss classification enabled -- the stand-in
+// for the paper's CProf analysis (S4.2), which attributed the n=513 miss
+// drop to conflict misses.  Slower to simulate than the plain preset.
+CacheHierarchy paper_fig9_cache_classified();
+
+// DEC Alpha 21164 (Miata) three-level hierarchy.
+CacheHierarchy alpha_miata_hierarchy();
+
+// Sun UltraSPARC II (Ultra 60) two-level hierarchy.
+CacheHierarchy ultra60_hierarchy();
+
+// The Alpha's 8KB direct-mapped L1 alone (used by the Fig. 3 stability
+// experiment, where the paper's self-interference argument concerns L1).
+CacheHierarchy alpha_l1_only();
+
+}  // namespace strassen::trace

@@ -1,0 +1,115 @@
+#include "tune/autotune.hpp"
+
+#include <algorithm>
+
+#include "blas/gemm.hpp"
+#include "blas/kernels.hpp"
+#include "common/check.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "core/modgemm.hpp"
+
+namespace strassen::tune {
+
+namespace {
+
+// MFLOPS of the contiguous T x T leaf multiply.
+double leaf_mflops(int tile, int reps) {
+  Rng rng(static_cast<std::uint64_t>(tile));
+  Matrix<double> A(tile, tile), B(tile, tile), C(tile, tile);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  MeasureOptions opt;
+  opt.outer_reps = reps;
+  // Aim for ~1ms of work per repetition.
+  opt.inner_reps = std::max(
+      1, static_cast<int>(2e6 / static_cast<double>(gemm_flops(tile, tile,
+                                                               tile))));
+  const double secs = measure(
+      [&] {
+        blas::gemm_leaf(tile, tile, tile, A.data(), A.ld(), B.data(), B.ld(),
+                        C.data(), C.ld(), blas::LeafMode::Overwrite);
+      },
+      opt);
+  return static_cast<double>(gemm_flops(tile, tile, tile)) / secs * 1e-6;
+}
+
+}  // namespace
+
+AutotuneResult autotune(const AutotuneOptions& opt) {
+  STRASSEN_REQUIRE(!opt.candidate_tiles.empty(), "no candidate tiles");
+  STRASSEN_REQUIRE(opt.tolerance > 0.0 && opt.tolerance <= 1.0,
+                   "tolerance must be in (0, 1]");
+  AutotuneResult result;
+
+  // --- leaf survey ----------------------------------------------------
+  double best_rate = 0.0;
+  int best_tile = opt.candidate_tiles.front();
+  for (int tile : opt.candidate_tiles) {
+    const double rate = leaf_mflops(tile, opt.repetitions);
+    result.leaf_survey.emplace_back(tile, rate);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best_tile = tile;
+    }
+  }
+  // Range = candidates whose rate is within tolerance of the best; Morton
+  // contiguity is what keeps this window wide (paper Fig. 3).
+  int lo = best_tile, hi = best_tile;
+  for (const auto& [tile, rate] : result.leaf_survey) {
+    if (rate >= opt.tolerance * best_rate) {
+      lo = std::min(lo, tile);
+      hi = std::max(hi, tile);
+    }
+  }
+  // The planner needs max >= 2*min so consecutive depth windows overlap.
+  if (hi < 2 * lo) lo = std::max(1, hi / 2);
+
+  result.tiles.min_tile = lo;
+  result.tiles.max_tile = hi;
+  result.tiles.preferred_tile = best_tile;
+
+  // --- crossover probe --------------------------------------------------
+  // Force at least one Strassen level with a permissive threshold and find
+  // where it starts paying.
+  int crossover = 0;
+  for (int n : opt.crossover_sizes) {
+    Rng rng(static_cast<std::uint64_t>(n) * 3 + 1);
+    Matrix<double> A(n, n), B(n, n), C(n, n);
+    rng.fill_uniform(A.storage());
+    rng.fill_uniform(B.storage());
+    MeasureOptions mopt;
+    mopt.outer_reps = opt.repetitions;
+    mopt.inner_reps = n <= 128 ? 10 : 3;
+    const double t_conv = measure(
+        [&] {
+          blas::gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), A.ld(),
+                     B.data(), B.ld(), 0.0, C.data(), C.ld());
+        },
+        mopt);
+    core::ModgemmOptions forced;
+    forced.tiles.min_tile = std::max(8, lo / 2);
+    forced.tiles.max_tile = hi;
+    forced.tiles.preferred_tile = best_tile;
+    forced.tiles.direct_threshold = std::max(8, n / 4);  // force recursion
+    const double t_str = measure(
+        [&] {
+          core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(),
+                        A.ld(), B.data(), B.ld(), 0.0, C.data(), C.ld(),
+                        forced);
+        },
+        mopt);
+    result.crossover_probe.push_back({n, t_conv, t_str});
+    if (crossover == 0 && t_str < t_conv) crossover = n;
+  }
+  // Below the crossover, Strassen loses: run those sizes direct.  Clamp to
+  // sane bounds; default to the paper's 64 when the probe never crossed.
+  if (crossover == 0) crossover = 2 * opt.crossover_sizes.back();
+  result.tiles.direct_threshold =
+      std::clamp(crossover / 2, result.tiles.max_tile, 512);
+  return result;
+}
+
+}  // namespace strassen::tune

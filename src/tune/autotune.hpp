@@ -1,0 +1,55 @@
+// autotune.hpp -- empirical selection of the planner's machine parameters.
+//
+// The paper observes (S3.1) that every Strassen implementation uses an
+// EMPIRICALLY chosen recursion truncation point -- an order of magnitude
+// above the ~16 that operation counting predicts, because the real constant
+// is memory behaviour.  The paper hard-codes the values for its two machines
+// (tile range 16..64, DGEFMM cutoff 64).  This module measures them on the
+// host instead:
+//
+//   * leaf survey   -- MFLOPS of the contiguous leaf kernel across candidate
+//                      tile sizes; the best becomes preferred_tile, and the
+//                      range is clipped to tiles within `tolerance` of the
+//                      best (Morton storage is what makes this a RANGE
+//                      rather than a point, per Fig. 3);
+//   * crossover     -- smallest problem size where one Strassen level beats
+//                      the conventional blocked algorithm; sizes below it
+//                      run direct (direct_threshold).
+//
+// Measurement noise makes this advisory: results are clamped to sane bounds
+// and the defaults are used where the survey is inconclusive.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "layout/plan.hpp"
+
+namespace strassen::tune {
+
+struct AutotuneOptions {
+  std::vector<int> candidate_tiles{16, 24, 32, 40, 48, 56, 64};
+  // Tiles within this factor of the best tile's MFLOPS stay in the range.
+  double tolerance = 0.85;
+  // Problem sizes probed for the Strassen/conventional crossover.
+  std::vector<int> crossover_sizes{64, 96, 128, 160, 192, 256};
+  int repetitions = 3;  // timing repetitions per probe
+};
+
+struct AutotuneResult {
+  layout::TileOptions tiles;  // ready to drop into ModgemmOptions
+  // Diagnostics: (tile, MFLOPS) pairs from the leaf survey.
+  std::vector<std::pair<int, double>> leaf_survey;
+  // (n, conventional seconds, strassen seconds) from the crossover probe.
+  struct CrossoverPoint {
+    int n;
+    double conventional_seconds;
+    double strassen_seconds;
+  };
+  std::vector<CrossoverPoint> crossover_probe;
+};
+
+// Runs the survey.  Costs a fraction of a second of measurement.
+AutotuneResult autotune(const AutotuneOptions& opt = {});
+
+}  // namespace strassen::tune

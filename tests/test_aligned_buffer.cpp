@@ -1,0 +1,77 @@
+// Unit tests for AlignedBuffer (src/common/aligned_buffer).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "common/aligned_buffer.hpp"
+
+namespace strassen {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size_bytes(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AllocatesRequestedSize) {
+  AlignedBuffer b(1000);
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.size_bytes(), 1000u);
+  EXPECT_NE(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, DefaultAlignmentIsCacheLine) {
+  for (std::size_t bytes : {1u, 63u, 64u, 100u, 4096u}) {
+    AlignedBuffer b(bytes);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 64, 0u)
+        << "bytes=" << bytes;
+  }
+}
+
+TEST(AlignedBuffer, HonorsLargerAlignment) {
+  AlignedBuffer b(100, 4096);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 4096, 0u);
+}
+
+TEST(AlignedBuffer, RejectsNonPowerOfTwoAlignment) {
+  EXPECT_THROW(AlignedBuffer(16, 48), std::invalid_argument);
+  EXPECT_THROW(AlignedBuffer(16, 0), std::invalid_argument);
+}
+
+TEST(AlignedBuffer, ZeroFills) {
+  AlignedBuffer b(64 * sizeof(double));
+  auto* d = b.as<double>();
+  for (int i = 0; i < 64; ++i) d[i] = 1.5;
+  b.zero();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(d[i], 0.0);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(256);
+  void* p = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move) - tests the move
+  AlignedBuffer c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(AlignedBuffer, ResetReleases) {
+  AlignedBuffer b(128);
+  b.reset();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size_bytes(), 0u);
+}
+
+TEST(AlignedBuffer, ZeroSizeIsEmpty) {
+  AlignedBuffer b(0);
+  EXPECT_TRUE(b.empty());
+}
+
+}  // namespace
+}  // namespace strassen

@@ -1,0 +1,91 @@
+// Unit tests for the stack allocator (src/common/arena).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <new>
+
+#include "common/arena.hpp"
+
+namespace strassen {
+namespace {
+
+TEST(Arena, PushReturnsAlignedDistinctRegions) {
+  Arena a(4096);
+  double* p1 = a.push<double>(10);
+  double* p2 = a.push<double>(10);
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p1) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p2) % 64, 0u);
+  // Regions must not overlap.
+  EXPECT_GE(p2, p1 + 10);
+}
+
+TEST(Arena, PopReleasesToMarker) {
+  Arena a(4096);
+  const Arena::Marker m = a.mark();
+  a.push<double>(100);
+  EXPECT_GT(a.used(), 0u);
+  a.pop(m);
+  EXPECT_EQ(a.used(), 0u);
+}
+
+TEST(Arena, ReusesSpaceAfterPop) {
+  Arena a(1024);
+  const Arena::Marker m = a.mark();
+  double* p1 = a.push<double>(64);
+  a.pop(m);
+  double* p2 = a.push<double>(64);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(Arena, OverflowThrowsBadAlloc) {
+  Arena a(256);
+  EXPECT_THROW(a.push<double>(1024), std::bad_alloc);
+}
+
+TEST(Arena, PeakTracksHighWaterMark) {
+  Arena a(4096);
+  {
+    Arena::Frame f(a);
+    a.push<double>(100);  // 800 bytes -> rounded to 832
+    {
+      Arena::Frame g(a);
+      a.push<double>(100);
+    }
+    a.push<double>(10);
+  }
+  EXPECT_EQ(a.used(), 0u);
+  EXPECT_GE(a.peak(), 1600u);
+  EXPECT_LE(a.peak(), 4096u);
+}
+
+TEST(Arena, FrameReleasesOnScopeExit) {
+  Arena a(4096);
+  {
+    Arena::Frame f(a);
+    a.push<int>(100);
+    EXPECT_GT(a.used(), 0u);
+  }
+  EXPECT_EQ(a.used(), 0u);
+}
+
+TEST(Arena, NestedFramesUnwindInOrder) {
+  Arena a(8192);
+  Arena::Frame f1(a);
+  a.push<char>(64);
+  const std::size_t after1 = a.used();
+  {
+    Arena::Frame f2(a);
+    a.push<char>(128);
+    EXPECT_GT(a.used(), after1);
+  }
+  EXPECT_EQ(a.used(), after1);
+}
+
+TEST(Arena, CapacityReflectsConstruction) {
+  Arena a(1000);
+  EXPECT_GE(a.capacity(), 1000u);
+}
+
+}  // namespace
+}  // namespace strassen

@@ -1,0 +1,101 @@
+// Unit tests for the terminal chart renderer (src/common/ascii_plot).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/ascii_plot.hpp"
+
+namespace strassen {
+namespace {
+
+std::vector<double> iota(int n) {
+  std::vector<double> v(n);
+  for (int i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+TEST(AsciiPlot, ContainsMarkersAxisAndLegend) {
+  PlotSeries s{"ratio", '*', {1.0, 2.0, 3.0, 2.0, 1.0}};
+  const std::string out = render_plot(iota(5), {s});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("* = ratio"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);  // axis corner
+}
+
+TEST(AsciiPlot, ExtremesLandOnTopAndBottomRows) {
+  PlotOptions opt;
+  opt.width = 20;
+  opt.height = 5;
+  PlotSeries s{"v", 'o', {0.0, 10.0}};
+  const std::string out = render_plot({0.0, 1.0}, {s}, opt);
+  // Split into lines; the first plot row must contain the max marker, the
+  // last plot row (height-1) the min marker.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t nl = out.find('\n', pos);
+    if (nl == std::string::npos) break;
+    lines.push_back(out.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 5u);
+  EXPECT_NE(lines[0].find('o'), std::string::npos);
+  EXPECT_NE(lines[4].find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesKeepTheirMarkers) {
+  PlotSeries a{"a", 'M', {1, 1, 1}};
+  PlotSeries b{"b", 'D', {3, 3, 3}};
+  const std::string out = render_plot(iota(3), {a, b});
+  EXPECT_NE(out.find('M'), std::string::npos);
+  EXPECT_NE(out.find('D'), std::string::npos);
+}
+
+TEST(AsciiPlot, ReferenceLineDrawn) {
+  PlotOptions opt;
+  opt.reference = 1.0;
+  PlotSeries s{"x", '*', {0.5, 1.5}};
+  const std::string out = render_plot({0.0, 1.0}, {s}, opt);
+  // A run of dashes from the reference line (longer than any label).
+  EXPECT_NE(out.find("--------"), std::string::npos);
+}
+
+TEST(AsciiPlot, FlatSeriesDoesNotDivideByZero) {
+  PlotSeries s{"flat", '*', {2.0, 2.0, 2.0}};
+  const std::string out = render_plot(iota(3), {s});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, NansAreSkipped) {
+  PlotSeries s{"gap", '*',
+               {1.0, std::numeric_limits<double>::quiet_NaN(), 2.0}};
+  const std::string out = render_plot(iota(3), {s});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, FixedRangeClipsOutliers) {
+  PlotOptions opt;
+  opt.fix_range = true;
+  opt.y_min = 0.0;
+  opt.y_max = 1.0;
+  PlotSeries s{"v", '*', {0.5, 100.0}};
+  const std::string out = render_plot({0.0, 1.0}, {s}, opt);
+  // Exactly one marker: the outlier is clipped away.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '*'), 2);  // plot + legend
+}
+
+TEST(AsciiPlot, ValidatesInputs) {
+  PlotSeries s{"v", '*', {1.0}};
+  EXPECT_THROW(render_plot({}, {s}), std::invalid_argument);
+  EXPECT_THROW(render_plot({1.0, 2.0}, {s}), std::invalid_argument);
+  PlotOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW(render_plot({1.0}, {PlotSeries{"v", '*', {1.0}}}, tiny),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace strassen

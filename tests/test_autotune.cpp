@@ -1,0 +1,73 @@
+// Tests for the empirical parameter survey (src/tune/autotune).  Timing
+// outcomes are machine-dependent, so assertions target structure, bounds,
+// and that the tuned configuration remains CORRECT -- not specific winners.
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/modgemm.hpp"
+#include "tune/autotune.hpp"
+
+namespace strassen::tune {
+namespace {
+
+AutotuneOptions cheap() {
+  AutotuneOptions opt;
+  opt.candidate_tiles = {16, 32, 64};
+  opt.crossover_sizes = {64, 128};
+  opt.repetitions = 1;
+  return opt;
+}
+
+TEST(Autotune, ProducesValidPlannerOptions) {
+  const AutotuneResult r = autotune(cheap());
+  EXPECT_GE(r.tiles.min_tile, 1);
+  EXPECT_GE(r.tiles.max_tile, 2 * r.tiles.min_tile);
+  EXPECT_GE(r.tiles.preferred_tile, r.tiles.min_tile);
+  EXPECT_LE(r.tiles.preferred_tile, r.tiles.max_tile);
+  EXPECT_GE(r.tiles.direct_threshold, r.tiles.max_tile);
+  EXPECT_LE(r.tiles.direct_threshold, 512);
+}
+
+TEST(Autotune, SurveyAndProbeArePopulated) {
+  const AutotuneOptions opt = cheap();
+  const AutotuneResult r = autotune(opt);
+  ASSERT_EQ(r.leaf_survey.size(), opt.candidate_tiles.size());
+  for (const auto& [tile, rate] : r.leaf_survey) {
+    EXPECT_GT(rate, 0.0) << "tile " << tile;
+  }
+  ASSERT_EQ(r.crossover_probe.size(), opt.crossover_sizes.size());
+  for (const auto& p : r.crossover_probe) {
+    EXPECT_GT(p.conventional_seconds, 0.0);
+    EXPECT_GT(p.strassen_seconds, 0.0);
+  }
+}
+
+TEST(Autotune, TunedOptionsStayExact) {
+  const AutotuneResult r = autotune(cheap());
+  core::ModgemmOptions opt;
+  opt.tiles = r.tiles;
+  const int n = 300;
+  Rng rng(1);
+  Matrix<double> A(n, n), B(n, n), C(n, n), Ref(n, n);
+  rng.fill_int(A.storage());
+  rng.fill_int(B.storage());
+  blas::naive_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                   B.data(), n, 0.0, Ref.data(), n);
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n, B.data(),
+                n, 0.0, C.data(), n, opt);
+  EXPECT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0);
+}
+
+TEST(Autotune, RejectsBadOptions) {
+  AutotuneOptions opt;
+  opt.candidate_tiles.clear();
+  EXPECT_THROW(autotune(opt), std::invalid_argument);
+  AutotuneOptions opt2;
+  opt2.tolerance = 0.0;
+  EXPECT_THROW(autotune(opt2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace strassen::tune

@@ -1,0 +1,71 @@
+// Tests for the Bailey two-level static-unfolding baseline
+// (src/baselines/bailey).
+#include <gtest/gtest.h>
+
+#include "baselines/bailey.hpp"
+#include "blas/gemm.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace strassen::baselines {
+namespace {
+
+void expect_exact(Op opa, Op opb, int m, int n, int k, double alpha,
+                  double beta) {
+  Rng rng(static_cast<std::uint64_t>(m) * 61 + n * 23 + k);
+  const int ar = opa == Op::NoTrans ? m : k;
+  const int ac = opa == Op::NoTrans ? k : m;
+  const int br = opb == Op::NoTrans ? k : n;
+  const int bc = opb == Op::NoTrans ? n : k;
+  Matrix<double> A(ar, ac), B(br, bc), C(m, n), Ref(m, n);
+  rng.fill_int(A.storage(), -3, 3);
+  rng.fill_int(B.storage(), -3, 3);
+  rng.fill_int(C.storage(), -3, 3);
+  copy_matrix<double>(C.view(), Ref.view());
+  blas::naive_gemm(opa, opb, m, n, k, alpha, A.data(), A.ld(), B.data(),
+                   B.ld(), beta, Ref.data(), Ref.ld());
+  bailey_gemm(opa, opb, m, n, k, alpha, A.data(), A.ld(), B.data(), B.ld(),
+              beta, C.data(), C.ld());
+  EXPECT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0)
+      << m << "x" << n << "x" << k;
+}
+
+class BaileySizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaileySizes, SquareSweepExact) {
+  expect_exact(Op::NoTrans, Op::NoTrans, GetParam(), GetParam(), GetParam(),
+               1.0, 0.0);
+}
+
+// Sizes covering all residues mod 4 (the static pad) plus the tiny direct
+// path.
+INSTANTIATE_TEST_SUITE_P(Sizes, BaileySizes,
+                         ::testing::Values(8, 15, 64, 65, 66, 67, 100, 128,
+                                           129, 200, 255, 256, 257));
+
+TEST(Bailey, RectangularAndOps) {
+  expect_exact(Op::NoTrans, Op::NoTrans, 130, 94, 111, 1.0, 0.0);
+  expect_exact(Op::Trans, Op::NoTrans, 120, 100, 90, 1.0, 0.0);
+  expect_exact(Op::NoTrans, Op::Trans, 97, 133, 65, 2.0, -1.0);
+  expect_exact(Op::Trans, Op::Trans, 101, 102, 103, -0.5, 0.5);
+}
+
+TEST(Bailey, DegenerateDimensions) {
+  Matrix<double> A(8, 8), B(8, 8), C(8, 8);
+  for (auto& x : C.storage()) x = 4.0;
+  bailey_gemm(Op::NoTrans, Op::NoTrans, 8, 8, 0, 1.0, A.data(), 8, B.data(),
+              8, 0.5, C.data(), 8);
+  for (const auto& x : C.storage()) EXPECT_EQ(x, 2.0);
+}
+
+TEST(Bailey, WorkspaceIsTwoLevels) {
+  // 128^3: level temps 64^2 + 32^2 triples.
+  const std::size_t l1 = ((64 * 64 * 8 + 63) / 64) * 64u;
+  const std::size_t l2 = ((32 * 32 * 8 + 63) / 64) * 64u;
+  EXPECT_EQ(bailey_workspace_bytes(128, 128, 128, 8), 3 * l1 + 3 * l2);
+  EXPECT_THROW(bailey_workspace_bytes(126, 128, 128, 8),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace strassen::baselines

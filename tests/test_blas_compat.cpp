@@ -1,0 +1,131 @@
+// Tests for the Fortran-BLAS-style C entry points (src/blas/blas_compat).
+#include <gtest/gtest.h>
+
+#include "blas/blas_compat.hpp"
+#include "blas/gemm.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace strassen {
+namespace {
+
+TEST(BlasCompat, DgemmMatchesNaive) {
+  const int m = 150, n = 140, k = 130;
+  Rng rng(1);
+  Matrix<double> A(m, k), B(k, n), C(m, n), Ref(m, n);
+  rng.fill_int(A.storage());
+  rng.fill_int(B.storage());
+  blas::naive_gemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A.data(), A.ld(),
+                   B.data(), B.ld(), 0.0, Ref.data(), Ref.ld());
+  const double alpha = 1.0, beta = 0.0;
+  const int lda = A.ld(), ldb = B.ld(), ldc = C.ld();
+  strassen_dgemm_("N", "N", &m, &n, &k, &alpha, A.data(), &lda, B.data(), &ldb,
+                  &beta, C.data(), &ldc);
+  EXPECT_EQ(blas::last_compat_error(), 0);
+  EXPECT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0);
+}
+
+TEST(BlasCompat, TransCharactersAreCaseInsensitive) {
+  const int m = 100, n = 90, k = 110;
+  Rng rng(2);
+  Matrix<double> At(k, m), B(k, n), Ref(m, n);
+  rng.fill_int(At.storage());
+  rng.fill_int(B.storage());
+  blas::naive_gemm(Op::Trans, Op::NoTrans, m, n, k, 1.0, At.data(), At.ld(),
+                   B.data(), B.ld(), 0.0, Ref.data(), Ref.ld());
+  const double alpha = 1.0, beta = 0.0;
+  const int lda = At.ld(), ldb = B.ld();
+  for (const char* t : {"T", "t", "C", "c"}) {
+    Matrix<double> C(m, n);
+    const int ldc = C.ld();
+    strassen_dgemm_(t, "n", &m, &n, &k, &alpha, At.data(), &lda, B.data(),
+                    &ldb, &beta, C.data(), &ldc);
+    EXPECT_EQ(blas::last_compat_error(), 0);
+    EXPECT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0) << t;
+  }
+}
+
+TEST(BlasCompat, AlphaBetaThroughPointers) {
+  const int m = 80, n = 80, k = 80;
+  Rng rng(3);
+  Matrix<double> A(m, k), B(k, n), C(m, n), Ref(m, n);
+  rng.fill_int(A.storage());
+  rng.fill_int(B.storage());
+  rng.fill_int(C.storage());
+  copy_matrix<double>(C.view(), Ref.view());
+  blas::naive_gemm(Op::NoTrans, Op::NoTrans, m, n, k, 2.0, A.data(), A.ld(),
+                   B.data(), B.ld(), -1.0, Ref.data(), Ref.ld());
+  const double alpha = 2.0, beta = -1.0;
+  const int ld = m;
+  strassen_dgemm_("N", "N", &m, &n, &k, &alpha, A.data(), &ld, B.data(), &ld,
+                  &beta, C.data(), &ld);
+  EXPECT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0);
+}
+
+TEST(BlasCompat, SgemmSinglePrecision) {
+  const int m = 130, n = 120, k = 140;
+  Rng rng(4);
+  Matrix<float> A(m, k), B(k, n), C(m, n), Ref(m, n);
+  rng.fill_int(A.storage());
+  rng.fill_int(B.storage());
+  blas::naive_gemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0f, A.data(), A.ld(),
+                   B.data(), B.ld(), 0.0f, Ref.data(), Ref.ld());
+  const float alpha = 1.0f, beta = 0.0f;
+  const int lda = A.ld(), ldb = B.ld(), ldc = C.ld();
+  strassen_sgemm_("N", "N", &m, &n, &k, &alpha, A.data(), &lda, B.data(), &ldb,
+                  &beta, C.data(), &ldc);
+  EXPECT_EQ(blas::last_compat_error(), 0);
+  EXPECT_EQ(max_abs_diff<float>(C.view(), Ref.view()), 0.0);
+}
+
+TEST(BlasCompat, XerblaReportsFirstBadParameterAndLeavesCUntouched) {
+  const int m = 10, n = 10, k = 10;
+  Matrix<double> A(m, k), B(k, n), C(m, n);
+  for (auto& x : C.storage()) x = 7.0;
+  const double alpha = 1.0, beta = 0.0;
+  const int ld = m;
+  const int bad_ld = 3;
+
+  strassen_dgemm_("X", "N", &m, &n, &k, &alpha, A.data(), &ld, B.data(), &ld,
+                  &beta, C.data(), &ld);
+  EXPECT_EQ(blas::last_compat_error(), 1);
+
+  strassen_dgemm_("N", "Q", &m, &n, &k, &alpha, A.data(), &ld, B.data(), &ld,
+                  &beta, C.data(), &ld);
+  EXPECT_EQ(blas::last_compat_error(), 2);
+
+  const int neg = -1;
+  strassen_dgemm_("N", "N", &neg, &n, &k, &alpha, A.data(), &ld, B.data(), &ld,
+                  &beta, C.data(), &ld);
+  EXPECT_EQ(blas::last_compat_error(), 3);
+
+  strassen_dgemm_("N", "N", &m, &n, &k, &alpha, A.data(), &bad_ld, B.data(),
+                  &ld, &beta, C.data(), &ld);
+  EXPECT_EQ(blas::last_compat_error(), 8);
+
+  strassen_dgemm_("N", "N", &m, &n, &k, &alpha, A.data(), &ld, B.data(),
+                  &bad_ld, &beta, C.data(), &ld);
+  EXPECT_EQ(blas::last_compat_error(), 10);
+
+  strassen_dgemm_("N", "N", &m, &n, &k, &alpha, A.data(), &ld, B.data(), &ld,
+                  &beta, C.data(), &bad_ld);
+  EXPECT_EQ(blas::last_compat_error(), 13);
+
+  // No failed call may have touched C.
+  for (const auto& x : C.storage()) EXPECT_EQ(x, 7.0);
+}
+
+TEST(BlasCompat, DegenerateSizesAreLegal) {
+  const int zero = 0, m = 4;
+  Matrix<double> A(4, 4), B(4, 4), C(4, 4);
+  for (auto& x : C.storage()) x = 1.0;
+  const double alpha = 1.0, beta = 2.0;
+  const int ld = 4;
+  strassen_dgemm_("N", "N", &m, &m, &zero, &alpha, A.data(), &ld, B.data(),
+                  &ld, &beta, C.data(), &ld);
+  EXPECT_EQ(blas::last_compat_error(), 0);
+  for (const auto& x : C.storage()) EXPECT_EQ(x, 2.0);
+}
+
+}  // namespace
+}  // namespace strassen

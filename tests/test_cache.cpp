@@ -1,0 +1,148 @@
+// Unit tests for the cache simulator (src/trace/cache).
+#include <gtest/gtest.h>
+
+#include "trace/cache.hpp"
+#include "trace/presets.hpp"
+
+namespace strassen::trace {
+namespace {
+
+CacheConfig dm_cfg(std::size_t size, std::size_t block) {
+  return CacheConfig{"L1", size, block, 1, 1.0};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(dm_cfg(1024, 32));
+  EXPECT_FALSE(c.access(0x1000, false));
+  EXPECT_TRUE(c.access(0x1000, false));
+  EXPECT_TRUE(c.access(0x101F, false));   // same 32B block
+  EXPECT_FALSE(c.access(0x1020, false));  // next block
+  EXPECT_EQ(c.accesses(), 4u);
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_DOUBLE_EQ(c.miss_ratio(), 0.5);
+}
+
+TEST(Cache, DirectMappedConflict) {
+  // Two addresses exactly one cache-size apart thrash a direct-mapped cache.
+  Cache c(dm_cfg(1024, 32));
+  EXPECT_FALSE(c.access(0x0000, false));
+  EXPECT_FALSE(c.access(0x0400, false));  // evicts 0x0000
+  EXPECT_FALSE(c.access(0x0000, false));  // conflict miss
+  EXPECT_FALSE(c.access(0x0400, false));
+  EXPECT_EQ(c.misses(), 4u);
+}
+
+TEST(Cache, TwoWayAbsorbsThePairConflict) {
+  CacheConfig cfg{"L1", 1024, 32, 2, 1.0};
+  Cache c(cfg);
+  EXPECT_FALSE(c.access(0x0000, false));
+  EXPECT_FALSE(c.access(0x0400, false));  // same set, second way
+  EXPECT_TRUE(c.access(0x0000, false));
+  EXPECT_TRUE(c.access(0x0400, false));
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  CacheConfig cfg{"L1", 2 * 32 * 2, 32, 2, 1.0};  // 2 sets x 2 ways
+  Cache c(cfg);
+  // Three blocks mapping to set 0 (set index = block & 1): blocks 0, 2, 4
+  // -> addresses 0x00, 0x40, 0x80.
+  c.access(0x00, false);  // miss, ways: [0]
+  c.access(0x40, false);  // miss, ways: [2,0]
+  c.access(0x00, false);  // hit,  ways: [0,2]
+  c.access(0x80, false);  // miss, evicts LRU block 2 -> ways: [4,0]
+  EXPECT_TRUE(c.access(0x00, false));
+  EXPECT_FALSE(c.access(0x40, false));  // was evicted
+}
+
+TEST(Cache, CapacitySweepMissesWhenWorkingSetExceedsSize) {
+  // Stream 2x the cache size repeatedly: every access misses (LRU worst
+  // case for a cyclic pattern).
+  Cache c(dm_cfg(1024, 32));
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::uintptr_t a = 0; a < 2048; a += 32) c.access(a, false);
+  EXPECT_DOUBLE_EQ(c.miss_ratio(), 1.0);
+}
+
+TEST(Cache, FitsWorkingSetAfterWarmup) {
+  Cache c(dm_cfg(1024, 32));
+  for (std::uintptr_t a = 0; a < 1024; a += 8) c.access(a, false);
+  c.reset_stats();
+  for (int pass = 0; pass < 4; ++pass)
+    for (std::uintptr_t a = 0; a < 1024; a += 8) c.access(a, false);
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, FlushDropsContents) {
+  Cache c(dm_cfg(1024, 32));
+  c.access(0x1000, false);
+  c.flush();
+  EXPECT_FALSE(c.access(0x1000, false));
+  EXPECT_EQ(c.accesses(), 1u);
+}
+
+TEST(Cache, WriteCounting) {
+  Cache c(dm_cfg(1024, 32));
+  c.access(0x0, true);
+  c.access(0x0, false);
+  c.access(0x8, true);
+  EXPECT_EQ(c.writes(), 2u);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache(CacheConfig{"x", 1000, 32, 1, 1.0}),
+               std::invalid_argument);  // not a whole number of sets
+  EXPECT_THROW(Cache(CacheConfig{"x", 1024, 24, 1, 1.0}),
+               std::invalid_argument);  // block not a power of two
+  EXPECT_THROW(Cache(CacheConfig{"x", 1024, 32, 0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Hierarchy, MissesPropagateDownLevels) {
+  CacheHierarchy h("test",
+                   {CacheConfig{"L1", 64, 32, 1, 1.0},
+                    CacheConfig{"L2", 256, 32, 1, 10.0}},
+                   100.0);
+  h.access(0x000, false);  // L1 miss, L2 miss, memory
+  h.access(0x000, false);  // L1 hit
+  h.access(0x040, false);  // L1 miss (conflict in 64B L1), L2 miss
+  h.access(0x000, false);  // L1 miss, L2 hit
+  EXPECT_EQ(h.level(0).accesses(), 4u);
+  EXPECT_EQ(h.level(0).misses(), 3u);
+  EXPECT_EQ(h.level(1).accesses(), 3u);
+  EXPECT_EQ(h.level(1).misses(), 2u);
+  EXPECT_EQ(h.memory_accesses(), 2u);
+}
+
+TEST(Hierarchy, EstimatedCyclesWeightsByLevel) {
+  CacheHierarchy h("test", {CacheConfig{"L1", 1024, 32, 1, 2.0}}, 50.0);
+  h.access(0x0, false);  // miss -> memory: 50
+  h.access(0x0, false);  // hit: 2
+  h.access(0x0, false);  // hit: 2
+  EXPECT_DOUBLE_EQ(h.estimated_cycles(), 54.0);
+}
+
+TEST(Hierarchy, PresetsHaveThePaperGeometries) {
+  const CacheHierarchy fig9 = paper_fig9_cache();
+  EXPECT_EQ(fig9.level(0).config().size_bytes, 16u * 1024);
+  EXPECT_EQ(fig9.level(0).config().block_bytes, 32u);
+  EXPECT_EQ(fig9.level(0).config().associativity, 1);
+
+  const CacheHierarchy alpha = alpha_miata_hierarchy();
+  ASSERT_EQ(alpha.num_levels(), 3u);
+  EXPECT_EQ(alpha.level(0).config().size_bytes, 8u * 1024);
+  EXPECT_EQ(alpha.level(1).config().size_bytes, 96u * 1024);
+  EXPECT_EQ(alpha.level(1).config().associativity, 3);
+  EXPECT_EQ(alpha.level(2).config().size_bytes, 2u * 1024 * 1024);
+
+  const CacheHierarchy ultra = ultra60_hierarchy();
+  ASSERT_EQ(ultra.num_levels(), 2u);
+  EXPECT_EQ(ultra.level(0).config().size_bytes, 16u * 1024);
+}
+
+TEST(Hierarchy, RequiresAtLeastOneLevel) {
+  EXPECT_THROW(CacheHierarchy("empty", {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace strassen::trace

@@ -1,0 +1,115 @@
+// Coverage for the small common utilities: RNG determinism, matrix views,
+// op() helpers, and the debug printer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace strassen {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  std::vector<double> va(100), vb(100);
+  a.fill_uniform(va);
+  b.fill_uniform(vb);
+  EXPECT_EQ(va, vb);
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  std::vector<double> va(100), vb(100);
+  a.fill_uniform(va);
+  b.fill_uniform(vb);
+  EXPECT_NE(va, vb);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(3);
+  std::vector<double> v(1000);
+  rng.fill_uniform(v, -2.0, 3.0);
+  for (double x : v) {
+    EXPECT_GE(x, -2.0);
+    EXPECT_LE(x, 3.0);
+  }
+}
+
+TEST(Rng, IntegersAreExactAndBounded) {
+  Rng rng(4);
+  std::vector<double> v(1000);
+  rng.fill_int(v, -4, 4);
+  for (double x : v) {
+    EXPECT_EQ(x, static_cast<int>(x));
+    EXPECT_GE(x, -4.0);
+    EXPECT_LE(x, 4.0);
+  }
+}
+
+TEST(OpHelpers, DimensionsAndNames) {
+  EXPECT_EQ(op_rows(Op::NoTrans, 3, 7), 3);
+  EXPECT_EQ(op_cols(Op::NoTrans, 3, 7), 7);
+  EXPECT_EQ(op_rows(Op::Trans, 3, 7), 7);
+  EXPECT_EQ(op_cols(Op::Trans, 3, 7), 3);
+  EXPECT_EQ(op_char(Op::NoTrans), 'N');
+  EXPECT_EQ(op_char(Op::Trans), 'T');
+}
+
+TEST(MatrixType, RejectsBadLeadingDimension) {
+  EXPECT_THROW(Matrix<double>(10, 5, 8), std::invalid_argument);
+}
+
+TEST(MatrixType, ZeroInitialized) {
+  Matrix<double> m(7, 9);
+  for (const auto& x : m.storage()) EXPECT_EQ(x, 0.0);
+}
+
+TEST(MatrixType, BlockViewsShareStorage) {
+  Matrix<double> m(6, 6);
+  auto blk = m.block(2, 3, 2, 2);
+  blk.at(0, 0) = 5.0;
+  blk.at(1, 1) = 7.0;
+  EXPECT_EQ(m.at(2, 3), 5.0);
+  EXPECT_EQ(m.at(3, 4), 7.0);
+  // Nested blocks compose offsets.
+  auto inner = blk.block(1, 1, 1, 1);
+  EXPECT_EQ(inner.at(0, 0), 7.0);
+}
+
+TEST(MatrixType, ConstViewConvertsFromMutable) {
+  Matrix<double> m(3, 3);
+  m.at(1, 2) = 4.0;
+  MatrixView<double> v = m.view();
+  ConstMatrixView<double> cv = v;  // implicit widening
+  EXPECT_EQ(cv.at(1, 2), 4.0);
+}
+
+TEST(MaxAbsHelpers, DiffAndMagnitude) {
+  Matrix<double> a(2, 2), b(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = -9.0;
+  b.at(0, 0) = 1.5;
+  EXPECT_DOUBLE_EQ(max_abs<double>(a.view()), 9.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff<double>(a.view(), b.view()), 9.0);
+  Matrix<double> c(2, 3);
+  EXPECT_THROW(max_abs_diff<double>(a.view(), c.view()),
+               std::invalid_argument);
+}
+
+TEST(ToString, RendersRowsAndColumns) {
+  Matrix<double> m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(1, 0) = -3.0;
+  m.at(1, 1) = 4.0;
+  const std::string s = to_string(m.view(), 1);
+  EXPECT_NE(s.find("1.0"), std::string::npos);
+  EXPECT_NE(s.find("-3.0"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace strassen

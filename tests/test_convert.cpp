@@ -1,0 +1,220 @@
+// Unit tests for column-major <-> Morton conversion (src/layout/convert).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "layout/convert.hpp"
+#include "layout/plan.hpp"
+
+namespace strassen::layout {
+namespace {
+
+MortonLayout layout_for(int rows, int cols, int tr, int tc, int depth) {
+  return MortonLayout{rows, cols, tr, tc, depth};
+}
+
+using Param = std::tuple<int, int, int, int, int>;  // rows, cols, tr, tc, depth
+class ConvertRoundTrip : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ConvertRoundTrip, ToThenFromIsIdentity) {
+  const auto [rows, cols, tr, tc, depth] = GetParam();
+  const MortonLayout l = layout_for(rows, cols, tr, tc, depth);
+  ASSERT_GE(l.padded_rows(), rows);
+  ASSERT_GE(l.padded_cols(), cols);
+  Rng rng(rows * 101 + cols);
+  Matrix<double> src(rows, cols), dst(rows, cols);
+  rng.fill_uniform(src.storage());
+  std::vector<double> morton(static_cast<std::size_t>(l.elems()), -99.0);
+  to_morton(l, morton.data(), Op::NoTrans, src.data(), src.ld());
+  from_morton(l, morton.data(), 1.0, dst.data(), dst.ld(), 0.0);
+  EXPECT_EQ(max_abs_diff<double>(src.view(), dst.view()), 0.0);
+}
+
+TEST_P(ConvertRoundTrip, ElementsLandAtMortonOffsets) {
+  const auto [rows, cols, tr, tc, depth] = GetParam();
+  const MortonLayout l = layout_for(rows, cols, tr, tc, depth);
+  Rng rng(7);
+  Matrix<double> src(rows, cols);
+  rng.fill_uniform(src.storage());
+  std::vector<double> morton(static_cast<std::size_t>(l.elems()));
+  to_morton(l, morton.data(), Op::NoTrans, src.data(), src.ld());
+  for (int j = 0; j < cols; ++j)
+    for (int i = 0; i < rows; ++i)
+      EXPECT_EQ(morton[morton_offset(l, i, j)], src.at(i, j))
+          << "(" << i << "," << j << ")";
+}
+
+TEST_P(ConvertRoundTrip, PadRegionIsZero) {
+  const auto [rows, cols, tr, tc, depth] = GetParam();
+  const MortonLayout l = layout_for(rows, cols, tr, tc, depth);
+  Rng rng(8);
+  Matrix<double> src(rows, cols);
+  rng.fill_uniform(src.storage(), 0.5, 1.0);  // strictly nonzero data
+  std::vector<double> morton(static_cast<std::size_t>(l.elems()), -99.0);
+  to_morton(l, morton.data(), Op::NoTrans, src.data(), src.ld());
+  for (int i = 0; i < l.padded_rows(); ++i) {
+    for (int j = 0; j < l.padded_cols(); ++j) {
+      if (i >= rows || j >= cols) {
+        EXPECT_EQ(morton[morton_offset(l, i, j)], 0.0)
+            << "pad (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, ConvertRoundTrip,
+    ::testing::Values(Param{8, 8, 4, 4, 1},        // exact, square
+                      Param{7, 6, 4, 4, 1},        // padded both dims
+                      Param{16, 16, 4, 4, 2},      // two levels
+                      Param{100, 90, 13, 12, 3},   // odd tiles, deep
+                      Param{513, 513, 33, 33, 4},  // the paper's showcase
+                      Param{5, 5, 5, 5, 0},        // single tile
+                      Param{1, 1, 1, 1, 2},        // tiny with padding
+                      Param{33, 65, 17, 17, 2}));
+
+TEST(ConvertTranspose, OpFoldsTransposeIntoTheGather) {
+  const int rows = 30, cols = 20;  // logical (post-op) dims
+  const MortonLayout l = layout_for(rows, cols, 8, 8, 2);
+  Rng rng(9);
+  Matrix<double> srcT(cols, rows);  // stores the transpose
+  rng.fill_uniform(srcT.storage());
+  std::vector<double> morton(static_cast<std::size_t>(l.elems()));
+  to_morton(l, morton.data(), Op::Trans, srcT.data(), srcT.ld());
+  for (int j = 0; j < cols; ++j)
+    for (int i = 0; i < rows; ++i)
+      EXPECT_EQ(morton[morton_offset(l, i, j)], srcT.at(j, i));
+}
+
+TEST(ConvertAlphaBeta, FromMortonFusesPostprocessing) {
+  const int rows = 20, cols = 12;
+  const MortonLayout l = layout_for(rows, cols, 10, 6, 1);
+  Rng rng(10);
+  Matrix<double> d(rows, cols), c(rows, cols), c0(rows, cols);
+  rng.fill_uniform(d.storage());
+  rng.fill_uniform(c.storage());
+  copy_matrix<double>(c.view(), c0.view());
+  std::vector<double> morton(static_cast<std::size_t>(l.elems()));
+  to_morton(l, morton.data(), Op::NoTrans, d.data(), d.ld());
+  const double alpha = 2.5, beta = -0.5;
+  from_morton(l, morton.data(), alpha, c.data(), c.ld(), beta);
+  // NEAR rather than exact: FMA contraction may round the library's
+  // alpha*d + beta*c differently from this test expression.
+  for (int j = 0; j < cols; ++j)
+    for (int i = 0; i < rows; ++i)
+      EXPECT_NEAR(c.at(i, j), alpha * d.at(i, j) + beta * c0.at(i, j), 1e-14);
+}
+
+TEST(ConvertAlphaBeta, BetaZeroDoesNotReadDestination) {
+  const int rows = 10, cols = 10;
+  const MortonLayout l = layout_for(rows, cols, 5, 5, 1);
+  Matrix<double> d(rows, cols);
+  Rng rng(11);
+  rng.fill_uniform(d.storage());
+  std::vector<double> morton(static_cast<std::size_t>(l.elems()));
+  to_morton(l, morton.data(), Op::NoTrans, d.data(), d.ld());
+  Matrix<double> c(rows, cols);
+  for (auto& x : c.storage()) x = std::numeric_limits<double>::quiet_NaN();
+  from_morton(l, morton.data(), 2.0, c.data(), c.ld(), 0.0);
+  for (int j = 0; j < cols; ++j)
+    for (int i = 0; i < rows; ++i) {
+      EXPECT_FALSE(std::isnan(c.at(i, j)));
+      EXPECT_DOUBLE_EQ(c.at(i, j), 2.0 * d.at(i, j));
+    }
+}
+
+TEST(ConvertStrided, RespectsSourceAndDestinationLd) {
+  const int rows = 24, cols = 18;
+  const MortonLayout l = layout_for(rows, cols, 8, 6, 2);
+  Rng rng(12);
+  Matrix<double> src(rows, cols, rows + 9), dst(rows, cols, rows + 5);
+  rng.fill_uniform(src.storage());
+  std::vector<double> morton(static_cast<std::size_t>(l.elems()));
+  to_morton(l, morton.data(), Op::NoTrans, src.data(), src.ld());
+  from_morton(l, morton.data(), 1.0, dst.data(), dst.ld(), 0.0);
+  EXPECT_EQ(max_abs_diff<double>(src.view(), dst.view()), 0.0);
+}
+
+TEST(ConvertValidation, RejectsLayoutThatDoesNotCoverTheMatrix) {
+  // 8x8 tiles at depth 1 pad to 16x16 -- too small for 20 rows.
+  const MortonLayout bad = layout_for(20, 12, 8, 8, 1);
+  std::vector<double> morton(static_cast<std::size_t>(bad.elems()));
+  Matrix<double> src(20, 12);
+  EXPECT_THROW(to_morton(bad, morton.data(), Op::NoTrans, src.data(), 20),
+               std::invalid_argument);
+  EXPECT_THROW(from_morton(bad, morton.data(), 1.0, src.data(), 20, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ConvertStrided, RejectsTooSmallLd) {
+  const MortonLayout l = layout_for(24, 18, 8, 6, 2);
+  std::vector<double> morton(static_cast<std::size_t>(l.elems()));
+  Matrix<double> src(24, 18);
+  EXPECT_THROW(to_morton(l, morton.data(), Op::NoTrans, src.data(), 10),
+               std::invalid_argument);
+  EXPECT_THROW(from_morton(l, morton.data(), 1.0, src.data(), 10, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ConvertRange, TileRangesComposeToTheFullConversion) {
+  // The parallel driver fans conversions out over tile ranges; converting
+  // [0,k) and [k,end) separately must equal the one-shot conversion.
+  const MortonLayout l = layout_for(50, 44, 9, 8, 3);
+  Rng rng(21);
+  Matrix<double> src(50, 44);
+  rng.fill_uniform(src.storage());
+  const int tiles = l.tiles_per_side() * l.tiles_per_side();
+  std::vector<double> whole(static_cast<std::size_t>(l.elems()));
+  std::vector<double> pieces(static_cast<std::size_t>(l.elems()), -5.0);
+  to_morton(l, whole.data(), Op::NoTrans, src.data(), src.ld());
+  RawMem mm;
+  const int cut1 = tiles / 3, cut2 = 2 * tiles / 3;
+  to_morton_range(mm, l, pieces.data(), Op::NoTrans, src.data(), src.ld(), 0,
+                  cut1);
+  to_morton_range(mm, l, pieces.data(), Op::NoTrans, src.data(), src.ld(),
+                  cut1, cut2);
+  to_morton_range(mm, l, pieces.data(), Op::NoTrans, src.data(), src.ld(),
+                  cut2, tiles);
+  EXPECT_EQ(whole, pieces);
+
+  // And back out, also in pieces.
+  Matrix<double> out(50, 44);
+  from_morton_range(mm, l, whole.data(), 1.0, out.data(), out.ld(), 0.0, 0,
+                    cut2);
+  from_morton_range(mm, l, whole.data(), 1.0, out.data(), out.ld(), 0.0, cut2,
+                    tiles);
+  EXPECT_EQ(max_abs_diff<double>(src.view(), out.view()), 0.0);
+}
+
+TEST(ConvertRange, EmptyRangeIsANoOp) {
+  const MortonLayout l = layout_for(8, 8, 4, 4, 1);
+  Matrix<double> src(8, 8);
+  std::vector<double> buf(static_cast<std::size_t>(l.elems()), 3.0);
+  RawMem mm;
+  to_morton_range(mm, l, buf.data(), Op::NoTrans, src.data(), src.ld(), 2, 2);
+  for (double v : buf) EXPECT_EQ(v, 3.0);
+}
+
+TEST(ConvertPlanned, PlannerLayoutsRoundTrip) {
+  // End-to-end with planner-derived layouts for the paper's sizes.
+  for (int n : {150, 257, 513, 700}) {
+    const GemmPlan p = plan_gemm(n, n, n);
+    ASSERT_TRUE(p.feasible);
+    const MortonLayout l{n, n, p.m.tile, p.k.tile, p.depth};
+    Rng rng(n);
+    Matrix<double> src(n, n), dst(n, n);
+    rng.fill_uniform(src.storage());
+    std::vector<double> morton(static_cast<std::size_t>(l.elems()));
+    to_morton(l, morton.data(), Op::NoTrans, src.data(), src.ld());
+    from_morton(l, morton.data(), 1.0, dst.data(), dst.ld(), 0.0);
+    EXPECT_EQ(max_abs_diff<double>(src.view(), dst.view()), 0.0) << n;
+  }
+}
+
+}  // namespace
+}  // namespace strassen::layout

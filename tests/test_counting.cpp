@@ -1,0 +1,99 @@
+// Operation-count tests via the CountingMem model (src/trace/counting):
+// the kernels' data traffic must match closed-form counts, and the Winograd
+// recursion must scale as 7 products + 15 quadrant additions per level.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/kernels.hpp"
+#include "blas/level1.hpp"
+#include "common/arena.hpp"
+#include "common/rng.hpp"
+#include "core/winograd.hpp"
+#include "core/workspace.hpp"
+#include "trace/counting.hpp"
+
+namespace strassen::trace {
+namespace {
+
+TEST(CountingMem, Level1Counts) {
+  CountingMem mm;
+  std::vector<double> a(100, 1.0), b(100, 2.0), d(100);
+  blas::vadd(mm, 100, d.data(), a.data(), b.data());
+  EXPECT_EQ(mm.loads(), 200u);
+  EXPECT_EQ(mm.stores(), 100u);
+  mm.reset();
+  blas::vzero(mm, 50, d.data());
+  EXPECT_EQ(mm.loads(), 0u);
+  EXPECT_EQ(mm.stores(), 50u);
+}
+
+TEST(CountingMem, LeafGemmLoadCount) {
+  // The 4x4 microkernel loads 8 values per k-step per 4x4 block and stores
+  // each C element once: for m=n=k multiples of 4,
+  //   loads  = (m/4)(n/4) * k * 8,   stores = m*n (overwrite mode).
+  CountingMem mm;
+  const int t = 32;
+  std::vector<double> A(t * t, 1.0), B(t * t, 1.0), C(t * t);
+  blas::gemm_leaf(mm, t, t, t, A.data(), t, B.data(), t, C.data(), t,
+                  blas::LeafMode::Overwrite);
+  EXPECT_EQ(mm.loads(), static_cast<std::uint64_t>(t / 4) * (t / 4) * t * 8);
+  EXPECT_EQ(mm.stores(), static_cast<std::uint64_t>(t) * t);
+}
+
+// Closed form for the Winograd recursion's traffic over Morton blocks with
+// square tiles t and depth d (all quadrant counts in elements q = (t<<d)^2/4):
+//   A(d) = 7*A(d-1) + [8 operand subs: 16 loads+8 stores each over quads]
+//        + [7 U-chain adds: 2 loads + 1 store each]
+std::uint64_t expected_total(int t, int d) {
+  if (d == 0) {
+    const std::uint64_t tt = static_cast<std::uint64_t>(t);
+    return tt / 4 * (tt / 4) * tt * 8 + tt * tt;  // loads + stores
+  }
+  const std::uint64_t q =
+      (static_cast<std::uint64_t>(t) << (d - 1)) *
+      (static_cast<std::uint64_t>(t) << (d - 1));
+  // 15 elementwise ops (8 operand-side, 7 U-chain), each 2 loads + 1 store
+  // over one quadrant.
+  return 7 * expected_total(t, d - 1) + 15 * 3 * q;
+}
+
+class WinogradTraffic : public ::testing::TestWithParam<int> {};
+
+TEST_P(WinogradTraffic, MatchesClosedForm) {
+  const int d = GetParam();
+  const int t = 8;
+  const int n = t << d;
+  CountingMem mm;
+  std::vector<double> A(static_cast<std::size_t>(n) * n, 1.0);
+  std::vector<double> B(static_cast<std::size_t>(n) * n, 1.0);
+  std::vector<double> C(static_cast<std::size_t>(n) * n);
+  Arena arena(core::winograd_workspace_bytes(t, t, t, d, sizeof(double)));
+  core::winograd_recurse(mm, C.data(), A.data(), B.data(), t, t, t, d, arena);
+  EXPECT_EQ(mm.total(), expected_total(t, d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, WinogradTraffic, ::testing::Values(0, 1, 2, 3));
+
+TEST(WinogradTraffic, SevenFoldGrowthDominates) {
+  // Doubling the problem size multiplies traffic by ~7 (not 8): the
+  // asymptotic saving Strassen buys.
+  const int t = 8;
+  auto total = [&](int d) {
+    CountingMem mm;
+    const int n = t << d;
+    std::vector<double> A(static_cast<std::size_t>(n) * n, 1.0);
+    std::vector<double> B(static_cast<std::size_t>(n) * n, 1.0);
+    std::vector<double> C(static_cast<std::size_t>(n) * n);
+    Arena arena(core::winograd_workspace_bytes(t, t, t, d, sizeof(double)));
+    core::winograd_recurse(mm, C.data(), A.data(), B.data(), t, t, t, d,
+                           arena);
+    return mm.total();
+  };
+  const double ratio = static_cast<double>(total(4)) / total(3);
+  EXPECT_GT(ratio, 6.9);
+  EXPECT_LT(ratio, 7.6);  // additions push it slightly above 7
+}
+
+}  // namespace
+}  // namespace strassen::trace

@@ -1,0 +1,123 @@
+// Tests for the dynamic-peeling baseline (src/baselines/dgefmm).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "baselines/dgefmm.hpp"
+#include "blas/gemm.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace strassen::baselines {
+namespace {
+
+void expect_exact(Op opa, Op opb, int m, int n, int k, double alpha,
+                  double beta, const DgefmmOptions& opt = {}) {
+  Rng rng(static_cast<std::uint64_t>(m) * 37 + n * 11 + k);
+  const int ar = opa == Op::NoTrans ? m : k;
+  const int ac = opa == Op::NoTrans ? k : m;
+  const int br = opb == Op::NoTrans ? k : n;
+  const int bc = opb == Op::NoTrans ? n : k;
+  Matrix<double> A(ar, ac), B(br, bc), C(m, n), Ref(m, n);
+  rng.fill_int(A.storage(), -3, 3);
+  rng.fill_int(B.storage(), -3, 3);
+  rng.fill_int(C.storage(), -3, 3);
+  copy_matrix<double>(C.view(), Ref.view());
+  blas::naive_gemm(opa, opb, m, n, k, alpha, A.data(), A.ld(), B.data(),
+                   B.ld(), beta, Ref.data(), Ref.ld());
+  dgefmm(opa, opb, m, n, k, alpha, A.data(), A.ld(), B.data(), B.ld(), beta,
+         C.data(), C.ld(), opt);
+  EXPECT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0)
+      << m << "x" << n << "x" << k;
+}
+
+TEST(Dgefmm, EvenSquare) {
+  expect_exact(Op::NoTrans, Op::NoTrans, 256, 256, 256, 1.0, 0.0);
+}
+
+TEST(Dgefmm, OddSquareExercisesAllPeels) {
+  expect_exact(Op::NoTrans, Op::NoTrans, 257, 257, 257, 1.0, 0.0);
+}
+
+TEST(Dgefmm, PaperShowcase513) {
+  expect_exact(Op::NoTrans, Op::NoTrans, 513, 513, 513, 1.0, 0.0);
+}
+
+class DgefmmSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(DgefmmSizes, SquareSweepExact) {
+  expect_exact(Op::NoTrans, Op::NoTrans, GetParam(), GetParam(), GetParam(),
+               1.0, 0.0);
+}
+
+// Sizes straddling the cutoff and with maximally awkward parity chains
+// (e.g. 131 -> 65 -> ... repeatedly odd).
+INSTANTIATE_TEST_SUITE_P(Sizes, DgefmmSizes,
+                         ::testing::Values(63, 64, 65, 100, 127, 128, 129, 131,
+                                           150, 200, 255, 256, 257, 300, 511));
+
+using RectParam = std::tuple<int, int, int>;
+class DgefmmRect : public ::testing::TestWithParam<RectParam> {};
+
+TEST_P(DgefmmRect, MixedParityRectangles) {
+  const auto [m, n, k] = GetParam();
+  expect_exact(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DgefmmRect,
+    ::testing::Values(RectParam{130, 131, 132}, RectParam{131, 132, 130},
+                      RectParam{132, 130, 131}, RectParam{200, 150, 170},
+                      RectParam{129, 257, 129}, RectParam{333, 222, 111},
+                      RectParam{1024, 256, 128}));
+
+TEST(Dgefmm, TransposesAndScalars) {
+  expect_exact(Op::Trans, Op::NoTrans, 150, 140, 130, 1.0, 0.0);
+  expect_exact(Op::NoTrans, Op::Trans, 150, 140, 130, 2.0, 1.0);
+  expect_exact(Op::Trans, Op::Trans, 131, 129, 133, -1.0, 0.5);
+}
+
+TEST(Dgefmm, CustomCutoff) {
+  DgefmmOptions opt;
+  opt.cutoff = 16;  // deep recursion, many peeling levels
+  expect_exact(Op::NoTrans, Op::NoTrans, 201, 203, 205, 1.0, 0.0, opt);
+  opt.cutoff = 300;  // never recurses: pure conventional
+  expect_exact(Op::NoTrans, Op::NoTrans, 201, 203, 205, 1.0, 0.0, opt);
+}
+
+TEST(Dgefmm, RejectsSillyCutoff) {
+  Matrix<double> A(10, 10), B(10, 10), C(10, 10);
+  DgefmmOptions opt;
+  opt.cutoff = 2;
+  EXPECT_THROW(dgefmm(Op::NoTrans, Op::NoTrans, 10, 10, 10, 1.0, A.data(), 10,
+                      B.data(), 10, 0.0, C.data(), 10, opt),
+               std::invalid_argument);
+}
+
+TEST(Dgefmm, DegenerateDimensions) {
+  Matrix<double> A(8, 8), B(8, 8), C(8, 8);
+  for (auto& x : C.storage()) x = 4.0;
+  dgefmm(Op::NoTrans, Op::NoTrans, 8, 8, 0, 1.0, A.data(), 8, B.data(), 8, 0.5,
+         C.data(), 8);
+  for (const auto& x : C.storage()) EXPECT_EQ(x, 2.0);
+  dgefmm(Op::NoTrans, Op::NoTrans, 0, 8, 8, 1.0, A.data(), 8, B.data(), 8, 0.0,
+         C.data(), 8);
+  for (const auto& x : C.storage()) EXPECT_EQ(x, 2.0);
+}
+
+TEST(Dgefmm, BetaZeroDoesNotReadC) {
+  const int n = 129;
+  Matrix<double> A(n, n), B(n, n), C(n, n);
+  Rng rng(9);
+  rng.fill_int(A.storage());
+  rng.fill_int(B.storage());
+  for (auto& x : C.storage()) x = std::numeric_limits<double>::quiet_NaN();
+  dgefmm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n, B.data(), n, 0.0,
+         C.data(), n);
+  for (const auto& x : C.storage()) EXPECT_FALSE(std::isnan(x));
+}
+
+}  // namespace
+}  // namespace strassen::baselines

@@ -1,0 +1,178 @@
+// Cross-implementation integration tests: all four GEMMs must agree with
+// each other (exactly, on integer data) across a matrix-size sweep, and the
+// workload/measurement machinery must compose.
+#include <gtest/gtest.h>
+
+#include "baselines/bailey.hpp"
+#include "baselines/conventional.hpp"
+#include "baselines/dgefmm.hpp"
+#include "baselines/dgemmw.hpp"
+#include "baselines/frens_wise.hpp"
+#include "blas/gemm.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/modgemm.hpp"
+#include "core/morton_matrix.hpp"
+
+namespace strassen {
+namespace {
+
+class CrossImpl : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossImpl, AllFourImplementationsAgreeExactly) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  Matrix<double> A(n, n), B(n, n);
+  rng.fill_int(A.storage(), -2, 2);
+  rng.fill_int(B.storage(), -2, 2);
+
+  Matrix<double> Cconv(n, n), Cmod(n, n), Cfmm(n, n), Cw(n, n);
+  baselines::conventional_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0,
+                               A.data(), n, B.data(), n, 0.0, Cconv.data(), n);
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n, B.data(),
+                n, 0.0, Cmod.data(), n);
+  baselines::dgefmm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                    B.data(), n, 0.0, Cfmm.data(), n);
+  baselines::dgemmw(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                    B.data(), n, 0.0, Cw.data(), n);
+
+  EXPECT_EQ(max_abs_diff<double>(Cconv.view(), Cmod.view()), 0.0);
+  EXPECT_EQ(max_abs_diff<double>(Cconv.view(), Cfmm.view()), 0.0);
+  EXPECT_EQ(max_abs_diff<double>(Cconv.view(), Cw.view()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizeSweep, CrossImpl,
+                         ::testing::Values(50, 96, 150, 151, 200, 255, 256,
+                                           257, 320, 400, 500, 513));
+
+// Exhaustive small-size sweep: every n in [1, 96] crosses the direct
+// thresholds, peeling parities, overlap roundings and padding boundaries of
+// the different implementations in different places; all seven
+// implementations must agree exactly at every single size.
+class SmallExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmallExhaustive, AllImplementationsAgree) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 13 + 5);
+  Matrix<double> A(n, n), B(n, n), Ref(n, n);
+  rng.fill_int(A.storage(), -2, 2);
+  rng.fill_int(B.storage(), -2, 2);
+  blas::naive_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                   B.data(), n, 0.0, Ref.data(), n);
+  Matrix<double> C(n, n);
+  auto check = [&](const char* name, auto&& call) {
+    for (auto& x : C.storage()) x = -99.0;
+    call();
+    ASSERT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0)
+        << name << " at n=" << n;
+  };
+  check("modgemm", [&] {
+    core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                  B.data(), n, 0.0, C.data(), n);
+  });
+  check("dgefmm", [&] {
+    baselines::dgefmm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                      B.data(), n, 0.0, C.data(), n);
+  });
+  check("dgemmw", [&] {
+    baselines::dgemmw(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                      B.data(), n, 0.0, C.data(), n);
+  });
+  check("bailey", [&] {
+    baselines::bailey_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(),
+                           n, B.data(), n, 0.0, C.data(), n);
+  });
+  check("frens_wise", [&] {
+    baselines::frens_wise_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0,
+                               A.data(), n, B.data(), n, 0.0, C.data(), n);
+  });
+  check("conventional", [&] {
+    baselines::conventional_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0,
+                                 A.data(), n, B.data(), n, 0.0, C.data(), n);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToNinetySix, SmallExhaustive,
+                         ::testing::Range(1, 97));
+
+TEST(Integration, MortonNativeAgreesWithInterfaceLevel) {
+  const int n = 280;
+  Rng rng(99);
+  Matrix<double> A(n, n), B(n, n), C1(n, n), C2(n, n);
+  rng.fill_int(A.storage());
+  rng.fill_int(B.storage());
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n, B.data(),
+                n, 0.0, C1.data(), n);
+  const core::MortonProductPlan p = core::plan_morton_product(n, n, n);
+  core::MortonMatrix Am = core::MortonMatrix::from_colmajor(p.a, A.view());
+  core::MortonMatrix Bm = core::MortonMatrix::from_colmajor(p.b, B.view());
+  core::MortonMatrix Cm(p.c);
+  core::multiply(Am, Bm, Cm);
+  Cm.to_colmajor(C2.view());
+  EXPECT_EQ(max_abs_diff<double>(C1.view(), C2.view()), 0.0);
+}
+
+TEST(Integration, DgemmInterfaceParityAcrossImplementations) {
+  // One awkward call shape -- transposed, scaled, strided, odd -- through
+  // every implementation, all against the naive oracle.
+  const int m = 143, n = 157, k = 131;
+  Rng rng(123);
+  Matrix<double> A(k, m, k + 3);  // stores op(A) = A^T
+  Matrix<double> B(k, n, k + 5);
+  Matrix<double> Ref(m, n, m + 7), C(m, n, m + 7);
+  rng.fill_int(A.storage(), -2, 2);
+  rng.fill_int(B.storage(), -2, 2);
+  rng.fill_int(Ref.storage(), -2, 2);
+
+  auto reset = [&](Matrix<double>& X) {
+    copy_matrix<double>(Ref.view(), X.view());
+  };
+  Matrix<double> Oracle(m, n, m + 7);
+  reset(Oracle);
+  blas::naive_gemm(Op::Trans, Op::NoTrans, m, n, k, 2.0, A.data(), A.ld(),
+                   B.data(), B.ld(), -1.0, Oracle.data(), Oracle.ld());
+
+  reset(C);
+  core::modgemm(Op::Trans, Op::NoTrans, m, n, k, 2.0, A.data(), A.ld(),
+                B.data(), B.ld(), -1.0, C.data(), C.ld());
+  EXPECT_EQ(max_abs_diff<double>(C.view(), Oracle.view()), 0.0) << "modgemm";
+
+  reset(C);
+  baselines::dgefmm(Op::Trans, Op::NoTrans, m, n, k, 2.0, A.data(), A.ld(),
+                    B.data(), B.ld(), -1.0, C.data(), C.ld());
+  EXPECT_EQ(max_abs_diff<double>(C.view(), Oracle.view()), 0.0) << "dgefmm";
+
+  reset(C);
+  baselines::dgemmw(Op::Trans, Op::NoTrans, m, n, k, 2.0, A.data(), A.ld(),
+                    B.data(), B.ld(), -1.0, C.data(), C.ld());
+  EXPECT_EQ(max_abs_diff<double>(C.view(), Oracle.view()), 0.0) << "dgemmw";
+
+  reset(C);
+  baselines::conventional_gemm(Op::Trans, Op::NoTrans, m, n, k, 2.0, A.data(),
+                               A.ld(), B.data(), B.ld(), -1.0, C.data(),
+                               C.ld());
+  EXPECT_EQ(max_abs_diff<double>(C.view(), Oracle.view()), 0.0) << "dgemm";
+}
+
+TEST(Integration, RepeatedCallsAreIndependent) {
+  // No hidden state: calling modgemm twice with the same inputs gives the
+  // same answer, and interleaving different shapes does not corrupt either.
+  const int n1 = 150, n2 = 257;
+  Rng rng(7);
+  Matrix<double> A1(n1, n1), B1(n1, n1), A2(n2, n2), B2(n2, n2);
+  rng.fill_int(A1.storage());
+  rng.fill_int(B1.storage());
+  rng.fill_int(A2.storage());
+  rng.fill_int(B2.storage());
+  Matrix<double> Ca(n1, n1), Cb(n2, n2), Cc(n1, n1);
+  core::modgemm(Op::NoTrans, Op::NoTrans, n1, n1, n1, 1.0, A1.data(), n1,
+                B1.data(), n1, 0.0, Ca.data(), n1);
+  core::modgemm(Op::NoTrans, Op::NoTrans, n2, n2, n2, 1.0, A2.data(), n2,
+                B2.data(), n2, 0.0, Cb.data(), n2);
+  core::modgemm(Op::NoTrans, Op::NoTrans, n1, n1, n1, 1.0, A1.data(), n1,
+                B1.data(), n1, 0.0, Cc.data(), n1);
+  EXPECT_EQ(max_abs_diff<double>(Ca.view(), Cc.view()), 0.0);
+}
+
+}  // namespace
+}  // namespace strassen

@@ -1,0 +1,185 @@
+// Unit tests for the leaf microkernel and blocked gemm (src/blas).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "blas/gemm.hpp"
+#include "blas/kernels.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace strassen::blas {
+namespace {
+
+// The oracle: naive_gemm is a direct transliteration of the definition; the
+// kernels must match it to within accumulation-order rounding.
+constexpr double kTol = 1e-12;
+
+double check_against_naive(Op opa, Op opb, int m, int n, int k, double alpha,
+                           double beta, bool blocked, int extra_ld = 0) {
+  Rng rng(static_cast<std::uint64_t>(m * 73 + n * 17 + k));
+  const int ar = opa == Op::NoTrans ? m : k;
+  const int ac = opa == Op::NoTrans ? k : m;
+  const int br = opb == Op::NoTrans ? k : n;
+  const int bc = opb == Op::NoTrans ? n : k;
+  Matrix<double> A(ar, ac, ar + extra_ld);
+  Matrix<double> B(br, bc, br + extra_ld);
+  Matrix<double> C(m, n, m + extra_ld);
+  Matrix<double> Ref(m, n, m + extra_ld);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  rng.fill_uniform(C.storage());
+  copy_matrix<double>(C.view(), Ref.view());
+
+  naive_gemm(opa, opb, m, n, k, alpha, A.data(), A.ld(), B.data(), B.ld(),
+             beta, Ref.data(), Ref.ld());
+  if (blocked) {
+    gemm(opa, opb, m, n, k, alpha, A.data(), A.ld(), B.data(), B.ld(), beta,
+         C.data(), C.ld());
+  } else {
+    // gemm_leaf computes C {=,+=} alpha*A.B; emulate beta by pre-scaling.
+    RawMem mm;
+    scale_view(mm, m, n, C.data(), C.ld(), beta);
+    gemm_leaf(m, n, k, A.data(), A.ld(), B.data(), B.ld(), C.data(), C.ld(),
+              LeafMode::Accumulate, alpha);
+  }
+  return max_abs_diff<double>(C.view(), Ref.view());
+}
+
+using LeafParam = std::tuple<int, int, int>;  // m, n, k
+class LeafKernel : public ::testing::TestWithParam<LeafParam> {};
+
+TEST_P(LeafKernel, OverwriteMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(11);
+  Matrix<double> A(m, k), B(k, n), C(m, n), Ref(m, n);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  // Poison C: overwrite mode must not read it.
+  for (auto& x : C.storage()) x = std::numeric_limits<double>::quiet_NaN();
+  gemm_leaf(m, n, k, A.data(), A.ld(), B.data(), B.ld(), C.data(), C.ld(),
+            LeafMode::Overwrite);
+  naive_gemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A.data(), A.ld(),
+             B.data(), B.ld(), 0.0, Ref.data(), Ref.ld());
+  EXPECT_LT(max_abs_diff<double>(C.view(), Ref.view()), kTol * k);
+}
+
+TEST_P(LeafKernel, AccumulateWithAlphaMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  EXPECT_LT(check_against_naive(Op::NoTrans, Op::NoTrans, m, n, k, 0.75, 1.0,
+                                /*blocked=*/false),
+            kTol * k);
+}
+
+TEST_P(LeafKernel, StridedOperandsMatchNaive) {
+  const auto [m, n, k] = GetParam();
+  EXPECT_LT(check_against_naive(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, 0.0,
+                                /*blocked=*/false, /*extra_ld=*/5),
+            kTol * k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LeafKernel,
+    ::testing::Values(LeafParam{1, 1, 1}, LeafParam{4, 4, 4},
+                      LeafParam{3, 5, 7}, LeafParam{8, 8, 8},
+                      LeafParam{5, 4, 4}, LeafParam{4, 5, 4},
+                      LeafParam{4, 4, 5}, LeafParam{16, 16, 16},
+                      LeafParam{17, 19, 23}, LeafParam{33, 31, 29},
+                      LeafParam{64, 64, 64}, LeafParam{1, 64, 64},
+                      LeafParam{64, 1, 64}, LeafParam{64, 64, 1},
+                      LeafParam{2, 3, 64}));
+
+using GemmParam = std::tuple<int, int, int, int, int>;  // m,n,k,opa,opb
+class BlockedGemm : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(BlockedGemm, AllOpsAlphaBetaCombos) {
+  const auto [m, n, k, oa, ob] = GetParam();
+  const Op opa = oa ? Op::Trans : Op::NoTrans;
+  const Op opb = ob ? Op::Trans : Op::NoTrans;
+  for (double alpha : {1.0, -0.5}) {
+    for (double beta : {0.0, 1.0, 2.0}) {
+      EXPECT_LT(check_against_naive(opa, opb, m, n, k, alpha, beta,
+                                    /*blocked=*/true),
+                kTol * (k + 1))
+          << "alpha=" << alpha << " beta=" << beta << " opa=" << op_char(opa)
+          << " opb=" << op_char(opb);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedGemm,
+    ::testing::Combine(::testing::Values(1, 17, 65, 130),
+                       ::testing::Values(1, 19, 67),
+                       ::testing::Values(1, 23, 129),
+                       ::testing::Values(0, 1), ::testing::Values(0, 1)));
+
+TEST(BlockedGemmEdge, ZeroDimensionsAreNoOps) {
+  Matrix<double> A(4, 4), B(4, 4), C(4, 4);
+  for (auto& x : C.storage()) x = 3.0;
+  // m == 0 / n == 0: nothing happens, C untouched.
+  gemm(Op::NoTrans, Op::NoTrans, 0, 4, 4, 1.0, A.data(), 4, B.data(), 4, 0.0,
+       C.data(), 4);
+  gemm(Op::NoTrans, Op::NoTrans, 4, 0, 4, 1.0, A.data(), 4, B.data(), 4, 0.0,
+       C.data(), 4);
+  for (const auto& x : C.storage()) EXPECT_EQ(x, 3.0);
+}
+
+TEST(BlockedGemmEdge, KZeroScalesCOnly) {
+  Matrix<double> A(4, 1), B(1, 4), C(4, 4);
+  for (auto& x : C.storage()) x = 3.0;
+  gemm(Op::NoTrans, Op::NoTrans, 4, 4, 0, 1.0, A.data(), 4, B.data(), 1, 0.5,
+       C.data(), 4);
+  for (const auto& x : C.storage()) EXPECT_EQ(x, 1.5);
+}
+
+TEST(BlockedGemmEdge, AlphaZeroSkipsProduct) {
+  Matrix<double> A(8, 8), B(8, 8), C(8, 8);
+  Rng rng(3);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  for (auto& x : C.storage()) x = 2.0;
+  gemm(Op::NoTrans, Op::NoTrans, 8, 8, 8, 0.0, A.data(), 8, B.data(), 8, 3.0,
+       C.data(), 8);
+  for (const auto& x : C.storage()) EXPECT_EQ(x, 6.0);
+}
+
+TEST(BlockedGemmEdge, RejectsBadLeadingDimensions) {
+  Matrix<double> A(8, 8), B(8, 8), C(8, 8);
+  EXPECT_THROW(gemm(Op::NoTrans, Op::NoTrans, 8, 8, 8, 1.0, A.data(), 4,
+                    B.data(), 8, 0.0, C.data(), 8),
+               std::invalid_argument);
+  EXPECT_THROW(gemm(Op::NoTrans, Op::NoTrans, 8, 8, 8, 1.0, A.data(), 8,
+                    B.data(), 8, 0.0, C.data(), 4),
+               std::invalid_argument);
+}
+
+TEST(BlockedGemmEdge, BetaZeroDoesNotReadC) {
+  Matrix<double> A(8, 8), B(8, 8), C(8, 8);
+  Rng rng(4);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  for (auto& x : C.storage()) x = std::numeric_limits<double>::quiet_NaN();
+  gemm(Op::NoTrans, Op::NoTrans, 8, 8, 8, 1.0, A.data(), 8, B.data(), 8, 0.0,
+       C.data(), 8);
+  for (const auto& x : C.storage()) EXPECT_FALSE(std::isnan(x));
+}
+
+TEST(BlockedGemmFloat, SinglePrecisionPath) {
+  RawMem mm;
+  const int m = 33, n = 29, k = 41;
+  Matrix<float> A(m, k), B(k, n), C(m, n), Ref(m, n);
+  Rng rng(5);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  gemm_blocked(mm, Op::NoTrans, Op::NoTrans, m, n, k, 1.0f, A.data(), A.ld(),
+               B.data(), B.ld(), 0.0f, C.data(), C.ld());
+  naive_gemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0f, A.data(), A.ld(),
+             B.data(), B.ld(), 0.0f, Ref.data(), Ref.ld());
+  EXPECT_LT(max_abs_diff<float>(C.view(), Ref.view()), 1e-4);
+}
+
+}  // namespace
+}  // namespace strassen::blas

@@ -1,0 +1,115 @@
+// Unit tests for contiguous vector kernels (src/blas/level1).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "blas/level1.hpp"
+#include "common/rng.hpp"
+
+namespace strassen::blas {
+namespace {
+
+class Level1Sizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Level1Sizes, AddComputesElementwiseSum) {
+  const std::size_t n = GetParam();
+  Rng rng(1);
+  std::vector<double> a(n), b(n), d(n, -7.0);
+  rng.fill_uniform(a);
+  rng.fill_uniform(b);
+  vadd(n, d.data(), a.data(), b.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(d[i], a[i] + b[i]);
+}
+
+TEST_P(Level1Sizes, SubComputesElementwiseDifference) {
+  const std::size_t n = GetParam();
+  Rng rng(2);
+  std::vector<double> a(n), b(n), d(n);
+  rng.fill_uniform(a);
+  rng.fill_uniform(b);
+  vsub(n, d.data(), a.data(), b.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(d[i], a[i] - b[i]);
+}
+
+TEST_P(Level1Sizes, CopyZeroScale) {
+  const std::size_t n = GetParam();
+  Rng rng(3);
+  std::vector<double> a(n), d(n);
+  rng.fill_uniform(a);
+  vcopy(n, d.data(), a.data());
+  EXPECT_EQ(d, a);
+  vscale(n, d.data(), 2.0);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(d[i], 2.0 * a[i]);
+  vzero(n, d.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(d[i], 0.0);
+}
+
+TEST_P(Level1Sizes, AxpbyGeneralAndBetaZero) {
+  const std::size_t n = GetParam();
+  Rng rng(4);
+  std::vector<double> a(n), d(n), d0(n);
+  rng.fill_uniform(a);
+  rng.fill_uniform(d);
+  d0 = d;
+  vaxpby(n, d.data(), 2.0, a.data(), 3.0);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_DOUBLE_EQ(d[i], 2.0 * a[i] + 3.0 * d0[i]);
+  // beta == 0 must not read dst (fill with NaN to prove it).
+  std::vector<double> nan_dst(n, std::numeric_limits<double>::quiet_NaN());
+  vaxpby(n, nan_dst.data(), 1.5, a.data(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(nan_dst[i], 1.5 * a[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Level1Sizes,
+                         ::testing::Values(0, 1, 2, 7, 64, 100, 1023));
+
+TEST(Level1Alias, InplaceVariantsMatchOutOfPlace) {
+  RawMem mm;
+  const std::size_t n = 100;
+  Rng rng(5);
+  std::vector<double> a(n), d(n), ref(n);
+  rng.fill_uniform(a);
+  rng.fill_uniform(d);
+  ref = d;
+  vadd_inplace(mm, n, d.data(), a.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(d[i], ref[i] + a[i]);
+  ref = d;
+  vsub_inplace(mm, n, d.data(), a.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(d[i], ref[i] - a[i]);
+}
+
+TEST(Level1Alias, DstMayAliasEitherOperand) {
+  RawMem mm;
+  const std::size_t n = 33;
+  Rng rng(6);
+  std::vector<double> a(n), b(n), ref(n);
+  rng.fill_uniform(a);
+  rng.fill_uniform(b);
+  // dst == b:  b <- a - b  (the T2 = B22 - T1 pattern in the schedules).
+  for (std::size_t i = 0; i < n; ++i) ref[i] = a[i] - b[i];
+  vsub(mm, n, b.data(), a.data(), b.data());
+  EXPECT_EQ(b, ref);
+  // dst == a:  a <- a - b'.
+  std::vector<double> b2(n);
+  rng.fill_uniform(b2);
+  for (std::size_t i = 0; i < n; ++i) ref[i] = b[i] - b2[i];
+  std::vector<double> x = b;
+  vsub(mm, n, x.data(), x.data(), b2.data());
+  EXPECT_EQ(x, ref);
+}
+
+TEST(Level1Float, KernelsAreTypeGeneric) {
+  RawMem mm;
+  const std::size_t n = 17;
+  Rng rng(7);
+  std::vector<float> a(n), b(n), d(n);
+  rng.fill_uniform(std::span<float>(a));
+  rng.fill_uniform(std::span<float>(b));
+  vadd(mm, n, d.data(), a.data(), b.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_FLOAT_EQ(d[i], a[i] + b[i]);
+}
+
+}  // namespace
+}  // namespace strassen::blas

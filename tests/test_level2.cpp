@@ -1,0 +1,134 @@
+// Unit tests for matrix-vector kernels (src/blas/level2) -- the peeling
+// fix-up machinery of DGEFMM.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "blas/level2.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace strassen::blas {
+namespace {
+
+using Shape = std::tuple<int, int>;
+class Level2 : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(Level2, GemvNMatchesDefinition) {
+  const auto [m, n] = GetParam();
+  Rng rng(1);
+  Matrix<double> A(m, n);
+  std::vector<double> x(n), y(m), ref(m);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(x);
+  rng.fill_uniform(y);
+  ref = y;
+  const double alpha = 1.5, beta = 0.5;
+  for (int i = 0; i < m; ++i) {
+    double acc = 0;
+    for (int j = 0; j < n; ++j) acc += A.at(i, j) * x[j];
+    ref[i] = alpha * acc + beta * ref[i];
+  }
+  gemv_n(m, n, alpha, A.data(), A.ld(), x.data(), 1, beta, y.data(), 1);
+  for (int i = 0; i < m; ++i) EXPECT_NEAR(y[i], ref[i], 1e-12 * n);
+}
+
+TEST_P(Level2, GemvTMatchesDefinition) {
+  const auto [m, n] = GetParam();
+  Rng rng(2);
+  Matrix<double> A(m, n);
+  std::vector<double> x(m), y(n), ref(n);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(x);
+  rng.fill_uniform(y);
+  ref = y;
+  const double alpha = -0.5, beta = 2.0;
+  for (int j = 0; j < n; ++j) {
+    double acc = 0;
+    for (int i = 0; i < m; ++i) acc += A.at(i, j) * x[i];
+    ref[j] = alpha * acc + beta * ref[j];
+  }
+  gemv_t(m, n, alpha, A.data(), A.ld(), x.data(), 1, beta, y.data(), 1);
+  for (int j = 0; j < n; ++j) EXPECT_NEAR(y[j], ref[j], 1e-12 * m);
+}
+
+TEST_P(Level2, GerMatchesDefinition) {
+  const auto [m, n] = GetParam();
+  Rng rng(3);
+  Matrix<double> A(m, n), Ref(m, n);
+  std::vector<double> x(m), y(n);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(x);
+  rng.fill_uniform(y);
+  copy_matrix<double>(A.view(), Ref.view());
+  const double alpha = 0.75;
+  ger(m, n, alpha, x.data(), 1, y.data(), 1, A.data(), A.ld());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i)
+      EXPECT_NEAR(A.at(i, j), Ref.at(i, j) + alpha * x[i] * y[j], 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Level2,
+                         ::testing::Values(Shape{1, 1}, Shape{1, 9},
+                                           Shape{9, 1}, Shape{16, 16},
+                                           Shape{63, 65}, Shape{100, 37}));
+
+TEST(Level2Strided, GemvRespectsIncrements) {
+  // The peeling fix-ups access rows of column-major matrices: incx == lda.
+  const int m = 6, n = 5;
+  Rng rng(4);
+  Matrix<double> A(m, n), B(n, m);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  // y = A^T . (row 2 of B laid out with stride B.ld()).
+  std::vector<double> y(n, 0.0);
+  gemv_t(m, n, 1.0, A.data(), A.ld(), B.data() + 2, B.ld(), 0.0, y.data(), 1);
+  for (int j = 0; j < n; ++j) {
+    double acc = 0;
+    for (int i = 0; i < m; ++i) acc += A.at(i, j) * B.at(2, i);
+    EXPECT_NEAR(y[j], acc, 1e-13);
+  }
+}
+
+TEST(Level2Strided, GerWithRowVectorFromMatrix) {
+  const int m = 5, n = 4, k = 7;
+  Rng rng(5);
+  Matrix<double> A(m, k), B(k, n), C(m, n), Ref(m, n);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  // The DGEFMM k-odd fix-up: C += A(:, k-1) . B(k-1, :).
+  ger(m, n, 1.0, A.data() + static_cast<std::size_t>(k - 1) * A.ld(), 1,
+      B.data() + (k - 1), B.ld(), C.data(), C.ld());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i)
+      EXPECT_NEAR(C.at(i, j), A.at(i, k - 1) * B.at(k - 1, j), 1e-13);
+  (void)Ref;
+}
+
+TEST(Level2Dot, StridedDot) {
+  const int n = 9;
+  std::vector<double> x(3 * n), y(2 * n);
+  Rng rng(6);
+  rng.fill_uniform(x);
+  rng.fill_uniform(y);
+  double ref = 0;
+  for (int i = 0; i < n; ++i) ref += x[3 * i] * y[2 * i];
+  EXPECT_NEAR(dot(n, x.data(), 3, y.data(), 2), ref, 1e-13);
+}
+
+TEST(Level2BetaZero, DoesNotReadY) {
+  const int m = 4, n = 3;
+  Matrix<double> A(m, n);
+  Rng rng(7);
+  rng.fill_uniform(A.storage());
+  std::vector<double> x(n, 1.0);
+  std::vector<double> y(m, std::numeric_limits<double>::quiet_NaN());
+  gemv_n(m, n, 1.0, A.data(), A.ld(), x.data(), 1, 0.0, y.data(), 1);
+  for (int i = 0; i < m; ++i) EXPECT_FALSE(std::isnan(y[i]));
+}
+
+}  // namespace
+}  // namespace strassen::blas

@@ -1,0 +1,121 @@
+// Unit tests for three-C's miss classification (src/trace/cache) -- the
+// library's stand-in for the paper's CProf analysis (S4.2).
+#include <gtest/gtest.h>
+
+#include "trace/cache.hpp"
+#include "trace/presets.hpp"
+#include "trace/traced_run.hpp"
+
+namespace strassen::trace {
+namespace {
+
+CacheConfig classified_dm(std::size_t size, std::size_t block) {
+  CacheConfig cfg{"L1", size, block, 1, 1.0};
+  cfg.classify = true;
+  return cfg;
+}
+
+TEST(MissClassification, ColdStreamIsAllCompulsory) {
+  Cache c(classified_dm(1024, 32));
+  for (std::uintptr_t a = 0; a < 1024; a += 32) c.access(a, false);
+  EXPECT_EQ(c.breakdown().compulsory, 32u);
+  EXPECT_EQ(c.breakdown().capacity, 0u);
+  EXPECT_EQ(c.breakdown().conflict, 0u);
+}
+
+TEST(MissClassification, PingPongPairIsConflict) {
+  // Two blocks one cache-size apart: a fully-associative cache of the same
+  // capacity would keep both, so the repeat misses are pure conflict.
+  Cache c(classified_dm(1024, 32));
+  for (int i = 0; i < 10; ++i) {
+    c.access(0x0000, false);
+    c.access(0x0400, false);
+  }
+  EXPECT_EQ(c.breakdown().compulsory, 2u);
+  EXPECT_EQ(c.breakdown().capacity, 0u);
+  EXPECT_EQ(c.breakdown().conflict, 18u);
+  EXPECT_EQ(c.breakdown().total(), c.misses());
+}
+
+TEST(MissClassification, CyclicSweepBeyondSizeIsCapacity) {
+  // Cyclic sweep of 2x the cache size: after the cold pass, LRU misses every
+  // access even when fully associative -> capacity misses.
+  Cache c(classified_dm(1024, 32));
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::uintptr_t a = 0; a < 2048; a += 32) c.access(a, false);
+  EXPECT_EQ(c.breakdown().compulsory, 64u);
+  EXPECT_EQ(c.breakdown().conflict, 0u);  // DM mapping is irrelevant here
+  EXPECT_EQ(c.breakdown().capacity, c.misses() - 64u);
+  EXPECT_GT(c.breakdown().capacity, 0u);
+}
+
+TEST(MissClassification, BreakdownAlwaysSumsToMisses) {
+  Cache c(classified_dm(512, 32));
+  // A messy deterministic pattern mixing all three kinds.
+  std::uintptr_t a = 0;
+  for (int i = 0; i < 5000; ++i) {
+    a = (a * 2654435761u + 97) % 8192;
+    c.access(a & ~31u, i % 3 == 0);
+  }
+  EXPECT_EQ(c.breakdown().total(), c.misses());
+}
+
+TEST(MissClassification, AssociativityConvertsConflictToHits) {
+  // The ping-pong pair in a 2-way cache: no conflict misses at all.
+  CacheConfig cfg = classified_dm(1024, 32);
+  cfg.associativity = 2;
+  Cache c(cfg);
+  for (int i = 0; i < 10; ++i) {
+    c.access(0x0000, false);
+    c.access(0x0400, false);
+  }
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.breakdown().conflict, 0u);
+}
+
+TEST(MissClassification, FlushResetsHistory) {
+  Cache c(classified_dm(1024, 32));
+  c.access(0x0, false);
+  c.flush();
+  c.access(0x0, false);
+  // After a flush the first touch counts as compulsory again.
+  EXPECT_EQ(c.breakdown().compulsory, 1u);
+}
+
+TEST(MissClassification, DisabledByDefaultCostsNothing) {
+  Cache c(CacheConfig{"L1", 1024, 32, 1, 1.0});
+  for (int i = 0; i < 100; ++i) c.access(0x0000 + 32 * (i % 64), false);
+  EXPECT_EQ(c.breakdown().total(), 0u);  // never tallied
+  EXPECT_GT(c.misses(), 0u);
+}
+
+TEST(MissClassification, ClassifiedPresetFlowsThroughTraceRunner) {
+  const TraceResult r = trace_multiply(Impl::Modgemm, 96, 96, 96,
+                                       paper_fig9_cache_classified());
+  ASSERT_EQ(r.levels.size(), 1u);
+  EXPECT_TRUE(r.levels[0].has_breakdown);
+  EXPECT_EQ(r.levels[0].breakdown.total(), r.levels[0].misses);
+  EXPECT_GT(r.levels[0].breakdown.compulsory, 0u);
+}
+
+TEST(MissClassification, PaperConflictStoryAt512Vs513) {
+  // The heart of the paper's S4.2: at n=512 (padded 512, T=32) MODGEMM's
+  // Morton quadrants align at multiples of the 16KB cache and conflict; at
+  // n=513 (padded 528, T=33) the alignment -- and with it most of the
+  // conflict misses -- disappears.
+  const TraceResult at512 = trace_multiply(Impl::Modgemm, 512, 512, 512,
+                                           paper_fig9_cache_classified());
+  const TraceResult at513 = trace_multiply(Impl::Modgemm, 513, 513, 513,
+                                           paper_fig9_cache_classified());
+  const double conflict512 =
+      static_cast<double>(at512.levels[0].breakdown.conflict) /
+      static_cast<double>(at512.total_accesses);
+  const double conflict513 =
+      static_cast<double>(at513.levels[0].breakdown.conflict) /
+      static_cast<double>(at513.total_accesses);
+  EXPECT_GT(conflict512, 2.0 * conflict513);
+  EXPECT_GT(at512.l1_miss_ratio, at513.l1_miss_ratio);
+}
+
+}  // namespace
+}  // namespace strassen::trace

@@ -1,0 +1,116 @@
+// Unit tests for Morton index arithmetic (src/layout/morton).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/morton.hpp"
+
+namespace strassen::layout {
+namespace {
+
+TEST(MortonSpread, SpreadsBitsToEvenPositions) {
+  EXPECT_EQ(morton_spread(0u), 0u);
+  EXPECT_EQ(morton_spread(1u), 1u);
+  EXPECT_EQ(morton_spread(2u), 4u);
+  EXPECT_EQ(morton_spread(3u), 5u);
+  EXPECT_EQ(morton_spread(0xFFFFu), 0x55555555u);
+}
+
+TEST(MortonSpread, CompactInvertsSpread) {
+  for (std::uint32_t x = 0; x < 4096; ++x)
+    EXPECT_EQ(morton_compact(morton_spread(x)), x);
+}
+
+TEST(MortonInterleave, QuadrantOrderIsNwNeSwSe) {
+  // NW, NE, SW, SE at the top level of a 2x2 tile grid.
+  EXPECT_EQ(morton_interleave(0, 0), 0u);
+  EXPECT_EQ(morton_interleave(0, 1), 1u);
+  EXPECT_EQ(morton_interleave(1, 0), 2u);
+  EXPECT_EQ(morton_interleave(1, 1), 3u);
+}
+
+TEST(MortonInterleave, MatchesPaperFigure1) {
+  // Figure 1 of the paper shows the tile numbering for an 8x8 tile grid.
+  // Spot-check its distinctive entries (row, col) -> index.
+  EXPECT_EQ(morton_interleave(0, 2), 4u);
+  EXPECT_EQ(morton_interleave(0, 3), 5u);
+  EXPECT_EQ(morton_interleave(1, 2), 6u);
+  EXPECT_EQ(morton_interleave(2, 0), 8u);
+  EXPECT_EQ(morton_interleave(3, 3), 15u);
+  EXPECT_EQ(morton_interleave(0, 4), 16u);
+  EXPECT_EQ(morton_interleave(0, 6), 20u);
+  EXPECT_EQ(morton_interleave(2, 4), 24u);
+  EXPECT_EQ(morton_interleave(4, 0), 32u);
+  EXPECT_EQ(morton_interleave(4, 4), 48u);
+  EXPECT_EQ(morton_interleave(7, 7), 63u);
+  EXPECT_EQ(morton_interleave(6, 1), 41u);
+}
+
+TEST(MortonInterleave, RoundTrips) {
+  for (std::uint32_t r = 0; r < 64; ++r)
+    for (std::uint32_t c = 0; c < 64; ++c) {
+      std::uint32_t rr, cc;
+      morton_deinterleave(morton_interleave(r, c), rr, cc);
+      EXPECT_EQ(rr, r);
+      EXPECT_EQ(cc, c);
+    }
+}
+
+TEST(MortonInterleave, IsABijectionOnTheGrid) {
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t r = 0; r < 16; ++r)
+    for (std::uint32_t c = 0; c < 16; ++c) seen.insert(morton_interleave(r, c));
+  EXPECT_EQ(seen.size(), 256u);
+  EXPECT_EQ(*seen.rbegin(), 255u);
+}
+
+TEST(MortonLayout, DimensionArithmetic) {
+  MortonLayout l{100, 90, 13, 12, 3};
+  EXPECT_EQ(l.padded_rows(), 13 * 8);
+  EXPECT_EQ(l.padded_cols(), 12 * 8);
+  EXPECT_EQ(l.tiles_per_side(), 8);
+  EXPECT_EQ(l.tile_elems(), 13 * 12);
+  EXPECT_EQ(l.elems(), std::int64_t{13} * 12 * 64);
+}
+
+TEST(MortonOffset, DepthZeroIsColumnMajor) {
+  MortonLayout l{5, 7, 5, 7, 0};
+  for (int j = 0; j < 7; ++j)
+    for (int i = 0; i < 5; ++i)
+      EXPECT_EQ(morton_offset(l, i, j), j * 5 + i);
+}
+
+TEST(MortonOffset, QuadrantsAreContiguousBlocks) {
+  // 2x2 tiles of 3x3: NW occupies [0,9), NE [9,18), SW [18,27), SE [27,36).
+  MortonLayout l{6, 6, 3, 3, 1};
+  EXPECT_EQ(morton_offset(l, 0, 0), 0);
+  EXPECT_EQ(morton_offset(l, 2, 2), 8);
+  EXPECT_EQ(morton_offset(l, 0, 3), 9);
+  EXPECT_EQ(morton_offset(l, 3, 0), 18);
+  EXPECT_EQ(morton_offset(l, 3, 3), 27);
+  EXPECT_EQ(morton_offset(l, 5, 5), 35);
+}
+
+TEST(MortonOffset, WithinTileIsColumnMajor) {
+  MortonLayout l{8, 8, 4, 4, 1};
+  // Element (1, 2) of the NW tile: column-major offset 2*4 + 1.
+  EXPECT_EQ(morton_offset(l, 1, 2), 9);
+  // Element (1, 2) of the SE tile (rows 4..7, cols 4..7): base 3*16.
+  EXPECT_EQ(morton_offset(l, 5, 6), 48 + 9);
+}
+
+TEST(MortonOffset, IsABijectionOverThePaddedMatrix) {
+  MortonLayout l{20, 24, 5, 6, 2};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < l.padded_rows(); ++i)
+    for (int j = 0; j < l.padded_cols(); ++j) {
+      const std::int64_t off = morton_offset(l, i, j);
+      EXPECT_GE(off, 0);
+      EXPECT_LT(off, l.elems());
+      seen.insert(off);
+    }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), l.elems());
+}
+
+}  // namespace
+}  // namespace strassen::layout

@@ -1,0 +1,146 @@
+// Tests for the Morton-native API (src/core/morton_matrix) -- the paper's
+// Fig. 8 scenario: matrices kept in Morton order across multiplies.
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/morton_matrix.hpp"
+
+namespace strassen::core {
+namespace {
+
+TEST(MortonProductPlanTest, CompatibleTriple) {
+  const MortonProductPlan p = plan_morton_product(300, 400, 350);
+  EXPECT_EQ(p.a.depth, p.b.depth);
+  EXPECT_EQ(p.b.depth, p.c.depth);
+  EXPECT_EQ(p.a.tile_cols, p.b.tile_rows);
+  EXPECT_EQ(p.c.tile_rows, p.a.tile_rows);
+  EXPECT_EQ(p.c.tile_cols, p.b.tile_cols);
+  EXPECT_EQ(p.a.rows, 300);
+  EXPECT_EQ(p.a.cols, 400);
+  EXPECT_EQ(p.b.cols, 350);
+}
+
+TEST(MortonProductPlanTest, RejectsTinyAndExtremeShapes) {
+  EXPECT_THROW(plan_morton_product(32, 32, 32), std::invalid_argument);
+  EXPECT_THROW(plan_morton_product(4096, 256, 4096), std::invalid_argument);
+}
+
+TEST(MortonMatrixTest, RoundTripThroughColumnMajor) {
+  const int m = 150, n = 170;
+  Rng rng(1);
+  Matrix<double> src(m, n), dst(m, n);
+  rng.fill_uniform(src.storage());
+  const layout::MortonLayout l{m, n, 25, 22, 3};
+  MortonMatrix mm = MortonMatrix::from_colmajor(l, src.view());
+  EXPECT_EQ(mm.rows(), m);
+  EXPECT_EQ(mm.cols(), n);
+  mm.to_colmajor(dst.view());
+  EXPECT_EQ(max_abs_diff<double>(src.view(), dst.view()), 0.0);
+}
+
+TEST(MortonMatrixTest, ElementAccessors) {
+  const layout::MortonLayout l{10, 10, 5, 5, 1};
+  MortonMatrix mm(l);
+  mm.set(3, 7, 42.0);
+  EXPECT_EQ(mm.at(3, 7), 42.0);
+  EXPECT_EQ(mm.at(0, 0), 0.0);  // zero-initialized
+  EXPECT_THROW(mm.at(10, 0), std::invalid_argument);
+  EXPECT_THROW(mm.set(0, 10, 1.0), std::invalid_argument);
+}
+
+TEST(MortonMatrixTest, FromColmajorWithTranspose) {
+  const int m = 12, n = 9;
+  Rng rng(2);
+  Matrix<double> srcT(n, m);
+  rng.fill_uniform(srcT.storage());
+  const layout::MortonLayout l{m, n, 6, 5, 1};
+  MortonMatrix mm = MortonMatrix::from_colmajor(l, srcT.view(), Op::Trans);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) EXPECT_EQ(mm.at(i, j), srcT.at(j, i));
+}
+
+TEST(MortonMatrixTest, ShapeMismatchRejected) {
+  Matrix<double> src(10, 12);
+  const layout::MortonLayout l{10, 10, 5, 5, 1};
+  EXPECT_THROW(MortonMatrix::from_colmajor(l, src.view()),
+               std::invalid_argument);
+}
+
+TEST(MortonMultiply, MatchesNaiveExactly) {
+  const int m = 300, k = 280, n = 260;
+  Rng rng(3);
+  Matrix<double> A(m, k), B(k, n), Ref(m, n), C(m, n);
+  rng.fill_int(A.storage());
+  rng.fill_int(B.storage());
+  blas::naive_gemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A.data(), A.ld(),
+                   B.data(), B.ld(), 0.0, Ref.data(), Ref.ld());
+  const MortonProductPlan p = plan_morton_product(m, k, n);
+  MortonMatrix Am = MortonMatrix::from_colmajor(p.a, A.view());
+  MortonMatrix Bm = MortonMatrix::from_colmajor(p.b, B.view());
+  MortonMatrix Cm(p.c);
+  multiply(Am, Bm, Cm);
+  Cm.to_colmajor(C.view());
+  EXPECT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0);
+}
+
+TEST(MortonMultiply, IncompatibleLayoutsRejected) {
+  const layout::MortonLayout la{100, 100, 25, 25, 2};
+  const layout::MortonLayout lb{100, 100, 13, 25, 3};  // different depth
+  const layout::MortonLayout lc{100, 100, 25, 25, 2};
+  MortonMatrix A(la), B(lb), C(lc);
+  EXPECT_THROW(multiply(A, B, C), std::invalid_argument);
+}
+
+TEST(MortonMultiply, ChainedMultipliesStayInMortonForm) {
+  // The Fig. 8 use case: D = (A.B).C with a single conversion at each end.
+  const int n = 200;
+  Rng rng(4);
+  Matrix<double> A(n, n), B(n, n), Cc(n, n), Ref1(n, n), Ref2(n, n), Out(n, n);
+  rng.fill_int(A.storage(), -2, 2);
+  rng.fill_int(B.storage(), -2, 2);
+  rng.fill_int(Cc.storage(), -2, 2);
+  blas::naive_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                   B.data(), n, 0.0, Ref1.data(), n);
+  blas::naive_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, Ref1.data(), n,
+                   Cc.data(), n, 0.0, Ref2.data(), n);
+
+  const MortonProductPlan p = plan_morton_product(n, n, n);
+  MortonMatrix Am = MortonMatrix::from_colmajor(p.a, A.view());
+  MortonMatrix Bm = MortonMatrix::from_colmajor(p.b, B.view());
+  MortonMatrix Cm = MortonMatrix::from_colmajor(p.b, Cc.view());
+  MortonMatrix T(p.c), D(p.c);
+  multiply(Am, Bm, T);
+  multiply(T, Cm, D);
+  D.to_colmajor(Out.view());
+  EXPECT_EQ(max_abs_diff<double>(Out.view(), Ref2.view()), 0.0);
+}
+
+TEST(MortonMultiply, ReusableArenaMakesNoAllocationsPerCall) {
+  const int n = 200;
+  const MortonProductPlan p = plan_morton_product(n, n, n);
+  MortonMatrix A(p.a), B(p.b), C(p.c);
+  Arena arena(multiply_workspace_bytes(p));
+  multiply(A, B, C, arena);
+  EXPECT_EQ(arena.used(), 0u);          // unwound
+  EXPECT_EQ(arena.peak(), arena.capacity());  // sized exactly
+}
+
+TEST(MortonMatrixTest, ToColmajorWithAlphaBeta) {
+  const int n = 20;
+  Rng rng(5);
+  Matrix<double> src(n, n), dst(n, n), dst0(n, n);
+  rng.fill_uniform(src.storage());
+  rng.fill_uniform(dst.storage());
+  copy_matrix<double>(dst.view(), dst0.view());
+  const layout::MortonLayout l{n, n, 5, 5, 2};
+  MortonMatrix mm = MortonMatrix::from_colmajor(l, src.view());
+  mm.to_colmajor(dst.view(), 2.0, 3.0);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      EXPECT_DOUBLE_EQ(dst.at(i, j), 2.0 * src.at(i, j) + 3.0 * dst0.at(i, j));
+}
+
+}  // namespace
+}  // namespace strassen::core

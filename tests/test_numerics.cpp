@@ -1,0 +1,140 @@
+// Numerical-accuracy tests: Strassen-type algorithms satisfy a weaker
+// (norm-wise) error bound than conventional gemm (Higham, ch. 23).  These
+// tests pin down that all implementations stay within sensible bounds on
+// random real data, and that error grows modestly with recursion depth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/dgefmm.hpp"
+#include "baselines/dgemmw.hpp"
+#include "baselines/strassen_classic.hpp"
+#include "blas/gemm.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/modgemm.hpp"
+
+namespace strassen {
+namespace {
+
+// Max elementwise error of `impl` against naive_gemm on uniform [-1,1] data.
+template <class Fn>
+double impl_error(Fn&& impl, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<double> A(n, n), B(n, n), C(n, n), Ref(n, n);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  blas::naive_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                   B.data(), n, 0.0, Ref.data(), n);
+  impl(n, A.data(), B.data(), C.data());
+  return max_abs_diff<double>(C.view(), Ref.view());
+}
+
+// A generous norm-wise bound for n ~ a few hundred: c * n * eps with c
+// absorbing the Strassen growth factor (the observed errors are orders of
+// magnitude below this).
+double bound(int n) { return 1e-16 * 3.0 * n * 64.0; }
+
+TEST(Numerics, ConventionalWithinBound) {
+  const int n = 300;
+  const double err = impl_error(
+      [](int nn, const double* a, const double* b, double* c) {
+        blas::gemm(Op::NoTrans, Op::NoTrans, nn, nn, nn, 1.0, a, nn, b, nn,
+                   0.0, c, nn);
+      },
+      n, 1);
+  EXPECT_LT(err, bound(n));
+}
+
+TEST(Numerics, ModgemmWithinBound) {
+  const int n = 300;
+  const double err = impl_error(
+      [](int nn, const double* a, const double* b, double* c) {
+        core::modgemm(Op::NoTrans, Op::NoTrans, nn, nn, nn, 1.0, a, nn, b, nn,
+                      0.0, c, nn);
+      },
+      n, 2);
+  EXPECT_LT(err, bound(n));
+  EXPECT_GT(err, 0.0);  // it IS floating point
+}
+
+TEST(Numerics, DgefmmWithinBound) {
+  const int n = 300;
+  const double err = impl_error(
+      [](int nn, const double* a, const double* b, double* c) {
+        baselines::dgefmm(Op::NoTrans, Op::NoTrans, nn, nn, nn, 1.0, a, nn, b,
+                          nn, 0.0, c, nn);
+      },
+      n, 3);
+  EXPECT_LT(err, bound(n));
+}
+
+TEST(Numerics, DgemmwWithinBound) {
+  const int n = 300;
+  const double err = impl_error(
+      [](int nn, const double* a, const double* b, double* c) {
+        baselines::dgemmw(Op::NoTrans, Op::NoTrans, nn, nn, nn, 1.0, a, nn, b,
+                          nn, 0.0, c, nn);
+      },
+      n, 4);
+  EXPECT_LT(err, bound(n));
+}
+
+TEST(Numerics, ClassicWithinBound) {
+  const int n = 300;
+  const double err = impl_error(
+      [](int nn, const double* a, const double* b, double* c) {
+        baselines::strassen_classic(Op::NoTrans, Op::NoTrans, nn, nn, nn, 1.0,
+                                    a, nn, b, nn, 0.0, c, nn);
+      },
+      n, 5);
+  EXPECT_LT(err, bound(n));
+}
+
+TEST(Numerics, DeeperRecursionGrowsErrorModestly) {
+  // Force extra recursion depth via a smaller tile range and check the error
+  // stays within a small multiple of the shallow error.
+  const int n = 512;
+  core::ModgemmOptions shallow;  // depth 4 at n=512 (tile 32)
+  core::ModgemmOptions deep;
+  deep.tiles.min_tile = 8;
+  deep.tiles.max_tile = 16;
+  deep.tiles.preferred_tile = 8;
+  deep.tiles.direct_threshold = 16;  // depth 6 at n=512 (tile 8)
+  double err_shallow = 0, err_deep = 0;
+  {
+    Rng rng(6);
+    Matrix<double> A(n, n), B(n, n), C(n, n), Ref(n, n);
+    rng.fill_uniform(A.storage());
+    rng.fill_uniform(B.storage());
+    blas::naive_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                     B.data(), n, 0.0, Ref.data(), n);
+    core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                  B.data(), n, 0.0, C.data(), n, shallow);
+    err_shallow = max_abs_diff<double>(C.view(), Ref.view());
+    core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                  B.data(), n, 0.0, C.data(), n, deep);
+    err_deep = max_abs_diff<double>(C.view(), Ref.view());
+  }
+  EXPECT_LT(err_shallow, bound(n));
+  EXPECT_LT(err_deep, 100.0 * bound(n));  // grows ~3x per extra level
+  EXPECT_GE(err_deep, err_shallow * 0.01);  // sanity: same order of events
+}
+
+TEST(Numerics, AlphaBetaDoNotAmplify) {
+  const int n = 200;
+  Rng rng(7);
+  Matrix<double> A(n, n), B(n, n), C(n, n), Ref(n, n);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  rng.fill_uniform(C.storage());
+  copy_matrix<double>(C.view(), Ref.view());
+  blas::naive_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 0.5, A.data(), n,
+                   B.data(), n, 0.25, Ref.data(), n);
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 0.5, A.data(), n, B.data(),
+                n, 0.25, C.data(), n);
+  EXPECT_LT(max_abs_diff<double>(C.view(), Ref.view()), bound(n));
+}
+
+}  // namespace
+}  // namespace strassen

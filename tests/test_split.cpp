@@ -1,0 +1,114 @@
+// Unit and property tests for the rectangular splitter (src/layout/split).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "layout/split.hpp"
+
+namespace strassen::layout {
+namespace {
+
+TEST(Classify, PaperTerminology) {
+  EXPECT_EQ(classify(100, 100), Shape::WellBehaved);
+  EXPECT_EQ(classify(100, 401), Shape::Wide);
+  EXPECT_EQ(classify(401, 100), Shape::Lean);
+  EXPECT_EQ(classify(100, 400), Shape::WellBehaved);  // exactly the ratio
+  EXPECT_EQ(classify(1, 3, 2.0), Shape::Wide);
+}
+
+TEST(Classify, RejectsBadInput) {
+  EXPECT_THROW(classify(0, 5), std::invalid_argument);
+  EXPECT_THROW(classify(5, 5, 0.5), std::invalid_argument);
+}
+
+TEST(BalancedChunks, CoversDimensionExactly) {
+  for (int dim : {1, 5, 100, 1023, 4096}) {
+    for (int cap : {1, 7, 64, 1024}) {
+      const auto chunks = balanced_chunks(dim, cap);
+      int covered = 0;
+      for (const auto& c : chunks) {
+        EXPECT_EQ(c.offset, covered);
+        EXPECT_GE(c.size, 1);
+        EXPECT_LE(c.size, cap);
+        covered += c.size;
+      }
+      EXPECT_EQ(covered, dim);
+    }
+  }
+}
+
+TEST(BalancedChunks, SizesDifferByAtMostOne) {
+  const auto chunks = balanced_chunks(1000, 300);
+  ASSERT_EQ(chunks.size(), 4u);
+  int lo = chunks[0].size, hi = chunks[0].size;
+  for (const auto& c : chunks) {
+    lo = std::min(lo, c.size);
+    hi = std::max(hi, c.size);
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(PlanSplit, FeasibleProblemsNeedNoSplit) {
+  const SplitPlan p = plan_split(700, 700, 700);
+  EXPECT_FALSE(p.needed);
+  EXPECT_EQ(p.products(), 1u);
+}
+
+TEST(PlanSplit, DirectProblemsNeedNoSplit) {
+  const SplitPlan p = plan_split(1000, 32, 1000);
+  EXPECT_FALSE(p.needed);
+}
+
+TEST(PlanSplit, ExtremeAspectRatioSplits) {
+  const SplitPlan p = plan_split(4096, 256, 4096);
+  EXPECT_TRUE(p.needed);
+  EXPECT_GT(p.products(), 1u);
+}
+
+// The critical property: after splitting, EVERY sub-product must plan at a
+// single recursion depth (or run direct) -- this is what makes the modgemm
+// reconstruction loop correct.
+using Shape3 = std::tuple<int, int, int>;
+class SplitFeasibility : public ::testing::TestWithParam<Shape3> {};
+
+TEST_P(SplitFeasibility, EverySubProductPlans) {
+  const auto [m, k, n] = GetParam();
+  const SplitPlan p = plan_split(m, k, n);
+  int mc = 0, kc = 0, nc = 0;
+  for (const auto& cm : p.m_chunks) {
+    mc += cm.size;
+    for (const auto& ck : p.k_chunks) {
+      for (const auto& cn : p.n_chunks) {
+        const GemmPlan sub = plan_gemm(cm.size, ck.size, cn.size);
+        EXPECT_TRUE(sub.feasible || sub.direct)
+            << "chunk " << cm.size << "x" << ck.size << "x" << cn.size
+            << " of " << m << "x" << k << "x" << n;
+      }
+    }
+  }
+  for (const auto& c : p.k_chunks) kc += c.size;
+  for (const auto& c : p.n_chunks) nc += c.size;
+  EXPECT_EQ(mc, m);
+  EXPECT_EQ(kc, k);
+  EXPECT_EQ(nc, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HighlyRectangular, SplitFeasibility,
+    ::testing::Values(Shape3{4096, 256, 4096}, Shape3{256, 4096, 256},
+                      Shape3{4096, 4096, 256}, Shape3{8192, 100, 100},
+                      Shape3{100, 100, 8192}, Shape3{2000, 65, 2000},
+                      Shape3{65, 2000, 65}, Shape3{3000, 150, 70},
+                      Shape3{700, 700, 700}, Shape3{1024, 256, 1024}));
+
+TEST(PlanSplit, ChunksAreFeasibleAtTheUnifiedDepth) {
+  const SplitPlan p = plan_split(8192, 100, 100);
+  ASSERT_TRUE(p.needed);
+  for (const auto& c : p.m_chunks) {
+    const DimPlan d = choose_dim_at_depth(c.size, p.depth);
+    EXPECT_NE(d.tile, 0) << "m-chunk " << c.size << " at depth " << p.depth;
+  }
+}
+
+}  // namespace
+}  // namespace strassen::layout

@@ -1,0 +1,109 @@
+// Tests for the Strassen-backed symmetric rank-k update (src/core/syrk).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "blas/gemm.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/syrk.hpp"
+
+namespace strassen::core {
+namespace {
+
+// Oracle: full gemm C = alpha*A.A^T + beta*C, compared on the lower
+// triangle only.
+void expect_exact(int n, int k, double alpha, double beta,
+                  const SyrkOptions& opt = {}) {
+  Rng rng(static_cast<std::uint64_t>(n) * 97 + k);
+  Matrix<double> A(n, k), C(n, n), Ref(n, n);
+  rng.fill_int(A.storage(), -2, 2);
+  rng.fill_int(C.storage(), -2, 2);
+  copy_matrix<double>(C.view(), Ref.view());
+  blas::naive_gemm(Op::NoTrans, Op::Trans, n, n, k, alpha, A.data(), A.ld(),
+                   A.data(), A.ld(), beta, Ref.data(), Ref.ld());
+  modsyrk(n, k, alpha, A.data(), A.ld(), beta, C.data(), C.ld(), opt);
+  for (int j = 0; j < n; ++j)
+    for (int i = j; i < n; ++i)
+      ASSERT_EQ(C.at(i, j), Ref.at(i, j)) << i << "," << j;
+}
+
+using Shape = std::tuple<int, int>;
+class SyrkShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(SyrkShapes, LowerTriangleMatchesOracle) {
+  const auto [n, k] = GetParam();
+  expect_exact(n, k, 1.0, 0.0);
+  expect_exact(n, k, 2.0, -1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SyrkShapes,
+                         ::testing::Values(Shape{1, 1}, Shape{10, 5},
+                                           Shape{64, 64}, Shape{100, 37},
+                                           Shape{129, 129}, Shape{200, 300},
+                                           Shape{300, 130}, Shape{257, 512}));
+
+TEST(Syrk, StrictUpperTriangleUntouched) {
+  const int n = 150, k = 100;
+  Rng rng(1);
+  Matrix<double> A(n, k), C(n, n);
+  rng.fill_int(A.storage());
+  for (auto& x : C.storage()) x = 77.0;
+  modsyrk(n, k, 1.0, A.data(), A.ld(), 0.0, C.data(), C.ld());
+  for (int j = 1; j < n; ++j)
+    for (int i = 0; i < j; ++i) EXPECT_EQ(C.at(i, j), 77.0);
+}
+
+TEST(Syrk, BetaZeroDoesNotReadLowerC) {
+  const int n = 130, k = 70;
+  Rng rng(2);
+  Matrix<double> A(n, k), C(n, n);
+  rng.fill_int(A.storage());
+  for (auto& x : C.storage()) x = std::numeric_limits<double>::quiet_NaN();
+  modsyrk(n, k, 1.0, A.data(), A.ld(), 0.0, C.data(), C.ld());
+  for (int j = 0; j < n; ++j)
+    for (int i = j; i < n; ++i) EXPECT_FALSE(std::isnan(C.at(i, j)));
+}
+
+TEST(Syrk, DegenerateCases) {
+  const int n = 8;
+  Matrix<double> A(n, 4), C(n, n);
+  for (auto& x : C.storage()) x = 2.0;
+  // k = 0: scale lower triangle by beta, leave upper alone.
+  modsyrk(n, 0, 1.0, A.data(), A.ld(), 0.5, C.data(), C.ld());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(C.at(i, j), i >= j ? 1.0 : 2.0);
+  // alpha = 0 behaves the same way.
+  modsyrk(n, 4, 0.0, A.data(), A.ld(), 2.0, C.data(), C.ld());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(C.at(i, j), 2.0);
+}
+
+TEST(Syrk, ResultIsSymmetricWhenMirrored) {
+  // Computing lower and mirroring must equal the full product.
+  const int n = 180, k = 220;
+  Rng rng(3);
+  Matrix<double> A(n, k), C(n, n), Full(n, n);
+  rng.fill_int(A.storage());
+  modsyrk(n, k, 1.0, A.data(), A.ld(), 0.0, C.data(), C.ld());
+  blas::naive_gemm(Op::NoTrans, Op::Trans, n, n, k, 1.0, A.data(), A.ld(),
+                   A.data(), A.ld(), 0.0, Full.data(), Full.ld());
+  for (int j = 0; j < n; ++j)
+    for (int i = j; i < n; ++i) {
+      EXPECT_EQ(C.at(i, j), Full.at(i, j));
+      EXPECT_EQ(Full.at(i, j), Full.at(j, i));  // oracle symmetric
+    }
+}
+
+TEST(Syrk, SmallDiagonalBlockForcesDeepRecursion) {
+  SyrkOptions opt;
+  opt.diagonal_block = 8;
+  expect_exact(200, 150, 1.0, 1.0, opt);
+}
+
+}  // namespace
+}  // namespace strassen::core

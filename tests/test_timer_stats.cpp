@@ -1,0 +1,93 @@
+// Unit tests for timing protocol and statistics helpers (src/common).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+
+namespace strassen {
+namespace {
+
+TEST(WallTimer, MeasuresForwardTime) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GT(t.seconds(), 0.0);
+}
+
+TEST(MeasureProtocol, PaperProtocolAverages10BelowThreshold) {
+  EXPECT_EQ(paper_protocol(150).inner_reps, 10);
+  EXPECT_EQ(paper_protocol(499).inner_reps, 10);
+  EXPECT_EQ(paper_protocol(500).inner_reps, 1);
+  EXPECT_EQ(paper_protocol(1024).inner_reps, 1);
+  EXPECT_EQ(paper_protocol(150).outer_reps, 3);
+}
+
+TEST(MeasureProtocol, CountsInvocationsExactly) {
+  int calls = 0;
+  MeasureOptions opt;
+  opt.outer_reps = 3;
+  opt.inner_reps = 4;
+  opt.warmup = 2;
+  measure([&] { ++calls; }, opt);
+  EXPECT_EQ(calls, 2 + 3 * 4);
+}
+
+TEST(MeasureProtocol, RejectsNonPositiveReps) {
+  MeasureOptions opt;
+  opt.outer_reps = 0;
+  EXPECT_THROW(measure([] {}, opt), std::invalid_argument);
+}
+
+TEST(MeasureProtocol, ReturnsNonNegativeSeconds) {
+  MeasureOptions opt;
+  opt.warmup = 0;
+  const double s = measure([] {}, opt);
+  EXPECT_GE(s, 0.0);
+}
+
+TEST(Summarize, BasicMoments) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(Summarize, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const std::vector<double> v{7.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Flops, ConventionalGemmCount) {
+  EXPECT_EQ(gemm_flops(10, 20, 30), 2ull * 10 * 20 * 30);
+}
+
+TEST(Flops, WinogradDepthZeroEqualsConventional) {
+  EXPECT_EQ(winograd_flops(64, 0), gemm_flops(64, 64, 64));
+}
+
+TEST(Flops, WinogradRecurrence) {
+  // One level: 7 products of half size + 15 half-sized additions.
+  const std::uint64_t half = winograd_flops(64, 0);
+  EXPECT_EQ(winograd_flops(128, 1), 7 * half + 15ull * 64 * 64);
+}
+
+TEST(Flops, WinogradBeatsConventionalForDeepRecursion) {
+  // At n = 2048 with depth 5, Strassen-Winograd needs fewer operations.
+  EXPECT_LT(winograd_flops(2048, 5), gemm_flops(2048, 2048, 2048));
+}
+
+TEST(Flops, GflopsRate) {
+  EXPECT_DOUBLE_EQ(gflops(2'000'000'000ull, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(gflops(1000, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace strassen

@@ -1,0 +1,53 @@
+// Unit tests for the blocked transpose (src/blas/transpose).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "blas/transpose.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace strassen::blas {
+namespace {
+
+using Shape = std::tuple<int, int>;
+class Transpose : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(Transpose, ProducesExactTranspose) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 31 + n);
+  Matrix<double> A(m, n), At(n, m);
+  rng.fill_uniform(A.storage());
+  transpose(m, n, A.data(), A.ld(), At.data(), At.ld());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) EXPECT_EQ(At.at(j, i), A.at(i, j));
+}
+
+TEST_P(Transpose, DoubleTransposeIsIdentity) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 7 + n);
+  Matrix<double> A(m, n), At(n, m), Att(m, n);
+  rng.fill_uniform(A.storage());
+  transpose(m, n, A.data(), A.ld(), At.data(), At.ld());
+  transpose(n, m, At.data(), At.ld(), Att.data(), Att.ld());
+  EXPECT_EQ(max_abs_diff<double>(A.view(), Att.view()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Transpose,
+                         ::testing::Values(Shape{1, 1}, Shape{1, 10},
+                                           Shape{10, 1}, Shape{32, 32},
+                                           Shape{31, 33}, Shape{100, 64},
+                                           Shape{65, 129}));
+
+TEST(TransposeStrided, RespectsLeadingDimensions) {
+  const int m = 20, n = 12;
+  Rng rng(9);
+  Matrix<double> A(m, n, m + 7), At(n, m, n + 3);
+  rng.fill_uniform(A.storage());
+  transpose(m, n, A.data(), A.ld(), At.data(), At.ld());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) EXPECT_EQ(At.at(j, i), A.at(i, j));
+}
+
+}  // namespace
+}  // namespace strassen::blas
