@@ -39,7 +39,13 @@ void xerbla(const char* routine, int info) {
 
 namespace detail {
 
-// Shared parameter validation + dispatch for both precisions.
+// Shared parameter validation + dispatch for both precisions.  Validation
+// and execution both go through the library's Status machinery: argument
+// checks are the same core::validate_gemm_args every driver uses (its codes
+// are xerbla argument positions by construction), and the multiply runs via
+// the nothrow core::try_modgemm so no exception can cross the C boundary --
+// under memory pressure the degradation ladder inside still produces the
+// product whenever the arguments are valid.
 template <class T>
 void gemm_compat(const char* routine, const char* transa, const char* transb,
                  const int* m, const int* n, const int* k, const T* alpha,
@@ -49,18 +55,23 @@ void gemm_compat(const char* routine, const char* transa, const char* transb,
   Op opa, opb;
   if (!decode_op(transa, opa)) return xerbla(routine, 1);
   if (!decode_op(transb, opb)) return xerbla(routine, 2);
-  if (m == nullptr || *m < 0) return xerbla(routine, 3);
-  if (n == nullptr || *n < 0) return xerbla(routine, 4);
-  if (k == nullptr || *k < 0) return xerbla(routine, 5);
-  const int nrowa = opa == Op::NoTrans ? *m : *k;
-  const int nrowb = opb == Op::NoTrans ? *k : *n;
-  if (lda == nullptr || *lda < (nrowa > 1 ? nrowa : 1))
-    return xerbla(routine, 8);
-  if (ldb == nullptr || *ldb < (nrowb > 1 ? nrowb : 1))
-    return xerbla(routine, 10);
-  if (ldc == nullptr || *ldc < (*m > 1 ? *m : 1)) return xerbla(routine, 13);
-  core::modgemm(opa, opb, *m, *n, *k, *alpha, a, *lda, b, *ldb, *beta, c,
-                *ldc);
+  if (m == nullptr) return xerbla(routine, 3);
+  if (n == nullptr) return xerbla(routine, 4);
+  if (k == nullptr) return xerbla(routine, 5);
+  if (lda == nullptr) return xerbla(routine, 8);
+  if (ldb == nullptr) return xerbla(routine, 10);
+  if (ldc == nullptr) return xerbla(routine, 13);
+  const Status args =
+      core::validate_gemm_args(opa, opb, *m, *n, *k, *lda, *ldb, *ldc);
+  if (args != Status::kOk) return xerbla(routine, static_cast<int>(args));
+  const Status run = core::try_modgemm(opa, opb, *m, *n, *k, *alpha, a, *lda,
+                                       b, *ldb, *beta, c, *ldc);
+  if (run != Status::kOk) {
+    // Runtime failure (negative code): not an xerbla case in reference
+    // BLAS, so report it on stderr and through last_compat_error().
+    g_last_error = static_cast<int>(run);
+    std::fprintf(stderr, " ** %s failed: %s\n", routine, status_name(run));
+  }
 }
 
 }  // namespace

@@ -119,11 +119,59 @@ void gemm_blocked(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
   gemm_blocked_nn(mm, m, n, k, alpha, Ae, ldae, Be, ldbe, beta, C, ldc);
 }
 
+// Direct path of last resort: full dgemm semantics with ZERO allocations.
+// op() is handled by strided access instead of materializing the transposed
+// operand, so this is slower than gemm_blocked on transposed inputs but can
+// run under total memory exhaustion -- the bottom rung of modgemm's
+// degradation ladder.  Writes C only after all loads succeed trivially
+// (there is nothing left to fail: no allocation happens at all).
+template <class MM, class T>
+void gemm_strided(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
+                  const T* A, int lda, const T* B, int ldb, T beta, T* C,
+                  int ldc) {
+  STRASSEN_REQUIRE(m >= 0 && n >= 0 && k >= 0,
+                   "negative dimension: m=" << m << " n=" << n << " k=" << k);
+  scale_view(mm, m, n, C, ldc, beta);
+  if (alpha == T{0} || k == 0) return;
+  for (int j = 0; j < n; ++j) {
+    T* Cj = C + static_cast<std::size_t>(j) * ldc;
+    for (int p = 0; p < k; ++p) {
+      const T bpj =
+          opb == Op::NoTrans
+              ? mm.load(B + static_cast<std::size_t>(j) * ldb + p)
+              : mm.load(B + static_cast<std::size_t>(p) * ldb + j);
+      if (bpj == T{0}) continue;
+      const T scaled = static_cast<T>(alpha * bpj);
+      if (opa == Op::NoTrans) {
+        const T* Ap = A + static_cast<std::size_t>(p) * lda;
+        for (int i = 0; i < m; ++i)
+          mm.store(Cj + i,
+                   static_cast<T>(mm.load(Cj + i) + scaled * mm.load(Ap + i)));
+      } else {
+        for (int i = 0; i < m; ++i)
+          mm.store(Cj + i,
+                   static_cast<T>(mm.load(Cj + i) +
+                                  scaled * mm.load(A + static_cast<std::size_t>(
+                                                           i) *
+                                                           lda +
+                                                       p)));
+      }
+    }
+  }
+}
+
 // Reference implementation: straightforward triple loop, always correct,
 // never fast.  The oracle for every correctness test.
 template <class T>
 void naive_gemm(Op opa, Op opb, int m, int n, int k, T alpha, const T* A,
                 int lda, const T* B, int ldb, T beta, T* C, int ldc) {
+  if (alpha == T{0} || k == 0) {
+    // Reference BLAS does not read A or B in this case (so a NaN there must
+    // not reach C); it only scales C by beta.
+    RawMem raw;
+    scale_view(raw, m, n, C, ldc, beta);
+    return;
+  }
   auto a_at = [&](int i, int p) -> T {
     return opa == Op::NoTrans ? A[static_cast<std::size_t>(p) * lda + i]
                               : A[static_cast<std::size_t>(i) * lda + p];

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <new>
 #include <utility>
 
@@ -9,12 +10,44 @@
 
 namespace strassen {
 
+namespace {
+
+// The installed gate and its user pointer, read under a mutex so an install
+// never races a concurrent allocation into a torn (gate, user) pair.  The
+// lock is uncontended in production (no gate) and allocation is not a hot
+// path -- the library makes a handful of large allocations per multiply.
+std::mutex g_gate_mutex;
+AlignedBuffer::AllocationGate g_gate = nullptr;
+void* g_gate_user = nullptr;
+
+bool gate_allows(std::size_t bytes) {
+  AlignedBuffer::AllocationGate gate;
+  void* user;
+  {
+    std::lock_guard<std::mutex> lock(g_gate_mutex);
+    gate = g_gate;
+    user = g_gate_user;
+  }
+  return gate == nullptr || gate(bytes, user);
+}
+
+}  // namespace
+
+void AlignedBuffer::set_allocation_gate(AllocationGate gate,
+                                        void* user) noexcept {
+  std::lock_guard<std::mutex> lock(g_gate_mutex);
+  g_gate = gate;
+  g_gate_user = user;
+}
+
 AlignedBuffer::AlignedBuffer(std::size_t bytes, std::size_t alignment) {
   STRASSEN_REQUIRE(alignment != 0 && (alignment & (alignment - 1)) == 0,
-                   "alignment must be a power of two");
+                   "alignment must be a power of two: " << alignment);
   if (bytes == 0) return;
   // std::aligned_alloc requires the size to be a multiple of the alignment.
-  const std::size_t rounded = (bytes + alignment - 1) / alignment * alignment;
+  const std::size_t rounded =
+      checked_add(bytes, alignment - 1) / alignment * alignment;
+  if (!gate_allows(rounded)) throw std::bad_alloc();
   ptr_ = std::aligned_alloc(alignment, rounded);
   if (ptr_ == nullptr) throw std::bad_alloc();
   bytes_ = bytes;

@@ -15,6 +15,17 @@ class AlignedBuffer {
  public:
   static constexpr std::size_t kDefaultAlignment = 64;  // one cache line
 
+  // Pluggable allocation gate, consulted before every aligned allocation in
+  // the library (every AlignedBuffer, and therefore every Arena).  Returning
+  // false refuses the request and makes the constructor throw
+  // std::bad_alloc -- exactly what a real OOM looks like to callers.  This
+  // is the hook point for testing::FaultInjector; a production embedder can
+  // also install an accounting gate here.  The gate runs concurrently from
+  // pool workers, so it must be thread-safe.  Pass nullptr to restore the
+  // default (always allow).
+  using AllocationGate = bool (*)(std::size_t bytes, void* user);
+  static void set_allocation_gate(AllocationGate gate, void* user) noexcept;
+
   AlignedBuffer() = default;
   // Allocates `bytes` bytes aligned to `alignment` (a power of two).
   // The memory is NOT zero-initialized; call zero() if needed.

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 
 #include "common/aligned_buffer.hpp"
+#include "common/check.hpp"
 
 namespace strassen {
 
@@ -21,8 +23,21 @@ class Arena {
   explicit Arena(std::size_t bytes,
                  std::size_t alignment = AlignedBuffer::kDefaultAlignment);
 
-  Arena(Arena&&) = default;
-  Arena& operator=(Arena&&) = default;
+  // Moves leave the source in the safe empty state (zero capacity, zero
+  // top/peak), so a moved-from arena reports used() == 0 and every push
+  // throws std::bad_alloc instead of handing out dangling pointers.
+  Arena(Arena&& other) noexcept
+      : buffer_(std::move(other.buffer_)),
+        top_(std::exchange(other.top_, 0)),
+        peak_(std::exchange(other.peak_, 0)) {}
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) {
+      buffer_ = std::move(other.buffer_);
+      top_ = std::exchange(other.top_, 0);
+      peak_ = std::exchange(other.peak_, 0);
+    }
+    return *this;
+  }
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
 
@@ -31,7 +46,7 @@ class Arena {
   // (which indicates a workspace-sizing bug, see core/workspace).
   template <class T>
   T* push(std::size_t count) {
-    return static_cast<T*>(push_bytes(count * sizeof(T)));
+    return static_cast<T*>(push_bytes(checked_mul(count, sizeof(T))));
   }
 
   // A marker capturing the current stack top; pop(marker) releases every

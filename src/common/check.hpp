@@ -2,11 +2,17 @@
 //
 // Library entry points validate their arguments with STRASSEN_REQUIRE, which
 // throws std::invalid_argument on failure (a caller error, per the BLAS
-// convention of rejecting bad dimensions).  Internal invariants use
-// STRASSEN_ASSERT, which is compiled out in release builds like assert().
+// convention of rejecting bad dimensions).  The message argument is a stream
+// expression, so call sites can (and should) include the offending values:
+//
+//     STRASSEN_REQUIRE(lda >= m, "lda too small: lda=" << lda << " m=" << m);
+//
+// Internal invariants use STRASSEN_ASSERT, which is compiled out in release
+// builds like assert().
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -25,13 +31,37 @@ namespace detail {
 }  // namespace detail
 
 // Precondition check that is always on (cheap; guards public entry points).
-#define STRASSEN_REQUIRE(expr, msg)                                     \
+// The second argument is streamed into the exception message, so it may be a
+// plain string or a `"x=" << x`-style chain.
+#define STRASSEN_REQUIRE(expr, ...)                                     \
   do {                                                                  \
-    if (!(expr))                                                        \
-      ::strassen::detail::require_failed(#expr, __FILE__, __LINE__, msg); \
+    if (!(expr)) {                                                      \
+      ::std::ostringstream strassen_require_os_;                        \
+      strassen_require_os_ << __VA_ARGS__;                              \
+      ::strassen::detail::require_failed(#expr, __FILE__, __LINE__,     \
+                                         strassen_require_os_.str());   \
+    }                                                                   \
   } while (0)
 
 // Internal invariant; compiled out with NDEBUG.
 #define STRASSEN_ASSERT(expr) assert(expr)
+
+// Overflow-checked std::size_t arithmetic for buffer sizing.  A product or
+// sum that would wrap is a caller error (dimensions too large for this
+// address space) and is rejected like any other bad argument, instead of
+// silently allocating a wrapped-around size.
+inline std::size_t checked_mul(std::size_t a, std::size_t b) {
+  std::size_t r = 0;
+  STRASSEN_REQUIRE(!__builtin_mul_overflow(a, b, &r),
+                   "size overflow: " << a << " * " << b);
+  return r;
+}
+
+inline std::size_t checked_add(std::size_t a, std::size_t b) {
+  std::size_t r = 0;
+  STRASSEN_REQUIRE(!__builtin_add_overflow(a, b, &r),
+                   "size overflow: " << a << " + " << b);
+  return r;
+}
 
 }  // namespace strassen

@@ -1,0 +1,58 @@
+// status.hpp -- BLAS `info`-style result codes for the nothrow entry points.
+//
+// Embedders that cannot unwind (Fortran callers, C callers, signal-sensitive
+// services) use core::try_modgemm, which reports failure through this enum
+// instead of exceptions.  Argument-error values match the dgemm argument
+// positions that reference-BLAS xerbla would report (TRANSA=1, TRANSB=2,
+// M=3, N=4, K=5, LDA=8, LDB=10, LDC=13), so the Fortran compat layer can
+// forward them to xerbla unchanged.  Runtime failures get negative codes,
+// which reference BLAS has no equivalent for.
+#pragma once
+
+namespace strassen {
+
+enum class Status : int {
+  kOk = 0,
+  kBadTransA = 1,
+  kBadTransB = 2,
+  kBadM = 3,
+  kBadN = 4,
+  kBadK = 5,
+  kBadLda = 8,
+  kBadLdb = 10,
+  kBadLdc = 13,
+  kOutOfMemory = -1,    // allocation failed and no fallback could run
+  kInternalError = -2,  // unexpected exception escaped the driver
+};
+
+inline bool ok(Status s) { return s == Status::kOk; }
+
+inline const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kBadTransA:
+      return "bad transa";
+    case Status::kBadTransB:
+      return "bad transb";
+    case Status::kBadM:
+      return "bad m";
+    case Status::kBadN:
+      return "bad n";
+    case Status::kBadK:
+      return "bad k";
+    case Status::kBadLda:
+      return "bad lda";
+    case Status::kBadLdb:
+      return "bad ldb";
+    case Status::kBadLdc:
+      return "bad ldc";
+    case Status::kOutOfMemory:
+      return "out of memory";
+    case Status::kInternalError:
+      return "internal error";
+  }
+  return "unknown";
+}
+
+}  // namespace strassen

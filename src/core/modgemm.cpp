@@ -19,4 +19,45 @@ void modgemm(Op opa, Op opb, int m, int n, int k, float alpha, const float* A,
              report);
 }
 
+namespace {
+
+// Shared nothrow wrapper: validate without throwing, then translate any
+// escaping exception into a Status.  The validation runs first so a bad
+// argument is reported as such even though modgemm would also throw for it.
+template <class T>
+Status try_modgemm_impl(Op opa, Op opb, int m, int n, int k, T alpha,
+                        const T* A, int lda, const T* B, int ldb, T beta,
+                        T* C, int ldc, const ModgemmOptions& opt,
+                        ModgemmReport* report) noexcept {
+  const Status s = validate_gemm_args(opa, opb, m, n, k, lda, ldb, ldc);
+  if (s != Status::kOk) return s;
+  try {
+    modgemm(opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc, opt,
+            report);
+    return Status::kOk;
+  } catch (const std::bad_alloc&) {
+    return Status::kOutOfMemory;
+  } catch (...) {
+    return Status::kInternalError;
+  }
+}
+
+}  // namespace
+
+Status try_modgemm(Op opa, Op opb, int m, int n, int k, double alpha,
+                   const double* A, int lda, const double* B, int ldb,
+                   double beta, double* C, int ldc, const ModgemmOptions& opt,
+                   ModgemmReport* report) noexcept {
+  return try_modgemm_impl(opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C,
+                          ldc, opt, report);
+}
+
+Status try_modgemm(Op opa, Op opb, int m, int n, int k, float alpha,
+                   const float* A, int lda, const float* B, int ldb,
+                   float beta, float* C, int ldc, const ModgemmOptions& opt,
+                   ModgemmReport* report) noexcept {
+  return try_modgemm_impl(opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C,
+                          ldc, opt, report);
+}
+
 }  // namespace strassen::core

@@ -24,12 +24,14 @@
 #pragma once
 
 #include <algorithm>
+#include <new>
 
 #include "blas/gemm.hpp"
 #include "common/arena.hpp"
 #include "common/check.hpp"
 #include "common/matrix.hpp"
 #include "common/memmodel.hpp"
+#include "common/status.hpp"
 #include "common/timer.hpp"
 #include "core/winograd.hpp"
 #include "core/workspace.hpp"
@@ -45,10 +47,47 @@ struct ModgemmOptions {
   // Ablation switch: force a fixed truncation tile (static padding, the
   // paper's strawman).  0 = dynamic selection (the paper's contribution).
   int fixed_tile = 0;
+  // Workspace budget in bytes for the Morton buffers plus the recursion
+  // arena of each planned product (0 = unlimited).  When the planned depth
+  // needs more than this, the driver degrades gracefully: it re-plans at a
+  // shallower recursion depth (less temporary space, per Boyer et al.'s
+  // depth/space trade-off) and, when no Strassen depth fits, falls back to
+  // the workspace-free conventional gemm_blocked path.  The chosen
+  // degradation is recorded in ModgemmReport::fallback_reason.
+  std::size_t max_workspace_bytes = 0;
 };
 
+// How (if at all) a call degraded from the planned Strassen execution.
+// Ordered by severity so multi-product (split) calls can report the worst
+// rung taken.
+enum class FallbackReason {
+  kNone = 0,        // planned path ran unmodified
+  kDepthReduced,    // workspace budget: shallower recursion chosen
+  kBudgetDirect,    // workspace budget: no depth fit; conventional gemm
+  kAllocDirect,     // an allocation failed mid-call; conventional retry
+  kAllocStrided,    // even the conventional path's staging buffer failed;
+                    // allocation-free strided gemm ran instead
+};
+
+inline const char* fallback_reason_name(FallbackReason r) {
+  switch (r) {
+    case FallbackReason::kNone:
+      return "none";
+    case FallbackReason::kDepthReduced:
+      return "depth-reduced";
+    case FallbackReason::kBudgetDirect:
+      return "budget-direct";
+    case FallbackReason::kAllocDirect:
+      return "alloc-direct";
+    case FallbackReason::kAllocStrided:
+      return "alloc-strided";
+  }
+  return "unknown";
+}
+
 // Optional instrumentation: where the time went (paper Fig. 7 separates the
-// Morton conversion from the multiply itself).
+// Morton conversion from the multiply itself) and how the call degraded
+// under memory pressure, if it did.
 struct ModgemmReport {
   double convert_in_seconds = 0.0;
   double compute_seconds = 0.0;
@@ -56,6 +95,10 @@ struct ModgemmReport {
   layout::GemmPlan plan{};       // plan of the (last) single product
   bool split_used = false;       // highly-rectangular path taken
   int products = 0;              // sub-products executed (1 if no split)
+  // Resilience telemetry.
+  FallbackReason fallback_reason = FallbackReason::kNone;  // worst rung taken
+  int planned_depth = 0;         // depth the planner wanted before any budget
+  std::size_t workspace_peak_bytes = 0;  // max Arena::peak() over products
   double total_seconds() const {
     return convert_in_seconds + compute_seconds + convert_out_seconds;
   }
@@ -65,40 +108,121 @@ struct ModgemmReport {
   }
 };
 
+// dgemm-convention argument validation shared by every entry point (serial,
+// parallel, nothrow, Fortran compat), so they all reject identically.
+// Returns kOk or the Status naming the first bad argument.
+inline Status validate_gemm_args(Op opa, Op opb, int m, int n, int k, int lda,
+                                 int ldb, int ldc) noexcept {
+  if (m < 0) return Status::kBadM;
+  if (n < 0) return Status::kBadN;
+  if (k < 0) return Status::kBadK;
+  if (lda < std::max(1, opa == Op::NoTrans ? m : k)) return Status::kBadLda;
+  if (ldb < std::max(1, opb == Op::NoTrans ? k : n)) return Status::kBadLdb;
+  if (ldc < std::max(1, m)) return Status::kBadLdc;
+  return Status::kOk;
+}
+
+// Throwing flavor: rejects with the offending values in the message.
+inline void require_gemm_args(Op opa, Op opb, int m, int n, int k, int lda,
+                              int ldb, int ldc) {
+  STRASSEN_REQUIRE(m >= 0 && n >= 0 && k >= 0,
+                   "negative dimension: m=" << m << " n=" << n << " k=" << k);
+  STRASSEN_REQUIRE(lda >= std::max(1, opa == Op::NoTrans ? m : k),
+                   "lda too small: lda=" << lda << " op(A)=" << op_char(opa)
+                                         << " m=" << m << " k=" << k);
+  STRASSEN_REQUIRE(ldb >= std::max(1, opb == Op::NoTrans ? k : n),
+                   "ldb too small: ldb=" << ldb << " op(B)=" << op_char(opb)
+                                         << " k=" << k << " n=" << n);
+  STRASSEN_REQUIRE(ldc >= std::max(1, m),
+                   "ldc too small: ldc=" << ldc << " m=" << m);
+}
+
+// Peak temporary bytes modgemm needs for one product under this plan: the
+// three Morton buffers plus the Winograd recursion arena, including the
+// per-allocation 64-byte rounding.  Direct plans need none (gemm_blocked
+// streams from the operands).  Overflow-checked; public so embedders can
+// size ModgemmOptions::max_workspace_bytes.
+inline std::size_t modgemm_workspace_bytes(const layout::GemmPlan& plan,
+                                           std::size_t elem_size) {
+  if (plan.direct || !plan.feasible) return 0;
+  auto buf = [&](int rows_tile, int cols_tile) {
+    const layout::MortonLayout l{0, 0, rows_tile, cols_tile, plan.depth};
+    return checked_add(layout::buffer_bytes(l, elem_size), 63) / 64 * 64;
+  };
+  std::size_t total = buf(plan.m.tile, plan.k.tile);
+  total = checked_add(total, buf(plan.k.tile, plan.n.tile));
+  total = checked_add(total, buf(plan.m.tile, plan.n.tile));
+  return checked_add(total,
+                     winograd_workspace_bytes(plan.m.tile, plan.k.tile,
+                                              plan.n.tile, plan.depth,
+                                              elem_size));
+}
+
 namespace detail {
 
-// One planned product: C(m x n) {<-,+=} alpha * op(A).op(B) + beta * C.
-// Requires plan.feasible or plan.direct.
-template <class MM, class T>
-void modgemm_single(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
-                    const T* A, int lda, const T* B, int ldb, T beta, T* C,
-                    int ldc, const layout::GemmPlan& plan,
-                    ModgemmReport* report) {
-  if (plan.direct) {
-    WallTimer t;
-    blas::gemm_blocked(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C,
-                       ldc);
-    if (report) {
-      report->compute_seconds += t.seconds();
-      ++report->products;
+// Escalates the recorded fallback to the worse of the two (split calls run
+// several products; the report keeps the most severe degradation).
+inline void record_fallback(ModgemmReport* report, FallbackReason r) {
+  if (report && static_cast<int>(r) > static_cast<int>(report->fallback_reason))
+    report->fallback_reason = r;
+}
+
+// Degrades a feasible plan until its workspace fits opt.max_workspace_bytes:
+// first by re-planning at shallower recursion depths (each level removed
+// drops that level's three quadrant temporaries -- Boyer et al.'s
+// space/depth trade), then, if no Strassen depth fits, by dropping to the
+// workspace-free conventional path.
+inline layout::GemmPlan apply_workspace_budget(layout::GemmPlan plan, int m,
+                                               int k, int n,
+                                               const ModgemmOptions& opt,
+                                               std::size_t elem_size,
+                                               ModgemmReport* report) {
+  if (opt.max_workspace_bytes == 0 || plan.direct || !plan.feasible)
+    return plan;
+  if (modgemm_workspace_bytes(plan, elem_size) <= opt.max_workspace_bytes)
+    return plan;
+  for (int d = plan.depth - 1; d >= 1; --d) {
+    const layout::DimPlan dm = layout::choose_dim_at_depth(m, d, opt.tiles);
+    const layout::DimPlan dk = layout::choose_dim_at_depth(k, d, opt.tiles);
+    const layout::DimPlan dn = layout::choose_dim_at_depth(n, d, opt.tiles);
+    if (dm.tile == 0 || dk.tile == 0 || dn.tile == 0) continue;
+    layout::GemmPlan cand;
+    cand.depth = d;
+    cand.m = dm;
+    cand.k = dk;
+    cand.n = dn;
+    cand.feasible = true;
+    if (modgemm_workspace_bytes(cand, elem_size) <= opt.max_workspace_bytes) {
+      record_fallback(report, FallbackReason::kDepthReduced);
+      return cand;
     }
-    return;
   }
+  layout::GemmPlan direct;
+  direct.direct = true;
+  direct.m = layout::DimPlan{m, m, 0, m};
+  direct.k = layout::DimPlan{k, k, 0, k};
+  direct.n = layout::DimPlan{n, n, 0, n};
+  record_fallback(report, FallbackReason::kBudgetDirect);
+  return direct;
+}
+
+// The planned Strassen-Winograd path for one product.  All allocations (the
+// arena holding the Morton buffers and the recursion temporaries) happen
+// before any arithmetic, and C is written only by the final from_morton
+// conversion, which does not allocate -- so a std::bad_alloc from this
+// function guarantees C was never touched, and the caller may retry on a
+// cheaper path.
+template <class MM, class T>
+void modgemm_strassen(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
+                      const T* A, int lda, const T* B, int ldb, T beta, T* C,
+                      int ldc, const layout::GemmPlan& plan,
+                      ModgemmReport* report) {
   STRASSEN_ASSERT(plan.feasible && plan.depth >= 1);
   const layout::MortonLayout la{m, k, plan.m.tile, plan.k.tile, plan.depth};
   const layout::MortonLayout lb{k, n, plan.k.tile, plan.n.tile, plan.depth};
   const layout::MortonLayout lc{m, n, plan.m.tile, plan.n.tile, plan.depth};
 
-  const std::size_t round = 64;
-  auto buf_bytes = [&](const layout::MortonLayout& l) {
-    return (static_cast<std::size_t>(l.elems()) * sizeof(T) + round - 1) /
-           round * round;
-  };
-  const std::size_t arena_bytes =
-      buf_bytes(la) + buf_bytes(lb) + buf_bytes(lc) +
-      winograd_workspace_bytes(plan.m.tile, plan.k.tile, plan.n.tile,
-                               plan.depth, sizeof(T));
-  Arena arena(arena_bytes);
+  Arena arena(modgemm_workspace_bytes(plan, sizeof(T)));
   T* Am = arena.push<T>(static_cast<std::size_t>(la.elems()));
   T* Bm = arena.push<T>(static_cast<std::size_t>(lb.elems()));
   T* Cm = arena.push<T>(static_cast<std::size_t>(lc.elems()));
@@ -123,7 +247,63 @@ void modgemm_single(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
     report->convert_out_seconds += t_out;
     report->plan = plan;
     ++report->products;
+    report->workspace_peak_bytes =
+        std::max(report->workspace_peak_bytes, arena.peak());
   }
+}
+
+// The conventional path with its own last rung: gemm_blocked stages a
+// transposed operand through a buffer, and if even that allocation fails,
+// the allocation-free strided loop runs instead.  Either way the product
+// completes; gemm_blocked too performs all allocation before its first
+// write to C.
+template <class MM, class T>
+void modgemm_direct(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
+                    const T* A, int lda, const T* B, int ldb, T beta, T* C,
+                    int ldc, ModgemmReport* report) {
+  WallTimer t;
+  try {
+    blas::gemm_blocked(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C,
+                       ldc);
+  } catch (const std::bad_alloc&) {
+    record_fallback(report, FallbackReason::kAllocStrided);
+    blas::gemm_strided(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C,
+                       ldc);
+  }
+  if (report) {
+    report->compute_seconds += t.seconds();
+    ++report->products;
+  }
+}
+
+// One planned product: C(m x n) {<-,+=} alpha * op(A).op(B) + beta * C.
+// Requires plan.feasible or plan.direct.  Degradation ladder: planned
+// Strassen depth -> conventional blocked gemm (if workspace allocation
+// fails) -> allocation-free strided gemm (if even staging fails).  Every
+// rung computes the same correct product, so a valid call never leaves C
+// partially updated.
+template <class MM, class T>
+void modgemm_single(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
+                    const T* A, int lda, const T* B, int ldb, T beta, T* C,
+                    int ldc, const layout::GemmPlan& plan,
+                    ModgemmReport* report) {
+  // Record the plan this product EXECUTES (budget degradation included), so
+  // report->plan.direct is accurate even when no Strassen path runs.
+  if (report) report->plan = plan;
+  if (!plan.direct) {
+    try {
+      modgemm_strassen(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C,
+                       ldc, plan, report);
+      return;
+    } catch (const std::bad_alloc&) {
+      // Workspace allocation failed under real memory pressure (or a fault
+      // injector).  C is untouched (see modgemm_strassen); degrade to the
+      // conventional path, which needs no recursion workspace.
+      record_fallback(report, FallbackReason::kAllocDirect);
+    }
+  }
+  modgemm_direct(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc,
+                 report);
 }
 
 }  // namespace detail
@@ -136,12 +316,7 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
                 const T* A, int lda, const T* B, int ldb, T beta, T* C,
                 int ldc, const ModgemmOptions& opt = {},
                 ModgemmReport* report = nullptr) {
-  STRASSEN_REQUIRE(m >= 0 && n >= 0 && k >= 0, "negative dimension");
-  STRASSEN_REQUIRE(lda >= std::max(1, opa == Op::NoTrans ? m : k),
-                   "lda too small");
-  STRASSEN_REQUIRE(ldb >= std::max(1, opb == Op::NoTrans ? k : n),
-                   "ldb too small");
-  STRASSEN_REQUIRE(ldc >= std::max(1, m), "ldc too small");
+  require_gemm_args(opa, opb, m, n, k, lda, ldb, ldc);
   if (m == 0 || n == 0) return;
   if (alpha == T{0} || k == 0) {
     blas::scale_view(mm, m, n, C, ldc, beta);
@@ -176,8 +351,11 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
     return;
   }
 
-  const layout::GemmPlan plan = layout::plan_gemm(m, k, n, opt.tiles);
-  if (plan.direct || plan.feasible) {
+  const layout::GemmPlan planned = layout::plan_gemm(m, k, n, opt.tiles);
+  if (report) report->planned_depth = planned.depth;
+  if (planned.direct || planned.feasible) {
+    const layout::GemmPlan plan = detail::apply_workspace_budget(
+        planned, m, k, n, opt, sizeof(T), report);
     detail::modgemm_single(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta,
                            C, ldc, plan, report);
     return;
@@ -201,9 +379,13 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
                 ? B + static_cast<std::size_t>(cn.offset) * ldb + ck.offset
                 : B + static_cast<std::size_t>(ck.offset) * ldb + cn.offset;
         T* Cblk = C + static_cast<std::size_t>(cn.offset) * ldc + cm.offset;
-        const layout::GemmPlan sub =
+        layout::GemmPlan sub =
             layout::plan_gemm(cm.size, ck.size, cn.size, opt.tiles);
         STRASSEN_ASSERT(sub.direct || sub.feasible);
+        // The budget bounds the workspace of each sub-product (they run
+        // sequentially, so the per-product peak is the call's peak).
+        sub = detail::apply_workspace_budget(sub, cm.size, ck.size, cn.size,
+                                             opt, sizeof(T), report);
         detail::modgemm_single(mm, opa, opb, cm.size, cn.size, ck.size, alpha,
                                Ablk, lda, Bblk, ldb, first ? beta : T{1}, Cblk,
                                ldc, sub, report);
@@ -221,5 +403,22 @@ void modgemm(Op opa, Op opb, int m, int n, int k, double alpha,
 void modgemm(Op opa, Op opb, int m, int n, int k, float alpha, const float* A,
              int lda, const float* B, int ldb, float beta, float* C, int ldc,
              const ModgemmOptions& opt = {}, ModgemmReport* report = nullptr);
+
+// Nothrow entry points for embedders that cannot unwind (C/Fortran callers,
+// exception-free services): identical semantics to modgemm, but argument
+// errors and runtime failures come back as a strassen::Status instead of an
+// exception.  On an argument-error status C is untouched.  Note that thanks
+// to the degradation ladder, kOutOfMemory is only returned when even the
+// allocation-free fallback could not be reached.
+Status try_modgemm(Op opa, Op opb, int m, int n, int k, double alpha,
+                   const double* A, int lda, const double* B, int ldb,
+                   double beta, double* C, int ldc,
+                   const ModgemmOptions& opt = {},
+                   ModgemmReport* report = nullptr) noexcept;
+Status try_modgemm(Op opa, Op opb, int m, int n, int k, float alpha,
+                   const float* A, int lda, const float* B, int ldb,
+                   float beta, float* C, int ldc,
+                   const ModgemmOptions& opt = {},
+                   ModgemmReport* report = nullptr) noexcept;
 
 }  // namespace strassen::core

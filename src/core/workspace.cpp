@@ -10,16 +10,25 @@ std::size_t round_up64(std::size_t n) { return (n + 63) / 64 * 64; }
 
 std::size_t winograd_workspace_bytes(int tm, int tk, int tn, int depth,
                                      std::size_t elem_size) {
-  STRASSEN_REQUIRE(tm >= 1 && tk >= 1 && tn >= 1 && depth >= 0,
-                   "bad workspace request");
+  STRASSEN_REQUIRE(tm >= 1 && tk >= 1 && tn >= 1 && depth >= 0 && depth < 31,
+                   "bad workspace request: tm=" << tm << " tk=" << tk
+                                                << " tn=" << tn
+                                                << " depth=" << depth);
   std::size_t total = 0;
   // Level l (from the top, l = 1..depth) allocates temporaries over the
   // quadrants of a block whose leaves are 2^(depth-l) tiles on a side.
+  auto quad = [&](int r, int c, std::size_t scale) {
+    return round_up64(checked_mul(
+        checked_mul(checked_mul(static_cast<std::size_t>(r),
+                                static_cast<std::size_t>(c)),
+                    scale),
+        elem_size));
+  };
   for (int l = 1; l <= depth; ++l) {
     const std::size_t scale = std::size_t{1} << (2 * (depth - l));
-    total += round_up64(static_cast<std::size_t>(tm) * tk * scale * elem_size);
-    total += round_up64(static_cast<std::size_t>(tk) * tn * scale * elem_size);
-    total += round_up64(static_cast<std::size_t>(tm) * tn * scale * elem_size);
+    total = checked_add(total, quad(tm, tk, scale));
+    total = checked_add(total, quad(tk, tn, scale));
+    total = checked_add(total, quad(tm, tn, scale));
   }
   return total;
 }

@@ -10,7 +10,10 @@
 // every level, matching the paper's figure.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+
+#include "common/check.hpp"
 
 namespace strassen::layout {
 
@@ -50,10 +53,34 @@ struct MortonLayout {
   std::int64_t tile_elems() const {
     return static_cast<std::int64_t>(tile_rows) * tile_cols;
   }
+  // Padded element count, computed in std::size_t with overflow checking: a
+  // layout whose count would wrap is rejected (throws via STRASSEN_REQUIRE)
+  // instead of silently truncating the buffer it is about to size.
   std::int64_t elems() const {
-    return tile_elems() * tiles_per_side() * tiles_per_side();
+    STRASSEN_REQUIRE(tile_rows >= 0 && tile_cols >= 0 && depth >= 0 &&
+                         depth < 31,
+                     "bad morton layout: tile_rows=" << tile_rows
+                                                     << " tile_cols="
+                                                     << tile_cols
+                                                     << " depth=" << depth);
+    const std::size_t tiles = std::size_t{1} << depth;
+    const std::size_t count =
+        checked_mul(checked_mul(static_cast<std::size_t>(tile_rows),
+                                static_cast<std::size_t>(tile_cols)),
+                    checked_mul(tiles, tiles));
+    STRASSEN_REQUIRE(count <= static_cast<std::size_t>(INT64_MAX),
+                     "morton element count overflows: " << count);
+    return static_cast<std::int64_t>(count);
   }
 };
+
+// elems() * elem_size in std::size_t with overflow checking; the one correct
+// way to size a Morton buffer (drivers must not multiply elems() by
+// sizeof(T) themselves -- that product can wrap).
+inline std::size_t buffer_bytes(const MortonLayout& layout,
+                                std::size_t elem_size) {
+  return checked_mul(static_cast<std::size_t>(layout.elems()), elem_size);
+}
 
 // Offset of logical element (i, j) inside a Morton buffer with this layout.
 // O(1); used by tests and by element-granularity accessors (not by the hot

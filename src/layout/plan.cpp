@@ -1,6 +1,7 @@
 #include "layout/plan.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 
 #include "common/check.hpp"
@@ -113,6 +114,9 @@ DimPlan fixed_tile_dim(int n, int tile) {
     padded *= 2;
     ++plan.depth;
   }
+  STRASSEN_REQUIRE(padded <= INT32_MAX, "fixed-tile padded size overflows int: n="
+                                            << n << " tile=" << tile
+                                            << " padded=" << padded);
   plan.padded = static_cast<int>(padded);
   return plan;
 }

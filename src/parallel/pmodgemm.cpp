@@ -1,6 +1,7 @@
 #include "parallel/pmodgemm.hpp"
 
 #include <algorithm>
+#include <new>
 
 #include "blas/level1.hpp"
 #include "common/aligned_buffer.hpp"
@@ -132,8 +133,10 @@ std::size_t pmodgemm_workspace_bytes(int tm, int tk, int tn, int depth,
 void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
               double alpha, const double* A, int lda, const double* B, int ldb,
               double beta, double* C, int ldc, const ParallelOptions& opt) {
-  STRASSEN_REQUIRE(m >= 0 && n >= 0 && k >= 0, "negative dimension");
-  STRASSEN_REQUIRE(opt.spawn_levels >= 0, "negative spawn_levels");
+  // Reject bad inputs identically to the serial entry point.
+  core::require_gemm_args(opa, opb, m, n, k, lda, ldb, ldc);
+  STRASSEN_REQUIRE(opt.spawn_levels >= 0,
+                   "negative spawn_levels: " << opt.spawn_levels);
   if (m == 0 || n == 0) return;
   if (alpha == 0.0 || k == 0) {
     RawMem mm;
@@ -152,45 +155,59 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
     return;
   }
 
-  const layout::MortonLayout la{m, k, plan.m.tile, plan.k.tile, plan.depth};
-  const layout::MortonLayout lb{k, n, plan.k.tile, plan.n.tile, plan.depth};
-  const layout::MortonLayout lc{m, n, plan.m.tile, plan.n.tile, plan.depth};
-  AlignedBuffer abuf(static_cast<std::size_t>(la.elems()) * sizeof(double));
-  AlignedBuffer bbuf(static_cast<std::size_t>(lb.elems()) * sizeof(double));
-  AlignedBuffer cbuf(static_cast<std::size_t>(lc.elems()) * sizeof(double));
-  double* Am = abuf.as<double>();
-  double* Bm = bbuf.as<double>();
-  double* Cm = cbuf.as<double>();
+  try {
+    const layout::MortonLayout la{m, k, plan.m.tile, plan.k.tile, plan.depth};
+    const layout::MortonLayout lb{k, n, plan.k.tile, plan.n.tile, plan.depth};
+    const layout::MortonLayout lc{m, n, plan.m.tile, plan.n.tile, plan.depth};
+    AlignedBuffer abuf(layout::buffer_bytes(la, sizeof(double)));
+    AlignedBuffer bbuf(layout::buffer_bytes(lb, sizeof(double)));
+    AlignedBuffer cbuf(layout::buffer_bytes(lc, sizeof(double)));
+    double* Am = abuf.as<double>();
+    double* Bm = bbuf.as<double>();
+    double* Cm = cbuf.as<double>();
 
-  // Parallel conversions: fan out over Morton tile ranges.
-  const auto convert_in = [&](const layout::MortonLayout& l, double* dst,
-                              Op op, const double* src, int ld) {
-    const std::int64_t tiles =
-        static_cast<std::int64_t>(l.tiles_per_side()) * l.tiles_per_side();
-    parallel_for(pool, 0, tiles, /*min_grain=*/8,
+    // Parallel conversions: fan out over Morton tile ranges.
+    const auto convert_in = [&](const layout::MortonLayout& l, double* dst,
+                                Op op, const double* src, int ld) {
+      const std::int64_t tiles =
+          static_cast<std::int64_t>(l.tiles_per_side()) * l.tiles_per_side();
+      parallel_for(pool, 0, tiles, /*min_grain=*/8,
+                   [&](std::int64_t t0, std::int64_t t1) {
+                     RawMem mm;
+                     layout::to_morton_range(mm, l, dst, op, src, ld,
+                                             static_cast<int>(t0),
+                                             static_cast<int>(t1));
+                   });
+    };
+    convert_in(la, Am, opa, A, lda);
+    convert_in(lb, Bm, opb, B, ldb);
+
+    const int spawn = std::min(opt.spawn_levels, plan.depth);
+    recurse(pool, spawn, Cm, Am, Bm, plan.m.tile, plan.k.tile, plan.n.tile,
+            plan.depth);
+
+    const std::int64_t ctiles =
+        static_cast<std::int64_t>(lc.tiles_per_side()) * lc.tiles_per_side();
+    parallel_for(pool, 0, ctiles, /*min_grain=*/8,
                  [&](std::int64_t t0, std::int64_t t1) {
                    RawMem mm;
-                   layout::to_morton_range(mm, l, dst, op, src, ld,
-                                           static_cast<int>(t0),
-                                           static_cast<int>(t1));
+                   layout::from_morton_range(mm, lc, Cm, alpha, C, ldc, beta,
+                                             static_cast<int>(t0),
+                                             static_cast<int>(t1));
                  });
-  };
-  convert_in(la, Am, opa, A, lda);
-  convert_in(lb, Bm, opb, B, ldb);
-
-  const int spawn = std::min(opt.spawn_levels, plan.depth);
-  recurse(pool, spawn, Cm, Am, Bm, plan.m.tile, plan.k.tile, plan.n.tile,
-          plan.depth);
-
-  const std::int64_t ctiles =
-      static_cast<std::int64_t>(lc.tiles_per_side()) * lc.tiles_per_side();
-  parallel_for(pool, 0, ctiles, /*min_grain=*/8,
-               [&](std::int64_t t0, std::int64_t t1) {
-                 RawMem mm;
-                 layout::from_morton_range(mm, lc, Cm, alpha, C, ldc, beta,
-                                           static_cast<int>(t0),
-                                           static_cast<int>(t1));
-               });
+  } catch (const std::bad_alloc&) {
+    // A Morton buffer or a task's arena failed to allocate.  Exceptions from
+    // tasks surface at TaskGroup::wait(), after every sibling task joined,
+    // so nothing still references the spawn-level temporaries being unwound
+    // here.  C has not been touched (it is written only by the final
+    // conversion, which does not allocate), so the serial driver -- with its
+    // full degradation ladder down to the allocation-free path -- can
+    // produce the product from scratch.
+    core::ModgemmOptions serial;
+    serial.tiles = opt.tiles;
+    core::modgemm(opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc,
+                  serial);
+  }
 }
 
 }  // namespace strassen::parallel

@@ -44,7 +44,12 @@ std::size_t pmodgemm_workspace_bytes(int tm, int tk, int tn, int depth,
 
 // C <- alpha * op(A).op(B) + beta * C, using `pool` for parallelism.
 // pool == nullptr runs the whole pipeline inline (useful for tests).
-// Bit-for-bit identical to core::modgemm for every input.
+// Bit-for-bit identical to core::modgemm for every input.  Arguments are
+// validated exactly like the serial entry point (same STRASSEN_REQUIRE
+// checks and messages); if an allocation fails mid-call -- a buffer here or
+// an arena inside a task, whose exception surfaces at TaskGroup::wait() --
+// the call falls back to the serial driver's degradation ladder, so it
+// still returns a correct C without partial writes.
 void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
               double alpha, const double* A, int lda, const double* B, int ldb,
               double beta, double* C, int ldc,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -35,6 +36,23 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+// Runs a task on the current thread, parking an escaping exception in the
+// pool's error slot.  TaskGroup tasks catch their own exceptions before this
+// sees them, so the slot only ever holds fire-and-forget escapes.
+void ThreadPool::run_task(std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+}
+
+std::exception_ptr ThreadPool::take_error() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::exchange(error_, nullptr);
+}
+
 bool ThreadPool::try_run_one() {
   std::function<void()> task;
   {
@@ -43,7 +61,7 @@ bool ThreadPool::try_run_one() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();
+  run_task(task);
   return true;
 }
 
@@ -57,13 +75,20 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    run_task(task);
   }
 }
 
 void TaskGroup::run(std::function<void()> task) {
   if (pool_ == nullptr) {
-    task();
+    // Inline execution still defers the exception to wait(), so callers see
+    // one surfacing point regardless of whether a pool is attached.
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
     return;
   }
   {
@@ -71,14 +96,20 @@ void TaskGroup::run(std::function<void()> task) {
     ++pending_;
   }
   pool_->submit([this, task = std::move(task)] {
-    task();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     std::lock_guard<std::mutex> lock(mutex_);
+    if (err && !error_) error_ = err;
     --pending_;
     if (pending_ == 0) cv_.notify_all();
   });
 }
 
-void TaskGroup::wait() {
+void TaskGroup::join() {
   for (;;) {
     // Help-first: drain queued work on this thread before blocking, so a
     // worker waiting on its children never starves them of a thread.
@@ -96,10 +127,20 @@ void TaskGroup::wait() {
   }
 }
 
+void TaskGroup::wait() {
+  join();
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    err = std::exchange(error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
 void parallel_for(ThreadPool* pool, std::int64_t begin, std::int64_t end,
                   std::int64_t min_grain,
                   const std::function<void(std::int64_t, std::int64_t)>& fn) {
-  STRASSEN_REQUIRE(min_grain >= 1, "grain must be positive");
+  STRASSEN_REQUIRE(min_grain >= 1, "grain must be positive: " << min_grain);
   const std::int64_t count = end - begin;
   if (count <= 0) return;
   const int width = pool ? pool->thread_count() : 1;

@@ -7,6 +7,14 @@
 // the primitives that needs: submit() for fire-and-forget tasks and
 // TaskGroup for fork/join.
 //
+// Exception safety: tasks may throw.  A TaskGroup captures the first
+// exception any of its tasks raises and rethrows it from wait(), after every
+// task in the group has finished -- so no task can outlive the state it
+// captured by reference, and the pool remains fully usable afterwards.  A
+// fire-and-forget task submitted directly to the pool has no join point to
+// rethrow at; its first exception is parked and can be collected with
+// take_error().
+//
 // Deliberately simple: one mutex-protected FIFO, N worker threads, no work
 // stealing -- the library spawns a handful of coarse tasks (7 or 49 products,
 // or tile-range chunks of a conversion), so queue contention is negligible.
@@ -16,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -34,8 +43,10 @@ class ThreadPool {
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
-  // Enqueues a task.  Tasks must not throw (enforced by wrapping; a throwing
-  // task terminates, as an escaped exception on a worker thread would).
+  // Enqueues a task.  A throwing task no longer terminates the process: an
+  // exception escaping a task is captured -- by the owning TaskGroup if the
+  // task was launched through one (rethrown at wait()), otherwise in the
+  // pool's error slot (collected with take_error()).
   void submit(std::function<void()> task);
 
   // Pops one queued task and runs it on the CALLING thread; returns false if
@@ -44,13 +55,20 @@ class ThreadPool {
   // even on a single-thread pool.
   bool try_run_one();
 
+  // First exception that escaped a fire-and-forget task since the last call
+  // (nullptr if none).  Collecting clears the slot.  Tasks run through a
+  // TaskGroup report at wait() instead and never land here.
+  std::exception_ptr take_error();
+
  private:
   void worker_loop();
+  void run_task(std::function<void()>& task);
 
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  std::exception_ptr error_;  // first fire-and-forget escape
   bool stopping_ = false;
 };
 
@@ -59,26 +77,37 @@ class ThreadPool {
 class TaskGroup {
  public:
   // pool == nullptr makes run() execute inline -- callers can treat the
-  // serial and parallel paths uniformly.
+  // serial and parallel paths uniformly (including exception capture: an
+  // inline task's exception also surfaces at wait(), not at run()).
   explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
-  ~TaskGroup() { wait(); }
+  // Joins outstanding tasks.  An exception the caller never collected via
+  // wait() is dropped here: destructors must not throw.
+  ~TaskGroup() { join(); }
 
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   void run(std::function<void()> task);
+  // Blocks until every task launched through this group finished, then
+  // rethrows the first exception any of them threw (if any).  The group and
+  // the pool stay usable after a rethrow.
   void wait();
 
  private:
+  // The join loop of wait(), without the rethrow.
+  void join();
+
   ThreadPool* pool_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::size_t pending_ = 0;
+  std::exception_ptr error_;  // first exception from any task in this group
 };
 
 // Splits [begin, end) into roughly pool-width chunks and applies
 // fn(chunk_begin, chunk_end) in parallel.  Runs inline when pool is null or
-// single-threaded or when the range is smaller than min_grain.
+// single-threaded or when the range is smaller than min_grain.  Rethrows the
+// first exception a chunk raised, after all chunks finished.
 void parallel_for(ThreadPool* pool, std::int64_t begin, std::int64_t end,
                   std::int64_t min_grain,
                   const std::function<void(std::int64_t, std::int64_t)>& fn);

@@ -1,0 +1,53 @@
+#include "testing/fault_injection.hpp"
+
+#include <atomic>
+
+#include "common/aligned_buffer.hpp"
+#include "common/check.hpp"
+
+namespace strassen::testing {
+
+namespace {
+
+// One active injector at a time, so plain globals suffice for its state.
+std::atomic<bool> g_active{false};
+FaultMode g_mode = FaultMode::kCountOnly;
+std::uint64_t g_fail_at = 0;
+std::atomic<std::uint64_t> g_count{0};
+std::atomic<std::uint64_t> g_failures{0};
+
+bool gate(std::size_t /*bytes*/, void* /*user*/) {
+  const std::uint64_t index = g_count.fetch_add(1) + 1;  // 1-based
+  const bool fail =
+      (g_mode == FaultMode::kFailOnce && index == g_fail_at) ||
+      (g_mode == FaultMode::kFailFrom && index >= g_fail_at);
+  if (fail) g_failures.fetch_add(1);
+  return !fail;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultMode mode, std::uint64_t fail_at) {
+  // Validate before claiming the active slot: a throwing constructor runs no
+  // destructor, so it must not leave g_active set.
+  STRASSEN_REQUIRE(mode == FaultMode::kCountOnly || fail_at >= 1,
+                   "fail_at is 1-based: " << fail_at);
+  STRASSEN_REQUIRE(!g_active.exchange(true),
+                   "only one FaultInjector may be active at a time");
+  g_mode = mode;
+  g_fail_at = fail_at;
+  g_count.store(0);
+  g_failures.store(0);
+  AlignedBuffer::set_allocation_gate(&gate, nullptr);
+}
+
+FaultInjector::~FaultInjector() {
+  AlignedBuffer::set_allocation_gate(nullptr, nullptr);
+  g_active.store(false);
+}
+
+std::uint64_t FaultInjector::allocations() const { return g_count.load(); }
+
+std::uint64_t FaultInjector::failures() const { return g_failures.load(); }
+
+}  // namespace strassen::testing

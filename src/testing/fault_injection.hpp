@@ -1,0 +1,47 @@
+// fault_injection.hpp -- counted OOM injection for resilience testing.
+//
+// Every aligned allocation in the library (each AlignedBuffer, and therefore
+// each Arena and every Morton buffer or recursion workspace) consults a
+// pluggable gate before touching the system allocator.  FaultInjector
+// installs a counting gate for its lifetime: it numbers each allocation the
+// code under test attempts and refuses the chosen ones, making AlignedBuffer
+// throw std::bad_alloc -- exactly what a real out-of-memory condition looks
+// like to the library.  Sweeping the failure index over every allocation
+// site proves the degradation ladder recovers (or rejects cleanly) no matter
+// WHICH allocation dies, not just the first.
+//
+// Scope: only the library's own allocations are gated; the global operator
+// new and malloc are untouched, so the test harness itself keeps working.
+// The counter is atomic -- the parallel driver allocates from pool workers
+// concurrently.
+#pragma once
+
+#include <cstdint>
+
+namespace strassen::testing {
+
+enum class FaultMode {
+  kCountOnly,  // never fail; just number the allocation sites
+  kFailOnce,   // fail exactly the fail_at-th allocation (1-based), a
+               // transient pressure spike
+  kFailFrom,   // fail the fail_at-th and every later allocation, a hard
+               // memory ceiling
+};
+
+// RAII: installs the gate on construction, restores the default on
+// destruction.  At most one injector may be active at a time.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultMode mode = FaultMode::kCountOnly,
+                         std::uint64_t fail_at = 0);
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Allocations attempted (counted) since construction.
+  std::uint64_t allocations() const;
+  // Allocations this injector refused.
+  std::uint64_t failures() const;
+};
+
+}  // namespace strassen::testing

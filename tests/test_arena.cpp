@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <new>
+#include <stdexcept>
+#include <utility>
 
 #include "common/arena.hpp"
 
@@ -85,6 +88,46 @@ TEST(Arena, NestedFramesUnwindInOrder) {
 TEST(Arena, CapacityReflectsConstruction) {
   Arena a(1000);
   EXPECT_GE(a.capacity(), 1000u);
+}
+
+TEST(Arena, MoveConstructionLeavesSourceEmptyAndSafe) {
+  Arena a(1024);
+  a.push<double>(16);
+  const std::size_t used = a.used();
+  Arena b(std::move(a));
+  // Destination took over the storage and counters...
+  EXPECT_GE(b.capacity(), 1024u);
+  EXPECT_EQ(b.used(), used);
+  EXPECT_GE(b.peak(), used);
+  b.push<double>(16);  // ...and is fully functional.
+  // Source is the safe empty state: no capacity, no counters, and a push
+  // reports exhaustion instead of handing out a dangling pointer.
+  EXPECT_EQ(a.capacity(), 0u);
+  EXPECT_EQ(a.used(), 0u);
+  EXPECT_EQ(a.peak(), 0u);
+  EXPECT_THROW(a.push<double>(1), std::bad_alloc);
+}
+
+TEST(Arena, MoveAssignmentLeavesSourceEmptyAndSafe) {
+  Arena a(512);
+  a.push<char>(64);
+  Arena b(256);
+  b.push<char>(32);
+  b = std::move(a);
+  EXPECT_GE(b.capacity(), 512u);
+  EXPECT_GT(b.used(), 0u);
+  EXPECT_EQ(a.capacity(), 0u);
+  EXPECT_EQ(a.used(), 0u);
+  EXPECT_EQ(a.peak(), 0u);
+  EXPECT_THROW(a.push<char>(1), std::bad_alloc);
+}
+
+TEST(Arena, PushCountOverflowIsRejected) {
+  // count * sizeof(T) would wrap: rejected as a bad argument, not allocated
+  // with a silently wrapped size.
+  Arena a(256);
+  EXPECT_THROW(a.push<double>(std::numeric_limits<std::size_t>::max() / 4),
+               std::invalid_argument);
 }
 
 }  // namespace

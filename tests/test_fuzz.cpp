@@ -4,6 +4,9 @@
 // keeps comparisons exact.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "baselines/bailey.hpp"
 #include "baselines/dgefmm.hpp"
 #include "baselines/dgemmw.hpp"
@@ -11,6 +14,7 @@
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
 #include "core/modgemm.hpp"
+#include "parallel/pmodgemm.hpp"
 
 namespace strassen {
 namespace {
@@ -101,6 +105,87 @@ TEST_P(Fuzz, AllImplementationsMatchOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range(0, 40));
+
+// Degenerate-case fuzzing for the two drivers with full BLAS edge semantics:
+// zero dimensions, alpha == 0, and oversized leading dimensions, with A/B
+// poisoned by NaN whenever the reference semantics say they must not be read
+// (alpha == 0 or k == 0).  The baselines are excluded: only modgemm and
+// pmodgemm (and the naive oracle) promise the no-read contract.
+class DegenerateFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DegenerateFuzz, DriversFollowBlasEdgeSemantics) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2741 + 5);
+  FuzzCase c;
+  auto dim = [&] {
+    const int roll = rng.uniform_int(0, 9);
+    if (roll < 3) return 0;
+    if (roll < 6) return rng.uniform_int(1, 8);
+    return rng.uniform_int(30, 160);
+  };
+  c.m = dim();
+  c.n = dim();
+  c.k = dim();
+  c.opa = rng.uniform_int(0, 1) ? Op::Trans : Op::NoTrans;
+  c.opb = rng.uniform_int(0, 1) ? Op::Trans : Op::NoTrans;
+  c.alpha = rng.uniform_int(0, 2) == 0 ? 0.0 : 2.0;
+  c.beta = rng.uniform_int(0, 1) ? 0.5 : 0.0;
+  c.pad_a = rng.uniform_int(0, 2) == 0 ? rng.uniform_int(100, 400) : 0;
+  c.pad_b = rng.uniform_int(0, 7);
+  c.pad_c = rng.uniform_int(0, 2) == 0 ? rng.uniform_int(100, 400) : 0;
+  SCOPED_TRACE(::testing::Message()
+               << "m=" << c.m << " n=" << c.n << " k=" << c.k << " op"
+               << op_char(c.opa) << op_char(c.opb) << " alpha=" << c.alpha
+               << " beta=" << c.beta << " pads=" << c.pad_a << "/" << c.pad_b
+               << "/" << c.pad_c);
+
+  const int ar = std::max(1, c.opa == Op::NoTrans ? c.m : c.k);
+  const int ac = std::max(1, c.opa == Op::NoTrans ? c.k : c.m);
+  const int br = std::max(1, c.opb == Op::NoTrans ? c.k : c.n);
+  const int bc = std::max(1, c.opb == Op::NoTrans ? c.n : c.k);
+  Matrix<double> A(ar, ac, ar + c.pad_a), B(br, bc, br + c.pad_b);
+  Matrix<double> C0(c.m, c.n, std::max(1, c.m + c.pad_c));
+  const bool operands_unread = c.alpha == 0.0 || c.k == 0;
+  if (operands_unread) {
+    const double qnan = std::numeric_limits<double>::quiet_NaN();
+    for (auto& x : A.storage()) x = qnan;
+    for (auto& x : B.storage()) x = qnan;
+  } else {
+    rng.fill_int(A.storage(), -2, 2);
+    rng.fill_int(B.storage(), -2, 2);
+  }
+  rng.fill_int(C0.storage(), -2, 2);
+
+  Matrix<double> Ref(c.m, c.n, C0.ld());
+  copy_matrix<double>(C0.view(), Ref.view());
+  blas::naive_gemm(c.opa, c.opb, c.m, c.n, c.k, c.alpha, A.data(), A.ld(),
+                   B.data(), B.ld(), c.beta, Ref.data(), Ref.ld());
+  for (const auto& x : Ref.storage()) ASSERT_FALSE(std::isnan(x));
+
+  Matrix<double> C(c.m, c.n, C0.ld());
+  parallel::ThreadPool pool(2);
+  auto check = [&](const char* name, auto&& call) {
+    copy_matrix<double>(C0.view(), C.view());
+    call();
+    for (const auto& x : C.storage()) EXPECT_FALSE(std::isnan(x)) << name;
+    EXPECT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0) << name;
+  };
+  check("modgemm", [&] {
+    core::modgemm(c.opa, c.opb, c.m, c.n, c.k, c.alpha, A.data(), A.ld(),
+                  B.data(), B.ld(), c.beta, C.data(), C.ld());
+  });
+  check("pmodgemm", [&] {
+    parallel::pmodgemm(&pool, c.opa, c.opb, c.m, c.n, c.k, c.alpha, A.data(),
+                       A.ld(), B.data(), B.ld(), c.beta, C.data(), C.ld());
+  });
+  check("try_modgemm", [&] {
+    EXPECT_EQ(core::try_modgemm(c.opa, c.opb, c.m, c.n, c.k, c.alpha, A.data(),
+                                A.ld(), B.data(), B.ld(), c.beta, C.data(),
+                                C.ld()),
+              Status::kOk);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DegenerateFuzz, ::testing::Range(0, 25));
 
 }  // namespace
 }  // namespace strassen

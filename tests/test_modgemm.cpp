@@ -217,6 +217,74 @@ TEST(ModgemmEdge, RejectsBadLeadingDimensions) {
                std::invalid_argument);
 }
 
+TEST(ModgemmEdge, AlphaZeroDoesNotReadNaNOperands) {
+  // Reference BLAS does not touch A or B when alpha == 0: a NaN there must
+  // never reach C, which is only scaled by beta.  Checked on a direct-path
+  // size and on a Strassen-planned size.
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  for (int n : {40, 150}) {
+    Matrix<double> A(n, n), B(n, n), C(n, n);
+    for (auto& x : A.storage()) x = qnan;
+    for (auto& x : B.storage()) x = qnan;
+    for (auto& x : C.storage()) x = 3.0;
+    modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 0.0, A.data(), n, B.data(), n,
+            -0.5, C.data(), n);
+    for (const auto& x : C.storage()) EXPECT_EQ(x, -1.5) << "n=" << n;
+  }
+}
+
+TEST(ModgemmEdge, KZeroDoesNotReadNaNOperands) {
+  // k == 0 is the same contract: C <- beta*C with A and B unread.
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const int m = 150, n = 130;
+  Matrix<double> A(m, 1), B(1, n), C(m, n);
+  for (auto& x : A.storage()) x = qnan;
+  for (auto& x : B.storage()) x = qnan;
+  for (auto& x : C.storage()) x = 4.0;
+  modgemm(Op::NoTrans, Op::NoTrans, m, n, 0, 7.0, A.data(), m, B.data(), 1,
+          0.25, C.data(), m);
+  for (const auto& x : C.storage()) EXPECT_EQ(x, 1.0);
+}
+
+TEST(ModgemmEdge, EmptyMOrNLeavesCStorageUntouched) {
+  Matrix<double> A(8, 8), B(8, 8), C(5, 8);
+  for (auto& x : C.storage()) x = 9.0;
+  modgemm(Op::NoTrans, Op::NoTrans, 0, 8, 8, 1.0, A.data(), 8, B.data(), 8,
+          0.0, C.data(), 5);
+  for (const auto& x : C.storage()) EXPECT_EQ(x, 9.0);
+  modgemm(Op::NoTrans, Op::NoTrans, 5, 0, 8, 1.0, A.data(), 8, B.data(), 8,
+          0.0, C.data(), 5);
+  for (const auto& x : C.storage()) EXPECT_EQ(x, 9.0);
+}
+
+TEST(ModgemmEdge, OversizedLeadingDimensionsStayExact) {
+  // Leading dimensions far beyond the row counts (sparse column spacing).
+  expect_exact(Op::NoTrans, Op::Trans, 150, 130, 170, 2.0, -1.0, {}, 257);
+  expect_exact(Op::Trans, Op::NoTrans, 65, 65, 65, 1.0, 1.0, {}, 512);
+}
+
+TEST(ModgemmEdge, RejectionMessagesCarryOffendingValues) {
+  Matrix<double> A(100, 100), B(100, 100), C(100, 100);
+  try {
+    modgemm(Op::NoTrans, Op::NoTrans, 100, 100, 100, 1.0, A.data(), 50,
+            B.data(), 100, 0.0, C.data(), 100);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("lda"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("50"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("100"), std::string::npos) << msg;
+  }
+  try {
+    modgemm(Op::NoTrans, Op::NoTrans, -3, 10, 10, 1.0, A.data(), 100, B.data(),
+            100, 0.0, C.data(), 100);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("m=-3"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ModgemmEdge, BetaZeroDoesNotReadC) {
   const int n = 150;
   Matrix<double> A(n, n), B(n, n), C(n, n);

@@ -7,6 +7,8 @@
 // just integers.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
 #include <tuple>
 
 #include "common/matrix.hpp"
@@ -98,6 +100,64 @@ TEST(PmodgemmSemantics, DegenerateDimensions) {
   pmodgemm(&pool, Op::NoTrans, Op::NoTrans, 8, 8, 0, 1.0, A.data(), 8,
            B.data(), 8, 0.5, C.data(), 8);
   for (const auto& x : C.storage()) EXPECT_EQ(x, 2.0);
+}
+
+TEST(PmodgemmSemantics, RejectsBadArgumentsLikeSerial) {
+  // The parallel driver validates with the same checks (and messages) as the
+  // serial entry point -- before any buffer is allocated or task spawned.
+  ThreadPool pool(2);
+  Matrix<double> A(100, 100), B(100, 100), C(100, 100);
+  EXPECT_THROW(pmodgemm(&pool, Op::NoTrans, Op::NoTrans, 100, 100, 100, 1.0,
+                        A.data(), 50, B.data(), 100, 0.0, C.data(), 100),
+               std::invalid_argument);
+  EXPECT_THROW(pmodgemm(&pool, Op::Trans, Op::NoTrans, 100, 100, 120, 1.0,
+                        A.data(), 100, B.data(), 120, 0.0, C.data(), 100),
+               std::invalid_argument);
+  EXPECT_THROW(pmodgemm(&pool, Op::NoTrans, Op::NoTrans, -1, 100, 100, 1.0,
+                        A.data(), 100, B.data(), 100, 0.0, C.data(), 100),
+               std::invalid_argument);
+  EXPECT_THROW(pmodgemm(&pool, Op::NoTrans, Op::NoTrans, 100, 100, 100, 1.0,
+                        A.data(), 100, B.data(), 100, 0.0, C.data(), 10),
+               std::invalid_argument);
+}
+
+TEST(PmodgemmSemantics, AlphaZeroDoesNotReadNaNOperands) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const int n = 150;
+  ThreadPool pool(3);
+  Matrix<double> A(n, n), B(n, n), C(n, n);
+  for (auto& x : A.storage()) x = qnan;
+  for (auto& x : B.storage()) x = qnan;
+  for (auto& x : C.storage()) x = 2.0;
+  pmodgemm(&pool, Op::NoTrans, Op::NoTrans, n, n, n, 0.0, A.data(), n,
+           B.data(), n, 0.5, C.data(), n);
+  for (const auto& x : C.storage()) EXPECT_EQ(x, 1.0);
+}
+
+TEST(PmodgemmSemantics, EmptyDimensionsLeaveCUntouched) {
+  ThreadPool pool(2);
+  Matrix<double> A(8, 8), B(8, 8), C(5, 8);
+  for (auto& x : C.storage()) x = 6.0;
+  pmodgemm(&pool, Op::NoTrans, Op::NoTrans, 0, 8, 8, 1.0, A.data(), 8,
+           B.data(), 8, 0.0, C.data(), 5);
+  pmodgemm(&pool, Op::NoTrans, Op::NoTrans, 5, 0, 8, 1.0, A.data(), 8,
+           B.data(), 8, 0.0, C.data(), 5);
+  for (const auto& x : C.storage()) EXPECT_EQ(x, 6.0);
+}
+
+TEST(PmodgemmSemantics, OversizedLeadingDimsMatchSerial) {
+  const int m = 150, n = 140, k = 160, slack = 300;
+  Rng rng(5);
+  Matrix<double> A(m, k, m + slack), B(k, n, k + slack);
+  Matrix<double> Cs(m, n, m + slack), Cp(m, n, m + slack);
+  rng.fill_int(A.storage());
+  rng.fill_int(B.storage());
+  core::modgemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A.data(), A.ld(),
+                B.data(), B.ld(), 0.0, Cs.data(), Cs.ld());
+  ThreadPool pool(4);
+  pmodgemm(&pool, Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A.data(), A.ld(),
+           B.data(), B.ld(), 0.0, Cp.data(), Cp.ld());
+  EXPECT_EQ(max_abs_diff<double>(Cs.view(), Cp.view()), 0.0);
 }
 
 TEST(PmodgemmWorkspace, SpawnLevelsGrowTheFootprint) {

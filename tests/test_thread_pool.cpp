@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <exception>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
@@ -127,6 +130,106 @@ TEST(ParallelFor, RejectsBadGrain) {
   EXPECT_THROW(
       parallel_for(nullptr, 0, 10, 0, [](std::int64_t, std::int64_t) {}),
       std::invalid_argument);
+}
+
+TEST(ThreadPoolErrors, TaskExceptionSurfacesAtWait) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.run([] { throw std::runtime_error("task failed"); });
+  try {
+    group.wait();
+    FAIL() << "wait() must rethrow the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+}
+
+TEST(ThreadPoolErrors, AllSiblingsFinishBeforeRethrow) {
+  // wait() may only rethrow after every task in the group has completed --
+  // otherwise a task could still be running while the caller unwinds the
+  // state it references.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 32; ++i) {
+    group.run([&done, i] {
+      if (i == 0) throw std::runtime_error("early failure");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++done;
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(done.load(), 31);
+}
+
+TEST(ThreadPoolErrors, PoolAndGroupUsableAfterException) {
+  ThreadPool pool(2);
+  {
+    TaskGroup group(&pool);
+    group.run([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    group.wait();  // the error was collected; a second wait is clean
+  }
+  std::atomic<int> count{0};
+  TaskGroup again(&pool);
+  for (int i = 0; i < 50; ++i) again.run([&count] { ++count; });
+  again.wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolErrors, OnlyFirstExceptionIsRethrown) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 5; ++i)
+    group.run([] { throw std::runtime_error("one of many"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  group.wait();  // the other four were dropped, not queued up
+}
+
+TEST(ThreadPoolErrors, InlineGroupDefersExceptionToWait) {
+  // Null-pool groups run tasks inline but must keep the same contract:
+  // run() returns normally, wait() rethrows.
+  TaskGroup group(nullptr);
+  group.run([] { throw std::logic_error("inline"); });
+  EXPECT_THROW(group.wait(), std::logic_error);
+}
+
+TEST(ThreadPoolErrors, DestructorDropsUncollectedException) {
+  ThreadPool pool(2);
+  {
+    TaskGroup group(&pool);
+    group.run([] { throw std::runtime_error("never collected"); });
+  }  // ~TaskGroup joins and swallows -- must not terminate the process
+  SUCCEED();
+}
+
+TEST(ThreadPoolErrors, FireAndForgetErrorParkedInPool) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.take_error(), nullptr);
+  pool.submit([] { throw std::runtime_error("detached"); });
+  // No join point exists for a bare submit(); poll the pool's error slot.
+  std::exception_ptr err;
+  for (int spin = 0; spin < 10000 && !err; ++spin) {
+    err = pool.take_error();
+    if (!err) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(err != nullptr);
+  EXPECT_THROW(std::rethrow_exception(err), std::runtime_error);
+  EXPECT_EQ(pool.take_error(), nullptr);  // collecting cleared the slot
+}
+
+TEST(ParallelForErrors, ChunkExceptionPropagatesPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(&pool, 0, 1000, 8,
+                            [](std::int64_t lo, std::int64_t) {
+                              if (lo == 0) throw std::runtime_error("chunk");
+                            }),
+               std::runtime_error);
+  std::atomic<int> covered{0};
+  parallel_for(&pool, 0, 100, 8, [&](std::int64_t lo, std::int64_t hi) {
+    covered += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(covered.load(), 100);
 }
 
 }  // namespace
