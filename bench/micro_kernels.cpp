@@ -1,21 +1,42 @@
 // micro_kernels -- google-benchmark microbenchmarks for the library's hot
-// kernels: the 4x4 leaf gemm across the paper's tile range (contiguous vs
-// strided), the single-loop Morton quadrant additions vs two-loop view
-// additions, and the layout conversions.
+// kernels: the leaf gemm across the paper's tile range (contiguous vs
+// strided) for every runnable engine kernel, the single-loop Morton quadrant
+// additions vs two-loop view additions, and the layout conversions.
 //
 // These are the building blocks whose behaviour the paper's Fig. 3 argument
 // rests on; this binary gives per-kernel numbers (ns/op, effective FLOPS)
 // rather than whole-algorithm comparisons.
+//
+// Besides the normal google-benchmark CLI, two extra flags drive the
+// engine's regression baseline:
+//
+//   --kernels_json=PATH   skip google-benchmark; sweep every available
+//                         (kernel, variant) x tile configuration under the
+//                         paper's measurement protocol and write the results
+//                         as JSON (the BENCH_kernels.json artifact).
+//   --check_speedup=X     with --kernels_json: exit non-zero unless the best
+//                         SIMD kernel reaches X times the scalar GFLOP/s at
+//                         every tile in {16, 32, 64}.  No-op when only the
+//                         scalar kernel can run (portability guard for CI).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "blas/kernels.hpp"
+#include "blas/kernels/registry.hpp"
 #include "blas/level1.hpp"
 #include "blas/view_ops.hpp"
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
 #include "layout/convert.hpp"
 #include "layout/plan.hpp"
 
@@ -138,6 +159,176 @@ void BM_ToMortonTransposed(benchmark::State& state) {
 }
 BENCHMARK(BM_ToMortonTransposed)->Arg(256)->Arg(513);
 
+// ---- engine sweep: every runnable kernel configuration --------------------
+
+namespace ker = strassen::blas::kernels;
+
+struct KernelConfig {
+  ker::Kind kind;
+  ker::Avx2Variant variant;
+  std::string name;  // "scalar", "avx2-8x6", ...
+};
+
+std::vector<KernelConfig> kernel_configs() {
+  std::vector<KernelConfig> out;
+  for (ker::Kind kind : ker::available_kernels()) {
+    if (kind == ker::Kind::kAvx2) {
+      out.push_back({kind, ker::Avx2Variant::k8x6, "avx2-8x6"});
+      out.push_back({kind, ker::Avx2Variant::k4x8, "avx2-4x8"});
+    } else {
+      out.push_back({kind, ker::Avx2Variant::kAuto, ker::kind_name(kind)});
+    }
+  }
+  return out;
+}
+
+void BM_LeafGemmKernel(benchmark::State& state, KernelConfig cfg, int t) {
+  ker::ScopedKernel pin(cfg.kind, cfg.variant);
+  Matrix<double> A(t, t), B(t, t), C(t, t);
+  Rng rng(7);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  for (auto _ : state) {
+    blas::gemm_leaf(t, t, t, A.data(), t, B.data(), t, C.data(), t,
+                    blas::LeafMode::Overwrite);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * t * t * t, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void register_kernel_benchmarks() {
+  for (const KernelConfig& cfg : kernel_configs()) {
+    for (int t : {16, 24, 32, 48, 64}) {
+      benchmark::RegisterBenchmark(
+          ("BM_LeafGemmKernel/" + cfg.name + "/" + std::to_string(t)).c_str(),
+          [cfg, t](benchmark::State& s) { BM_LeafGemmKernel(s, cfg, t); });
+    }
+  }
+}
+
+// ---- --kernels_json sweep (the BENCH_kernels.json regression baseline) ----
+
+// GFLOP/s of the contiguous T x T leaf multiply under the active kernel,
+// measured with the paper's protocol (min over outer reps of the average).
+double leaf_gflops(int t, int reps) {
+  Rng rng(static_cast<std::uint64_t>(t) * 11 + 5);
+  Matrix<double> A(t, t), B(t, t), C(t, t);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  const double flops = static_cast<double>(gemm_flops(t, t, t));
+  MeasureOptions opt;
+  opt.outer_reps = reps;
+  opt.inner_reps = std::max(1, static_cast<int>(4e6 / flops));
+  const double secs = measure(
+      [&] {
+        blas::gemm_leaf(t, t, t, A.data(), t, B.data(), t, C.data(), t,
+                        blas::LeafMode::Overwrite);
+      },
+      opt);
+  return flops / secs * 1e-9;
+}
+
+int run_kernel_sweep(const std::string& json_path, double check_speedup) {
+  const std::vector<int> tiles{8, 16, 24, 32, 48, 64, 96};
+  const std::vector<int> check_tiles{16, 32, 64};
+  const std::vector<KernelConfig> configs = kernel_configs();
+
+  // config name -> tile -> GFLOP/s
+  std::map<std::string, std::map<int, double>> results;
+  for (const KernelConfig& cfg : configs) {
+    ker::ScopedKernel pin(cfg.kind, cfg.variant);
+    for (int t : tiles) results[cfg.name][t] = leaf_gflops(t, /*reps=*/5);
+  }
+
+  std::ofstream os(json_path);
+  if (!os) {
+    std::cerr << "micro_kernels: cannot write " << json_path << "\n";
+    return 1;
+  }
+  os << "{\n  \"benchmark\": \"leaf_gemm_kernel_sweep\",\n";
+  os << "  \"active_default\": \"" << ker::kind_name(ker::active_kernel())
+     << "\",\n";
+  os << "  \"compiled\": [";
+  {
+    bool first = true;
+    for (ker::Kind k : ker::compiled_kernels()) {
+      os << (first ? "" : ", ") << '"' << ker::kind_name(k) << '"';
+      first = false;
+    }
+  }
+  os << "],\n  \"results\": [\n";
+  bool first_row = true;
+  for (const auto& [name, per_tile] : results) {
+    for (const auto& [t, gflops] : per_tile) {
+      os << (first_row ? "" : ",\n") << "    {\"kernel\": \"" << name
+         << "\", \"tile\": " << t << ", \"gflops\": " << gflops << "}";
+      first_row = false;
+    }
+  }
+  os << "\n  ],\n";
+  // Speedup of the best non-scalar configuration over scalar, per tile.
+  os << "  \"best_simd_speedup_vs_scalar\": {";
+  bool first_t = true;
+  bool check_failed = false;
+  for (int t : tiles) {
+    double best_simd = 0.0;
+    for (const auto& [name, per_tile] : results)
+      if (name != "scalar") best_simd = std::max(best_simd, per_tile.at(t));
+    const double scalar = results.at("scalar").at(t);
+    const double speedup = scalar > 0.0 && best_simd > 0.0
+                               ? best_simd / scalar
+                               : 0.0;
+    os << (first_t ? "" : ", ") << '"' << t << "\": "
+       << (results.size() > 1 ? speedup : 1.0);
+    first_t = false;
+    if (check_speedup > 0.0 && results.size() > 1 &&
+        std::find(check_tiles.begin(), check_tiles.end(), t) !=
+            check_tiles.end() &&
+        speedup < check_speedup) {
+      std::cerr << "micro_kernels: speedup check FAILED at T=" << t << ": "
+                << speedup << "x < " << check_speedup << "x\n";
+      check_failed = true;
+    }
+  }
+  os << "}\n}\n";
+  os.close();
+  std::cout << "wrote " << json_path << "\n";
+  for (const auto& [name, per_tile] : results) {
+    std::cout << "  " << name << ":";
+    for (const auto& [t, gflops] : per_tile)
+      std::cout << "  T=" << t << " " << gflops << " GF/s";
+    std::cout << "\n";
+  }
+  if (check_speedup > 0.0 && results.size() == 1)
+    std::cout << "speedup check skipped: only the scalar kernel is available\n";
+  return check_failed ? 1 : 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  double check_speedup = 0.0;
+  // Strip our flags before handing argv to google-benchmark.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--kernels_json=", 0) == 0) {
+      json_path = arg.substr(15);
+    } else if (arg.rfind("--check_speedup=", 0) == 0) {
+      check_speedup = std::atof(arg.c_str() + 16);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (!json_path.empty()) return run_kernel_sweep(json_path, check_speedup);
+
+  register_kernel_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,12 +6,28 @@
 // -- contiguous tile (ld == rows) versus strided submatrix (ld == base
 // matrix) -- is precisely what the paper's Fig. 3 measures.
 //
-// The kernel uses 4x4 register blocking with the k-loop innermost; at -O2+
-// with RawMem the accumulators live in vector registers and GCC emits FMAs.
-// Edges (m or n not multiples of 4) fall back to a scalar path.
+// Two layers:
+//
+//   * gemm_leaf_generic -- the MemModel-templated 4x4 register-blocked
+//     kernel (k-loop innermost; at -O2+ with RawMem the accumulators live in
+//     vector registers and GCC emits FMAs).  Every memory model other than
+//     RawMem runs this code, so traced/counted executions have a single
+//     deterministic address stream.
+//   * gemm_leaf -- the dispatching wrapper.  For the production (RawMem,
+//     double) instantiation it routes to the kernel engine
+//     (blas/kernels/registry.hpp) when a SIMD kernel is active: explicit
+//     micro-kernels (AVX2+FMA 8x6/4x8, NEON 4x4) selected by a runtime CPU
+//     probe.  With the scalar kernel active it compiles the local
+//     gemm_leaf_generic instantiation instead -- the identical per-TU code
+//     the pre-engine library ran -- so STRASSEN_KERNEL=scalar reproduces the
+//     seed bit for bit.
+//
+// Edges (m or n not multiples of the register block) fall back to a scalar
+// path in every implementation.
 #pragma once
 
 #include <cstddef>
+#include <type_traits>
 
 #include "common/memmodel.hpp"
 
@@ -19,6 +35,22 @@ namespace strassen::blas {
 
 // Whether the leaf multiply overwrites C or accumulates into it.
 enum class LeafMode { Overwrite, Accumulate };
+
+namespace kernels {
+// Implemented in kernels/registry.cpp: invokes the active engine kernel.
+// Declared here (rather than via registry.hpp) to keep this header free of
+// the engine types it is included by.
+void dispatch_gemm_leaf(int m, int n, int k, const double* A, int lda,
+                        const double* B, int ldb, double* C, int ldc,
+                        LeafMode mode, double alpha);
+// True when the active kernel is a SIMD table (not scalar).  gemm_leaf only
+// crosses into the engine when this holds; with the scalar kernel active it
+// falls through to the caller's own gemm_leaf_generic instantiation instead,
+// so STRASSEN_KERNEL=scalar executes exactly the per-TU code the pre-engine
+// library compiled (out-of-line instantiations of the same template can
+// contract FMAs differently, which would break seed bit-exactness).
+bool simd_gemm_active() noexcept;
+}  // namespace kernels
 
 namespace detail {
 
@@ -43,10 +75,12 @@ void gemm_edge(MM& mm, int i0, int mr, int j0, int nr, int k, const T* A,
 
 }  // namespace detail
 
-// C(m x n) {=, +=} alpha * A(m x k) * B(k x n); all column-major.
+// C(m x n) {=, +=} alpha * A(m x k) * B(k x n); all column-major.  The
+// portable 4x4 register-blocked kernel, templated over the memory model.
 template <class MM, class T>
-void gemm_leaf(MM& mm, int m, int n, int k, const T* A, int lda, const T* B,
-               int ldb, T* C, int ldc, LeafMode mode, T alpha = T{1}) {
+void gemm_leaf_generic(MM& mm, int m, int n, int k, const T* A, int lda,
+                       const T* B, int ldb, T* C, int ldc, LeafMode mode,
+                       T alpha = T{1}) {
   constexpr int MR = 4;
   constexpr int NR = 4;
   const int m4 = m - m % MR;
@@ -99,6 +133,23 @@ void gemm_leaf(MM& mm, int m, int n, int k, const T* A, int lda, const T* B,
   if (n4 < n)
     detail::gemm_edge(mm, 0, m, n4, n - n4, k, A, lda, B, ldb, C, ldc, mode,
                       alpha);
+}
+
+// C(m x n) {=, +=} alpha * A(m x k) * B(k x n); all column-major.  The
+// production (RawMem, double) instantiation runs the engine's active SIMD
+// kernel; every other memory model / element type compiles the generic
+// template, so traced and float executions are engine-independent.
+template <class MM, class T>
+void gemm_leaf(MM& mm, int m, int n, int k, const T* A, int lda, const T* B,
+               int ldb, T* C, int ldc, LeafMode mode, T alpha = T{1}) {
+  if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
+    if (kernels::simd_gemm_active()) {
+      kernels::dispatch_gemm_leaf(m, n, k, A, lda, B, ldb, C, ldc, mode,
+                                  alpha);
+      return;
+    }
+  }
+  gemm_leaf_generic(mm, m, n, k, A, lda, B, ldb, C, ldc, mode, alpha);
 }
 
 // Convenience overload on the production model.

@@ -1,0 +1,290 @@
+// kernels/avx2.cpp -- AVX2+FMA micro-kernels for double.
+//
+// Compiled with per-file -mavx2 -mfma (see src/CMakeLists.txt) so the rest
+// of the library keeps its portable -march; the registry only routes here
+// when cpuid reports AVX2+FMA at runtime.
+//
+// Two register-block variants share one implementation template:
+//
+//   8x6 -- 12 ymm accumulators + 2 A vectors + 1 B broadcast = 15 of 16 ymm;
+//          the classic double-precision blocking for 16-register AVX2.
+//   4x8 --  8 ymm accumulators + 1 A vector + 1 B broadcast; lower register
+//          pressure, and its 4/8 footprints divide the library's power-of-two
+//          tiles (16, 32, 64) exactly, so those shapes run edge-free.
+//
+// The variant is chosen per call shape (whichever covers more of m x n with
+// full blocks), or pinned via set_avx2_variant / STRASSEN_KERNEL=avx2-8x6 /
+// avx2-4x8 / the autotuner.
+//
+// Operand loaders abstract A and B access so the same blocks serve the plain
+// kernel and the fused Winograd kernels, which form (A1 +/- A2) or
+// (B1 +/- B2) on the fly instead of reading a materialized temporary -- the
+// BLIS-Strassen trick of fusing the quadrant sums into the kernel pass.
+//
+// Columns are contiguous in column-major storage, so A loads are plain
+// unaligned vector loads for ANY leading dimension; Morton leaf operands are
+// additionally contiguous (ld == rows) and 64-byte aligned, which is the
+// fast case the engine is built around.  Edges (m % MR, n % NR) run a
+// column-strip path: vectorized over four rows at a time, scalar tail.
+#include "blas/kernels/registry.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace strassen::blas::kernels {
+
+namespace {
+
+inline std::size_t off(int ld, int col) {
+  return static_cast<std::size_t>(ld) * col;
+}
+
+// ---- operand loaders ------------------------------------------------------
+
+struct APlain {
+  const double* a;
+  int lda;
+  __m256d load4(int i, int p) const { return _mm256_loadu_pd(a + off(lda, p) + i); }
+  double at(int i, int p) const { return a[off(lda, p) + i]; }
+};
+
+template <bool kSub>
+struct AFused {
+  const double* a1;
+  const double* a2;
+  int lda;
+  __m256d load4(int i, int p) const {
+    const __m256d x = _mm256_loadu_pd(a1 + off(lda, p) + i);
+    const __m256d y = _mm256_loadu_pd(a2 + off(lda, p) + i);
+    return kSub ? _mm256_sub_pd(x, y) : _mm256_add_pd(x, y);
+  }
+  double at(int i, int p) const {
+    return kSub ? a1[off(lda, p) + i] - a2[off(lda, p) + i]
+                : a1[off(lda, p) + i] + a2[off(lda, p) + i];
+  }
+};
+
+struct BPlain {
+  const double* b;
+  int ldb;
+  double at(int p, int j) const { return b[off(ldb, j) + p]; }
+};
+
+template <bool kSub>
+struct BFused {
+  const double* b1;
+  const double* b2;
+  int ldb;
+  double at(int p, int j) const {
+    return kSub ? b1[off(ldb, j) + p] - b2[off(ldb, j) + p]
+                : b1[off(ldb, j) + p] + b2[off(ldb, j) + p];
+  }
+};
+
+// ---- kernel blocks --------------------------------------------------------
+
+// One MR x NR register block at (i, j): C block {=, +=} alpha * A.B.
+template <int MR, int NR, class AL, class BL>
+void block(const AL& A, const BL& B, int k, double* C, int ldc, LeafMode mode,
+           double alpha, int i, int j) {
+  constexpr int MV = MR / 4;  // ymm vectors per column strip
+  __m256d acc[NR][MV];
+  for (int jj = 0; jj < NR; ++jj)
+    for (int v = 0; v < MV; ++v) acc[jj][v] = _mm256_setzero_pd();
+  for (int p = 0; p < k; ++p) {
+    __m256d a[MV];
+    for (int v = 0; v < MV; ++v) a[v] = A.load4(i + 4 * v, p);
+    for (int jj = 0; jj < NR; ++jj) {
+      const __m256d b = _mm256_set1_pd(B.at(p, j + jj));
+      for (int v = 0; v < MV; ++v)
+        acc[jj][v] = _mm256_fmadd_pd(a[v], b, acc[jj][v]);
+    }
+  }
+  const __m256d va = _mm256_set1_pd(alpha);
+  for (int jj = 0; jj < NR; ++jj) {
+    double* c = C + off(ldc, j + jj) + i;
+    for (int v = 0; v < MV; ++v) {
+      __m256d r = _mm256_mul_pd(va, acc[jj][v]);
+      if (mode == LeafMode::Accumulate)
+        r = _mm256_add_pd(_mm256_loadu_pd(c + 4 * v), r);
+      _mm256_storeu_pd(c + 4 * v, r);
+    }
+  }
+}
+
+// Edge path: columns [j0, j1) x rows [i0, i1), one column at a time,
+// vectorized over four-row strips with a scalar row tail.
+template <class AL, class BL>
+void strip_cols(const AL& A, const BL& B, int k, double* C, int ldc, int i0,
+                int i1, int j0, int j1, LeafMode mode, double alpha) {
+  for (int j = j0; j < j1; ++j) {
+    double* c = C + off(ldc, j);
+    int i = i0;
+    for (; i + 4 <= i1; i += 4) {
+      __m256d acc = _mm256_setzero_pd();
+      for (int p = 0; p < k; ++p)
+        acc = _mm256_fmadd_pd(A.load4(i, p), _mm256_set1_pd(B.at(p, j)), acc);
+      __m256d r = _mm256_mul_pd(_mm256_set1_pd(alpha), acc);
+      if (mode == LeafMode::Accumulate)
+        r = _mm256_add_pd(_mm256_loadu_pd(c + i), r);
+      _mm256_storeu_pd(c + i, r);
+    }
+    for (; i < i1; ++i) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) acc += A.at(i, p) * B.at(p, j);
+      const double v = alpha * acc;
+      c[i] = mode == LeafMode::Overwrite ? v : c[i] + v;
+    }
+  }
+}
+
+template <int MR, int NR, class AL, class BL>
+void gemm_main(int m, int n, int k, const AL& A, const BL& B, double* C,
+               int ldc, LeafMode mode, double alpha) {
+  const int mM = m - m % MR;
+  const int nN = n - n % NR;
+  for (int j = 0; j < nN; j += NR)
+    for (int i = 0; i < mM; i += MR)
+      block<MR, NR>(A, B, k, C, ldc, mode, alpha, i, j);
+  if (mM < m) strip_cols(A, B, k, C, ldc, mM, m, 0, nN, mode, alpha);
+  if (nN < n) strip_cols(A, B, k, C, ldc, 0, m, nN, n, mode, alpha);
+}
+
+// Full-block coverage of an MR x NR variant over an m x n result.
+long long coverage(int m, int n, int mr, int nr) {
+  return static_cast<long long>(m - m % mr) * (n - n % nr);
+}
+
+template <class AL, class BL>
+void gemm_dispatch(int m, int n, int k, const AL& A, const BL& B, double* C,
+                   int ldc, LeafMode mode, double alpha) {
+  Avx2Variant v = avx2_variant();
+  if (v == Avx2Variant::kAuto)
+    v = coverage(m, n, 4, 8) > coverage(m, n, 8, 6) ? Avx2Variant::k4x8
+                                                    : Avx2Variant::k8x6;
+  if (v == Avx2Variant::k4x8)
+    gemm_main<4, 8>(m, n, k, A, B, C, ldc, mode, alpha);
+  else
+    gemm_main<8, 6>(m, n, k, A, B, C, ldc, mode, alpha);
+}
+
+// ---- table entries --------------------------------------------------------
+
+void avx2_gemm(int m, int n, int k, const double* A, int lda, const double* B,
+               int ldb, double* C, int ldc, LeafMode mode, double alpha) {
+  gemm_dispatch(m, n, k, APlain{A, lda}, BPlain{B, ldb}, C, ldc, mode, alpha);
+}
+
+void avx2_gemm_fused_a(int m, int n, int k, const double* A1, const double* A2,
+                       FusedOp opa, int lda, const double* B, int ldb,
+                       double* C, int ldc) {
+  const BPlain b{B, ldb};
+  if (opa == FusedOp::kSub)
+    gemm_dispatch(m, n, k, AFused<true>{A1, A2, lda}, b, C, ldc,
+                  LeafMode::Overwrite, 1.0);
+  else
+    gemm_dispatch(m, n, k, AFused<false>{A1, A2, lda}, b, C, ldc,
+                  LeafMode::Overwrite, 1.0);
+}
+
+void avx2_gemm_fused_b(int m, int n, int k, const double* A, int lda,
+                       const double* B1, const double* B2, FusedOp opb,
+                       int ldb, double* C, int ldc) {
+  const APlain a{A, lda};
+  if (opb == FusedOp::kSub)
+    gemm_dispatch(m, n, k, a, BFused<true>{B1, B2, ldb}, C, ldc,
+                  LeafMode::Overwrite, 1.0);
+  else
+    gemm_dispatch(m, n, k, a, BFused<false>{B1, B2, ldb}, C, ldc,
+                  LeafMode::Overwrite, 1.0);
+}
+
+void avx2_gemm_fused_ab(int m, int n, int k, const double* A1,
+                        const double* A2, FusedOp opa, int lda,
+                        const double* B1, const double* B2, FusedOp opb,
+                        int ldb, double* C, int ldc) {
+  auto run = [&](auto a, auto b) {
+    gemm_dispatch(m, n, k, a, b, C, ldc, LeafMode::Overwrite, 1.0);
+  };
+  if (opa == FusedOp::kSub) {
+    if (opb == FusedOp::kSub)
+      run(AFused<true>{A1, A2, lda}, BFused<true>{B1, B2, ldb});
+    else
+      run(AFused<true>{A1, A2, lda}, BFused<false>{B1, B2, ldb});
+  } else {
+    if (opb == FusedOp::kSub)
+      run(AFused<false>{A1, A2, lda}, BFused<true>{B1, B2, ldb});
+    else
+      run(AFused<false>{A1, A2, lda}, BFused<false>{B1, B2, ldb});
+  }
+}
+
+// ---- element-wise quadrant kernels ---------------------------------------
+// Exact aliasing (dst == a or dst == b) is safe: each vector is fully loaded
+// before its lane range is stored.
+
+void avx2_vadd(std::size_t n, double* dst, const double* a, const double* b) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(a + i),
+                                            _mm256_loadu_pd(b + i)));
+  for (; i < n; ++i) dst[i] = a[i] + b[i];
+}
+
+void avx2_vsub(std::size_t n, double* dst, const double* a, const double* b) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(dst + i, _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                            _mm256_loadu_pd(b + i)));
+  for (; i < n; ++i) dst[i] = a[i] - b[i];
+}
+
+void avx2_vadd_inplace(std::size_t n, double* dst, const double* a) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(a + i)));
+  for (; i < n; ++i) dst[i] += a[i];
+}
+
+void avx2_vsub_inplace(std::size_t n, double* dst, const double* a) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(dst + i, _mm256_sub_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(a + i)));
+  for (; i < n; ++i) dst[i] -= a[i];
+}
+
+constexpr LeafKernels kTable = {
+    Kind::kAvx2,
+    "avx2",
+    /*mr=*/8,
+    /*nr=*/6,
+    avx2_gemm,
+    avx2_gemm_fused_a,
+    avx2_gemm_fused_b,
+    avx2_gemm_fused_ab,
+    avx2_vadd,
+    avx2_vsub,
+    avx2_vadd_inplace,
+    avx2_vsub_inplace,
+};
+
+}  // namespace
+
+namespace detail {
+const LeafKernels* avx2_table() { return &kTable; }
+}  // namespace detail
+
+}  // namespace strassen::blas::kernels
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace strassen::blas::kernels::detail {
+// This build's compiler flags could not enable AVX2+FMA for this TU; the
+// registry treats the kind as not compiled in.
+const LeafKernels* avx2_table() { return nullptr; }
+}  // namespace strassen::blas::kernels::detail
+
+#endif

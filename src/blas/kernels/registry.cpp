@@ -1,0 +1,224 @@
+// kernels/registry.cpp -- runtime CPU dispatch for the leaf-kernel engine.
+//
+// Selection order (first hit wins):
+//   1. STRASSEN_KERNEL environment variable, parsed once on first use.
+//      Unavailable or unknown values degrade to the scalar table -- the
+//      portable guarantee -- never to an illegal-instruction crash.
+//   2. CPU probe: the best compiled-in kind the host can execute
+//      (avx2 > neon > scalar).
+//
+// The active kind is an atomic, so the per-leaf-call read is a few
+// nanoseconds against the O(T^3) work it dispatches; setters are for
+// startup, tests (ScopedKernel) and ModgemmOptions::kernel pins.
+#include "blas/kernels/registry.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__) && defined(__arm__)
+#include <sys/auxv.h>
+#endif
+
+namespace strassen::blas::kernels {
+
+namespace {
+
+Kind detect_default(Avx2Variant* variant);
+
+struct State {
+  std::atomic<Kind> active;
+  std::atomic<Avx2Variant> variant;
+  State() {
+    Avx2Variant v = Avx2Variant::kAuto;
+    active.store(detect_default(&v), std::memory_order_relaxed);
+    variant.store(v, std::memory_order_relaxed);
+  }
+};
+
+bool table_compiled(Kind kind) { return kernel_table(kind) != nullptr; }
+
+// Parses STRASSEN_KERNEL.  Returns kAuto for unset/empty, kScalar for any
+// value that names nothing runnable (unknown strings included: an operator
+// typo must not silently re-enable SIMD).  May also pin the AVX2 variant.
+Kind parse_env(Avx2Variant* variant) {
+  const char* e = std::getenv("STRASSEN_KERNEL");
+  if (e == nullptr || *e == '\0') return Kind::kAuto;
+  if (std::strcmp(e, "scalar") == 0) return Kind::kScalar;
+  if (std::strcmp(e, "avx2") == 0) return Kind::kAvx2;
+  if (std::strcmp(e, "avx2-8x6") == 0) {
+    *variant = Avx2Variant::k8x6;
+    return Kind::kAvx2;
+  }
+  if (std::strcmp(e, "avx2-4x8") == 0) {
+    *variant = Avx2Variant::k4x8;
+    return Kind::kAvx2;
+  }
+  if (std::strcmp(e, "neon") == 0) return Kind::kNeon;
+  return Kind::kScalar;
+}
+
+Kind best_available() {
+  if (is_available(Kind::kAvx2)) return Kind::kAvx2;
+  if (is_available(Kind::kNeon)) return Kind::kNeon;
+  return Kind::kScalar;
+}
+
+// The default selection: environment override, else probe.
+Kind detect_default(Avx2Variant* variant) {
+  const Kind env = parse_env(variant);
+  if (env == Kind::kAuto) return best_available();
+  return is_available(env) ? env : Kind::kScalar;
+}
+
+State& state() {
+  static State s;
+  return s;
+}
+
+}  // namespace
+
+bool cpu_supports(Kind kind) {
+  switch (kind) {
+    case Kind::kAuto:
+    case Kind::kScalar:
+      return true;
+    case Kind::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Kind::kNeon:
+#if defined(__aarch64__)
+      return true;  // Advanced SIMD is architecturally mandatory on AArch64
+#elif defined(__linux__) && defined(__arm__) && defined(HWCAP_NEON)
+      return (getauxval(AT_HWCAP) & HWCAP_NEON) != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const LeafKernels* kernel_table(Kind kind) {
+  switch (kind) {
+    case Kind::kScalar:
+      return &detail::scalar_table();
+    case Kind::kAvx2:
+      return detail::avx2_table();
+    case Kind::kNeon:
+      return detail::neon_table();
+    case Kind::kAuto:
+      break;
+  }
+  return nullptr;
+}
+
+bool is_available(Kind kind) {
+  return kind != Kind::kAuto && table_compiled(kind) && cpu_supports(kind);
+}
+
+std::vector<Kind> compiled_kernels() {
+  std::vector<Kind> out;
+  for (Kind k : {Kind::kScalar, Kind::kAvx2, Kind::kNeon})
+    if (table_compiled(k)) out.push_back(k);
+  return out;
+}
+
+std::vector<Kind> available_kernels() {
+  std::vector<Kind> out;
+  for (Kind k : {Kind::kScalar, Kind::kAvx2, Kind::kNeon})
+    if (is_available(k)) out.push_back(k);
+  return out;
+}
+
+Kind active_kernel() { return state().active.load(std::memory_order_relaxed); }
+
+void set_active_kernel(Kind kind) {
+  if (kind == Kind::kAuto) {
+    Avx2Variant variant = Avx2Variant::kAuto;
+    const Kind def = detect_default(&variant);
+    state().variant.store(variant, std::memory_order_relaxed);
+    state().active.store(def, std::memory_order_relaxed);
+    return;
+  }
+  if (!is_available(kind)) kind = Kind::kScalar;
+  state().active.store(kind, std::memory_order_relaxed);
+}
+
+Avx2Variant avx2_variant() {
+  return state().variant.load(std::memory_order_relaxed);
+}
+
+void set_avx2_variant(Avx2Variant v) {
+  state().variant.store(v, std::memory_order_relaxed);
+}
+
+const LeafKernels& active() {
+  const LeafKernels* t = kernel_table(active_kernel());
+  return t != nullptr ? *t : detail::scalar_table();
+}
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kAuto:
+      return "auto";
+    case Kind::kScalar:
+      return "scalar";
+    case Kind::kAvx2:
+      return "avx2";
+    case Kind::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const char* variant_name(Avx2Variant v) {
+  switch (v) {
+    case Avx2Variant::kAuto:
+      return "auto";
+    case Avx2Variant::k8x6:
+      return "8x6";
+    case Avx2Variant::k4x8:
+      return "4x8";
+  }
+  return "unknown";
+}
+
+// ---- hot-path dispatch thunks (declared in kernels.hpp / level1.hpp) ------
+
+// Scalar-active gemm_leaf calls never reach the engine: the template falls
+// through to the caller's local gemm_leaf_generic instantiation, which is
+// what keeps STRASSEN_KERNEL=scalar bit-identical to the pre-engine library
+// (the centralized scalar.cpp instantiation of the same template may round
+// differently under FMA contraction).
+bool simd_gemm_active() noexcept {
+  return active_kernel() != Kind::kScalar;
+}
+
+void dispatch_gemm_leaf(int m, int n, int k, const double* A, int lda,
+                        const double* B, int ldb, double* C, int ldc,
+                        LeafMode mode, double alpha) {
+  active().gemm(m, n, k, A, lda, B, ldb, C, ldc, mode, alpha);
+}
+
+void dispatch_vadd(std::size_t n, double* dst, const double* a,
+                   const double* b) {
+  active().vadd(n, dst, a, b);
+}
+
+void dispatch_vsub(std::size_t n, double* dst, const double* a,
+                   const double* b) {
+  active().vsub(n, dst, a, b);
+}
+
+void dispatch_vadd_inplace(std::size_t n, double* dst, const double* a) {
+  active().vadd_inplace(n, dst, a);
+}
+
+void dispatch_vsub_inplace(std::size_t n, double* dst, const double* a) {
+  active().vsub_inplace(n, dst, a);
+}
+
+}  // namespace strassen::blas::kernels

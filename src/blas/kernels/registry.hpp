@@ -1,0 +1,166 @@
+// kernels/registry.hpp -- the leaf-kernel engine and its runtime dispatch.
+//
+// The Morton layout's promise (paper Fig. 3) is that leaf tiles are small,
+// CONTIGUOUS (ld == rows) and 64-byte aligned, so a tuned register-blocked
+// micro-kernel runs at a stable fraction of peak across the whole tile range.
+// This module delivers that kernel: a table of ISA-specific micro-kernel
+// implementations
+//
+//   scalar    4x4  -- the portable fallback; byte-for-byte the code the
+//                     generic MemModel template produces (seed behaviour)
+//   avx2      8x6 and 4x8 (double, AVX2+FMA), selected per shape or pinned
+//   neon      4x4  (double, Advanced SIMD; AArch64 and ARMv7-NEON)
+//
+// selected once at startup by a CPU probe (cpuid on x86, HWCAP/mandatory
+// NEON on ARM), overridable by the STRASSEN_KERNEL environment variable
+// ("scalar" | "avx2" | "avx2-8x6" | "avx2-4x8" | "neon") and per call via
+// ModgemmOptions::kernel.
+//
+// The engine serves ONLY the production RawMem/double instantiation: the
+// templated kernels in blas/kernels.hpp and blas/level1.hpp route to the
+// active table through `if constexpr` when (MM, T) == (RawMem, double), and
+// compile the generic scalar loops for every other model.  TracingMem /
+// CountingMem executions therefore always run the deterministic scalar
+// address stream the cache-simulation results depend on, no matter which
+// kernel is active.
+//
+// Each ISA lives in its own translation unit compiled with per-file ISA
+// flags (see src/CMakeLists.txt), so a portable -march baseline binary still
+// carries the AVX2 kernels and enables them only on hosts whose cpuid says
+// they can run.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "blas/kernels.hpp"
+
+namespace strassen::blas::kernels {
+
+// Which implementation family a table belongs to.  kAuto is not a table: it
+// names "re-run the probe + environment override" in setter contexts.
+enum class Kind { kAuto = -1, kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+// Register-block variant of the AVX2 kernel.  kAuto picks per call shape
+// (n % 6 == 0 favours 8x6, n % 8 == 0 favours 4x8); the autotuner or the
+// STRASSEN_KERNEL suffix can pin one.
+enum class Avx2Variant { kAuto = 0, k8x6 = 1, k4x8 = 2 };
+
+// Operand combination applied on the fly by the fused kernels.
+enum class FusedOp { kAdd, kSub };
+
+// One ISA's kernel table.  All matrices are column-major doubles; the gemm
+// entry accepts arbitrary leading dimensions (edges and the blocked driver
+// pass strided views), while the fused entries and the element-wise entries
+// are only ever called on contiguous quadrants.  Fused pointers may be null:
+// the Winograd recursion then materializes operand sums exactly as the seed
+// code did (this is deliberate for the scalar table, which must stay
+// bit-identical to seed).
+struct LeafKernels {
+  Kind kind;
+  const char* name;  // "scalar", "avx2", "neon"
+  int mr, nr;        // register block of the main path
+
+  // C(m x n) {=, +=} alpha * A(m x k) . B(k x n).
+  void (*gemm)(int m, int n, int k, const double* A, int lda, const double* B,
+               int ldb, double* C, int ldc, LeafMode mode, double alpha);
+
+  // Fused leaf products (Overwrite, alpha == 1): the S/T operand sum of the
+  // Winograd schedule is computed on the fly instead of through a temporary,
+  // removing one full memory pass per fused operand.
+  //   C = (A1 op A2) . B
+  void (*gemm_fused_a)(int m, int n, int k, const double* A1, const double* A2,
+                       FusedOp opa, int lda, const double* B, int ldb,
+                       double* C, int ldc);
+  //   C = A . (B1 op B2)
+  void (*gemm_fused_b)(int m, int n, int k, const double* A, int lda,
+                       const double* B1, const double* B2, FusedOp opb, int ldb,
+                       double* C, int ldc);
+  //   C = (A1 opa A2) . (B1 opb B2)
+  void (*gemm_fused_ab)(int m, int n, int k, const double* A1,
+                        const double* A2, FusedOp opa, int lda,
+                        const double* B1, const double* B2, FusedOp opb,
+                        int ldb, double* C, int ldc);
+
+  // Contiguous element-wise quadrant kernels (the 15 Winograd additions).
+  // Alias contract as in level1.hpp: dst may equal a or b exactly; partial
+  // overlap is not supported.
+  void (*vadd)(std::size_t n, double* dst, const double* a, const double* b);
+  void (*vsub)(std::size_t n, double* dst, const double* a, const double* b);
+  void (*vadd_inplace)(std::size_t n, double* dst, const double* a);
+  void (*vsub_inplace)(std::size_t n, double* dst, const double* a);
+};
+
+// ---- capability probing ---------------------------------------------------
+
+// True when the running CPU can execute `kind` (cpuid on x86, HWCAP on
+// 32-bit ARM; AArch64 implies NEON).  Independent of what was compiled in.
+bool cpu_supports(Kind kind);
+
+// Kinds whose kernel TU was compiled into this binary (scalar always is).
+std::vector<Kind> compiled_kernels();
+
+// compiled_kernels() filtered by cpu_supports(): the kinds that can actually
+// run here.  Never empty (scalar is always present).
+std::vector<Kind> available_kernels();
+
+bool is_available(Kind kind);
+
+// ---- active-kernel state --------------------------------------------------
+
+// The process-wide active kernel.  Initialized on first use from the
+// STRASSEN_KERNEL environment variable when set (unavailable or unknown
+// values degrade to scalar -- the portable guarantee), else from the probe
+// (best available).
+Kind active_kernel();
+
+// Sets the active kernel.  kAuto re-runs the environment/probe selection;
+// an unavailable kind degrades to kScalar.  This is process-global state:
+// concurrent calls racing different pins get an arbitrary winner, so servers
+// should pin once at startup (or per call via ModgemmOptions::kernel, which
+// is documented to have the same global effect).
+void set_active_kernel(Kind kind);
+
+Avx2Variant avx2_variant();
+void set_avx2_variant(Avx2Variant v);
+
+// The active table (never null).
+const LeafKernels& active();
+
+// Table for a specific compiled-in kind; nullptr when its TU was compiled
+// out (e.g. neon on an x86 build).
+const LeafKernels* kernel_table(Kind kind);
+
+const char* kind_name(Kind kind);
+const char* variant_name(Avx2Variant v);
+
+// RAII pin for tests and per-call overrides: saves the active kernel (and
+// AVX2 variant), sets the requested one, restores on destruction.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(Kind kind, Avx2Variant variant = Avx2Variant::kAuto)
+      : saved_kind_(active_kernel()), saved_variant_(avx2_variant()) {
+    set_active_kernel(kind);
+    set_avx2_variant(variant);
+  }
+  ~ScopedKernel() {
+    set_active_kernel(saved_kind_);
+    set_avx2_variant(saved_variant_);
+  }
+  ScopedKernel(const ScopedKernel&) = delete;
+  ScopedKernel& operator=(const ScopedKernel&) = delete;
+
+ private:
+  Kind saved_kind_;
+  Avx2Variant saved_variant_;
+};
+
+namespace detail {
+// Per-ISA table accessors, one per kernel TU.  A TU whose ISA was not
+// enabled at compile time returns nullptr (see avx2.cpp / neon.cpp stubs).
+const LeafKernels& scalar_table();
+const LeafKernels* avx2_table();
+const LeafKernels* neon_table();
+}  // namespace detail
+
+}  // namespace strassen::blas::kernels

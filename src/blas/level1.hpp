@@ -6,41 +6,78 @@
 // zero-padding and scaling work in the conversion routines.
 //
 // All kernels are alias-safe in the patterns the schedules use: `dst` may
-// equal `a` or `b` because each element is fully read before being written.
+// equal `a` or `b` exactly because each element is fully read before being
+// written (partial overlap is not supported).  This exact-alias contract is
+// why the loops below cannot simply be restrict-qualified: the engine's
+// scalar implementations (kernels/scalar.cpp) instead branch on the alias
+// check and run a restrict-qualified loop on the common disjoint case, which
+// is what lets GCC vectorize them without runtime overlap guards.
+//
+// Like gemm_leaf, the four add/sub kernels dispatch the production (RawMem,
+// double) instantiation to the kernel engine's SIMD implementations; every
+// other model runs the generic loops, keeping traced address streams exact.
 #pragma once
 
 #include <cstddef>
+#include <type_traits>
 
 #include "common/memmodel.hpp"
 
 namespace strassen::blas {
 
+namespace kernels {
+// Implemented in kernels/registry.cpp: the active engine's element-wise
+// kernels (see kernels/registry.hpp).
+void dispatch_vadd(std::size_t n, double* dst, const double* a,
+                   const double* b);
+void dispatch_vsub(std::size_t n, double* dst, const double* a,
+                   const double* b);
+void dispatch_vadd_inplace(std::size_t n, double* dst, const double* a);
+void dispatch_vsub_inplace(std::size_t n, double* dst, const double* a);
+}  // namespace kernels
+
 // dst[i] = a[i] + b[i]
 template <class MM, class T>
 void vadd(MM& mm, std::size_t n, T* dst, const T* a, const T* b) {
-  for (std::size_t i = 0; i < n; ++i)
-    mm.store(dst + i, static_cast<T>(mm.load(a + i) + mm.load(b + i)));
+  if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
+    kernels::dispatch_vadd(n, dst, a, b);
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      mm.store(dst + i, static_cast<T>(mm.load(a + i) + mm.load(b + i)));
+  }
 }
 
 // dst[i] = a[i] - b[i]
 template <class MM, class T>
 void vsub(MM& mm, std::size_t n, T* dst, const T* a, const T* b) {
-  for (std::size_t i = 0; i < n; ++i)
-    mm.store(dst + i, static_cast<T>(mm.load(a + i) - mm.load(b + i)));
+  if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
+    kernels::dispatch_vsub(n, dst, a, b);
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      mm.store(dst + i, static_cast<T>(mm.load(a + i) - mm.load(b + i)));
+  }
 }
 
 // dst[i] += a[i]
 template <class MM, class T>
 void vadd_inplace(MM& mm, std::size_t n, T* dst, const T* a) {
-  for (std::size_t i = 0; i < n; ++i)
-    mm.store(dst + i, static_cast<T>(mm.load(dst + i) + mm.load(a + i)));
+  if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
+    kernels::dispatch_vadd_inplace(n, dst, a);
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      mm.store(dst + i, static_cast<T>(mm.load(dst + i) + mm.load(a + i)));
+  }
 }
 
 // dst[i] -= a[i]
 template <class MM, class T>
 void vsub_inplace(MM& mm, std::size_t n, T* dst, const T* a) {
-  for (std::size_t i = 0; i < n; ++i)
-    mm.store(dst + i, static_cast<T>(mm.load(dst + i) - mm.load(a + i)));
+  if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
+    kernels::dispatch_vsub_inplace(n, dst, a);
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      mm.store(dst + i, static_cast<T>(mm.load(dst + i) - mm.load(a + i)));
+  }
 }
 
 // dst[i] = src[i]

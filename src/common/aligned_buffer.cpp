@@ -51,19 +51,22 @@ AlignedBuffer::AlignedBuffer(std::size_t bytes, std::size_t alignment) {
   ptr_ = std::aligned_alloc(alignment, rounded);
   if (ptr_ == nullptr) throw std::bad_alloc();
   bytes_ = bytes;
+  alignment_ = alignment;
 }
 
 AlignedBuffer::~AlignedBuffer() { reset(); }
 
 AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
     : ptr_(std::exchange(other.ptr_, nullptr)),
-      bytes_(std::exchange(other.bytes_, 0)) {}
+      bytes_(std::exchange(other.bytes_, 0)),
+      alignment_(std::exchange(other.alignment_, 0)) {}
 
 AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
   if (this != &other) {
     reset();
     ptr_ = std::exchange(other.ptr_, nullptr);
     bytes_ = std::exchange(other.bytes_, 0);
+    alignment_ = std::exchange(other.alignment_, 0);
   }
   return *this;
 }
@@ -76,6 +79,7 @@ void AlignedBuffer::reset() {
   std::free(ptr_);
   ptr_ = nullptr;
   bytes_ = 0;
+  alignment_ = 0;
 }
 
 }  // namespace strassen

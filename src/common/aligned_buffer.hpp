@@ -42,6 +42,10 @@ class AlignedBuffer {
   const void* data() const { return ptr_; }
   std::size_t size_bytes() const { return bytes_; }
   bool empty() const { return ptr_ == nullptr; }
+  // The alignment the storage was allocated with (0 when empty).  Part of
+  // the engine's alignment contract: the SIMD leaf kernels assume Morton
+  // buffers come from 64-byte-aligned storage (kDefaultAlignment).
+  std::size_t alignment() const { return alignment_; }
 
   template <class T>
   T* as() {
@@ -61,6 +65,7 @@ class AlignedBuffer {
  private:
   void* ptr_ = nullptr;
   std::size_t bytes_ = 0;
+  std::size_t alignment_ = 0;
 };
 
 }  // namespace strassen

@@ -8,19 +8,17 @@
 namespace strassen {
 
 namespace {
-constexpr std::size_t kChunkAlign = 64;
-
 std::size_t round_up(std::size_t n, std::size_t a) {
   return (n + a - 1) / a * a;
 }
 }  // namespace
 
 Arena::Arena(std::size_t bytes, std::size_t alignment)
-    : buffer_(round_up(std::max<std::size_t>(bytes, 1), kChunkAlign),
+    : buffer_(round_up(std::max<std::size_t>(bytes, 1), kChunkAlignment),
               alignment) {}
 
 void* Arena::push_bytes(std::size_t bytes) {
-  const std::size_t need = round_up(bytes, kChunkAlign);
+  const std::size_t need = round_up(bytes, kChunkAlignment);
   if (top_ + need > buffer_.size_bytes()) throw std::bad_alloc();
   void* p = static_cast<char*>(buffer_.data()) + top_;
   top_ += need;

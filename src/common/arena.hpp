@@ -18,6 +18,11 @@ namespace strassen {
 
 class Arena {
  public:
+  // Every push is rounded up to this granularity and therefore starts on a
+  // 64-byte (cache-line) boundary -- the alignment contract the SIMD leaf
+  // kernels rely on for Morton buffers and recursion temporaries.
+  static constexpr std::size_t kChunkAlignment = 64;
+
   Arena() = default;
   // Creates an arena of `bytes` capacity, aligned to `alignment`.
   explicit Arena(std::size_t bytes,
@@ -57,6 +62,9 @@ class Arena {
 
   std::size_t capacity() const { return buffer_.size_bytes(); }
   std::size_t used() const { return top_; }
+  // Alignment of the backing storage (>= kChunkAlignment by default); every
+  // pointer push() returns is aligned to min(alignment(), kChunkAlignment).
+  std::size_t alignment() const { return buffer_.alignment(); }
   // High-water mark over the lifetime of the arena (for workspace tests).
   std::size_t peak() const { return peak_; }
 

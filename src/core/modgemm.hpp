@@ -24,9 +24,12 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <new>
+#include <optional>
 
 #include "blas/gemm.hpp"
+#include "blas/kernels/registry.hpp"
 #include "common/arena.hpp"
 #include "common/check.hpp"
 #include "common/matrix.hpp"
@@ -55,6 +58,16 @@ struct ModgemmOptions {
   // the workspace-free conventional gemm_blocked path.  The chosen
   // degradation is recorded in ModgemmReport::fallback_reason.
   std::size_t max_workspace_bytes = 0;
+  // Leaf-kernel pin for this call.  kAuto (the default) leaves the engine's
+  // active kernel alone (environment / CPU probe / autotuner selection); any
+  // other value is installed for the duration of the call and restored on
+  // return.  The active kernel is process-global (kernels/registry.hpp), so
+  // concurrent calls pinning different kernels race -- pin at startup or via
+  // STRASSEN_KERNEL for multi-threaded embedders.  Only the production
+  // (RawMem, double) instantiation consults the engine; traced executions
+  // always run the scalar path.
+  blas::kernels::Kind kernel = blas::kernels::Kind::kAuto;
+  blas::kernels::Avx2Variant avx2_variant = blas::kernels::Avx2Variant::kAuto;
 };
 
 // How (if at all) a call degraded from the planned Strassen execution.
@@ -226,6 +239,15 @@ void modgemm_strassen(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
   T* Am = arena.push<T>(static_cast<std::size_t>(la.elems()));
   T* Bm = arena.push<T>(static_cast<std::size_t>(lb.elems()));
   T* Cm = arena.push<T>(static_cast<std::size_t>(lc.elems()));
+  // Alignment contract the SIMD leaf kernels build on: every Morton buffer
+  // starts on a cache-line boundary (Arena::kChunkAlignment).
+  STRASSEN_ASSERT(arena.alignment() >= Arena::kChunkAlignment);
+  STRASSEN_ASSERT(reinterpret_cast<std::uintptr_t>(Am) %
+                      Arena::kChunkAlignment == 0);
+  STRASSEN_ASSERT(reinterpret_cast<std::uintptr_t>(Bm) %
+                      Arena::kChunkAlignment == 0);
+  STRASSEN_ASSERT(reinterpret_cast<std::uintptr_t>(Cm) %
+                      Arena::kChunkAlignment == 0);
 
   WallTimer t;
   layout::to_morton(mm, la, Am, opa, A, lda);
@@ -317,6 +339,9 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
                 int ldc, const ModgemmOptions& opt = {},
                 ModgemmReport* report = nullptr) {
   require_gemm_args(opa, opb, m, n, k, lda, ldb, ldc);
+  std::optional<blas::kernels::ScopedKernel> kernel_pin;
+  if (opt.kernel != blas::kernels::Kind::kAuto)
+    kernel_pin.emplace(opt.kernel, opt.avx2_variant);
   if (m == 0 || n == 0) return;
   if (alpha == T{0} || k == 0) {
     blas::scale_view(mm, m, n, C, ldc, beta);

@@ -36,7 +36,10 @@
 
 #include <cstdint>
 
+#include <type_traits>
+
 #include "blas/kernels.hpp"
+#include "blas/kernels/registry.hpp"
 #include "blas/level1.hpp"
 #include "common/arena.hpp"
 #include "common/memmodel.hpp"
@@ -84,6 +87,47 @@ void winograd_recurse(MM& mm, T* C, const T* A, const T* B, int tm, int tk,
   auto mul = [&](T* dst, const T* a, const T* b) {
     winograd_recurse(mm, dst, a, b, tm, tk, tn, d1, arena);
   };
+
+  // At the last level before the leaves, the production engine can fuse the
+  // operand combinations that feed exactly one product into the product
+  // itself (S3/T3 into P5, -T4 into P7, S4 into P6), saving four full passes
+  // over quadrant-sized temporaries per level-1 node.  S1/T1/S2/T2 are still
+  // materialized because the schedule reuses them.  The scalar table
+  // publishes no fused entries, so STRASSEN_KERNEL=scalar (and every traced
+  // MemModel) runs the seed schedule below with its exact rounding and
+  // address stream.
+  if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
+    if (d1 == 0) {
+      namespace ker = blas::kernels;
+      const ker::LeafKernels& tab = ker::active();
+      if (tab.gemm_fused_a != nullptr && tab.gemm_fused_b != nullptr &&
+          tab.gemm_fused_ab != nullptr) {
+        using ker::FusedOp;
+        tab.gemm_fused_ab(tm, tn, tk, A11, A21, FusedOp::kSub, tm,  // P5 =
+                          B22, B12, FusedOp::kSub, tk, C21, tm);    //  S3.T3
+        blas::vadd(mm, qa, tS, A21, A22);     // S1
+        blas::vsub(mm, qb, tT, B12, B11);     // T1
+        mul(C22, tS, tT);                     // P3 = S1.T1
+        blas::vsub_inplace(mm, qa, tS, A11);  // S2 = S1 - A11
+        blas::vsub(mm, qb, tT, B22, tT);      // T2 = B22 - T1
+        mul(C12, tS, tT);                     // P4 = S2.T2
+        mul(tP, A11, B11);                    // P1
+        blas::vadd_inplace(mm, qc, C12, tP);   // U2 = P1 + P4
+        blas::vadd_inplace(mm, qc, C21, C12);  // U3 = U2 + P5
+        blas::vadd_inplace(mm, qc, C12, C22);  // U6 = U2 + P3
+        blas::vadd_inplace(mm, qc, C22, C21);  // final C22 = U3 + P3
+        tab.gemm_fused_b(tm, tn, tk, A22, tm, tT, B21,    // -P7 =
+                         FusedOp::kSub, tk, C11, tm);     //  A22.(T2 - B21)
+        blas::vsub_inplace(mm, qc, C21, C11);  // final C21 = U3 + P7
+        tab.gemm_fused_a(tm, tn, tk, A12, tS, FusedOp::kSub, tm,  // P6 =
+                         B22, tk, C11, tm);                       //  S4.B22
+        blas::vadd_inplace(mm, qc, C12, C11);  // final C12 = U6 + P6
+        mul(C11, A12, B21);                    // P2
+        blas::vadd_inplace(mm, qc, C11, tP);   // final C11 = P1 + P2
+        return;
+      }
+    }
+  }
 
   blas::vsub(mm, qa, tS, A11, A21);   // S3
   blas::vsub(mm, qb, tT, B22, B12);   // T3

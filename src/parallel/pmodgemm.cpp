@@ -1,6 +1,7 @@
 #include "parallel/pmodgemm.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <new>
 
 #include "blas/level1.hpp"
@@ -71,6 +72,15 @@ void recurse(ThreadPool* pool, int spawn, double* C, const double* A,
   double* M5 = level.push<double>(qc);
   double* M6 = level.push<double>(qc);
   double* M7 = level.push<double>(qc);
+  // Same alignment contract as the serial driver: spawn-level temporaries
+  // feed the SIMD element-wise kernels and the leaf gemm below, which assume
+  // cache-line-aligned quadrant storage.
+  STRASSEN_ASSERT(reinterpret_cast<std::uintptr_t>(S1) %
+                      Arena::kChunkAlignment == 0);
+  STRASSEN_ASSERT(reinterpret_cast<std::uintptr_t>(T1) %
+                      Arena::kChunkAlignment == 0);
+  STRASSEN_ASSERT(reinterpret_cast<std::uintptr_t>(M1) %
+                      Arena::kChunkAlignment == 0);
 
   RawMem mm;
   // Operand sums (same expressions as the serial schedule).

@@ -5,6 +5,15 @@
 // the library with TracingMem reproduces the paper's ATOM methodology at the
 // source level: the full data-reference stream of the real computation, in
 // execution order, against a configurable cache.
+//
+// Determinism guarantee: the SIMD leaf-kernel engine (blas/kernels/registry)
+// only ever serves the (RawMem, double) instantiation.  TracingMem
+// executions always compile the generic scalar loops -- the seed schedule,
+// including the materialized Winograd operand sums -- so traced values and
+// the simulated address stream are identical whatever kernel is active and
+// whatever STRASSEN_KERNEL says.  (Across memory models, bit-identity is
+// NOT guaranteed: the compiler contracts FMAs differently in the RawMem and
+// TracingMem instantiations of the same kernel template.)
 #pragma once
 
 #include <cstdint>

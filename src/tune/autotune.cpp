@@ -44,6 +44,46 @@ AutotuneResult autotune(const AutotuneOptions& opt) {
                    "tolerance must be in (0, 1]");
   AutotuneResult result;
 
+  // --- kernel survey ----------------------------------------------------
+  // Rank every runnable engine configuration by aggregate leaf throughput
+  // over the candidate tiles, then (optionally) install the winner so the
+  // tile survey below measures the kernel that will actually run.
+  namespace ker = blas::kernels;
+  if (opt.survey_kernels) {
+    struct Config {
+      ker::Kind kind;
+      ker::Avx2Variant variant;
+    };
+    std::vector<Config> configs;
+    for (ker::Kind kind : ker::available_kernels()) {
+      if (kind == ker::Kind::kAvx2) {
+        configs.push_back({kind, ker::Avx2Variant::k8x6});
+        configs.push_back({kind, ker::Avx2Variant::k4x8});
+      } else {
+        configs.push_back({kind, ker::Avx2Variant::kAuto});
+      }
+    }
+    double best_total = 0.0;
+    for (const Config& c : configs) {
+      ker::ScopedKernel pin(c.kind, c.variant);
+      double total = 0.0;
+      for (int tile : opt.candidate_tiles) {
+        const double rate = leaf_mflops(tile, opt.repetitions);
+        result.kernel_survey.push_back({c.kind, c.variant, tile, rate});
+        total += rate;
+      }
+      if (total > best_total) {
+        best_total = total;
+        result.best_kernel = c.kind;
+        result.best_avx2_variant = c.variant;
+      }
+    }
+    if (opt.apply_best_kernel) {
+      ker::set_active_kernel(result.best_kernel);
+      ker::set_avx2_variant(result.best_avx2_variant);
+    }
+  }
+
   // --- leaf survey ----------------------------------------------------
   double best_rate = 0.0;
   int best_tile = opt.candidate_tiles.front();

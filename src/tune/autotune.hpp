@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "blas/kernels/registry.hpp"
 #include "layout/plan.hpp"
 
 namespace strassen::tune {
@@ -34,10 +35,30 @@ struct AutotuneOptions {
   // Problem sizes probed for the Strassen/conventional crossover.
   std::vector<int> crossover_sizes{64, 96, 128, 160, 192, 256};
   int repetitions = 3;  // timing repetitions per probe
+  // Survey every available leaf-kernel implementation (and both AVX2
+  // register-block variants) across the candidate tiles before the tile
+  // survey, so the tile range is chosen for the kernel that will run.
+  bool survey_kernels = true;
+  // Install the winning kernel/variant as the engine's active kernel (a
+  // process-global setting, see kernels/registry.hpp).
+  bool apply_best_kernel = true;
 };
 
 struct AutotuneResult {
   layout::TileOptions tiles;  // ready to drop into ModgemmOptions
+  // Winning leaf-kernel configuration (ready to drop into
+  // ModgemmOptions::kernel / avx2_variant); scalar when the survey is off.
+  blas::kernels::Kind best_kernel = blas::kernels::Kind::kScalar;
+  blas::kernels::Avx2Variant best_avx2_variant =
+      blas::kernels::Avx2Variant::kAuto;
+  // Diagnostics: leaf MFLOPS per (kernel, variant, tile) probe.
+  struct KernelSurveyPoint {
+    blas::kernels::Kind kind;
+    blas::kernels::Avx2Variant variant;  // kAuto for non-AVX2 kinds
+    int tile;
+    double mflops;
+  };
+  std::vector<KernelSurveyPoint> kernel_survey;
   // Diagnostics: (tile, MFLOPS) pairs from the leaf survey.
   std::vector<std::pair<int, double>> leaf_survey;
   // (n, conventional seconds, strassen seconds) from the crossover probe.

@@ -31,10 +31,15 @@ TEST(TracingMem, ValuesAreUnchangedByTracing) {
   Rng rng(1);
   rng.fill_uniform(A);
   rng.fill_uniform(B);
-  blas::gemm_leaf(raw, n, n, n, A.data(), n, B.data(), n, C1.data(), n,
-                  blas::LeafMode::Overwrite);
-  blas::gemm_leaf(mm, n, n, n, A.data(), n, B.data(), n, C2.data(), n,
-                  blas::LeafMode::Overwrite);
+  // Compare the same gemm_leaf_generic instantiation pair, raw vs traced:
+  // the TracingMem load/store hooks must not perturb arithmetic.  (Calling
+  // the dispatching blas::gemm_leaf here would compare against whatever
+  // SIMD kernel is active, which legitimately accumulates in a different
+  // order; kernel-vs-kernel value agreement is test_kernel_engine's job.)
+  blas::gemm_leaf_generic(raw, n, n, n, A.data(), n, B.data(), n, C1.data(),
+                          n, blas::LeafMode::Overwrite);
+  blas::gemm_leaf_generic(mm, n, n, n, A.data(), n, B.data(), n, C2.data(), n,
+                          blas::LeafMode::Overwrite);
   EXPECT_EQ(C1, C2);  // bit-identical: tracing must not perturb arithmetic
 }
 
