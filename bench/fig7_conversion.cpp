@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   Table table({"n", "convert_in(s)", "compute(s)", "convert_out(s)",
                "conversion%"});
   args.maybe_mirror(table, "fig7_conversion");
+  bench::ReportLog log(args, "fig7_conversion");
 
   double lo = 100.0, hi = 0.0;
   std::vector<double> xs;
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
                         p.C.ld(), {}, &report);
         },
         opt);
+    log.add("n=" + std::to_string(n), report);
     const double pct = 100.0 * report.conversion_fraction();
     lo = std::min(lo, pct);
     hi = std::max(hi, pct);

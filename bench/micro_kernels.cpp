@@ -37,8 +37,10 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
+#include "core/modgemm.hpp"
 #include "layout/convert.hpp"
 #include "layout/plan.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
@@ -236,9 +238,25 @@ int run_kernel_sweep(const std::string& json_path, double check_speedup) {
 
   // config name -> tile -> GFLOP/s
   std::map<std::string, std::map<int, double>> results;
+  // config name -> one observed modgemm call's GemmReport (JSON), giving
+  // each configuration's leaf/fused usage and phase split at n = 256.
+  std::map<std::string, std::string> modgemm_reports;
   for (const KernelConfig& cfg : configs) {
     ker::ScopedKernel pin(cfg.kind, cfg.variant);
     for (int t : tiles) results[cfg.name][t] = leaf_gflops(t, /*reps=*/5);
+    {
+      const int n = 256;
+      Rng rng(static_cast<std::uint64_t>(n));
+      Matrix<double> A(n, n), B(n, n), C(n, n);
+      rng.fill_uniform(A.storage());
+      rng.fill_uniform(B.storage());
+      core::ModgemmOptions mo;
+      mo.tiles.direct_threshold = 64;  // guarantee a Strassen execution
+      obs::GemmReport report;
+      core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), A.ld(),
+                    B.data(), B.ld(), 0.0, C.data(), C.ld(), mo, &report);
+      modgemm_reports[cfg.name] = obs::to_json(report);
+    }
   }
 
   std::ofstream os(json_path);
@@ -267,6 +285,15 @@ int run_kernel_sweep(const std::string& json_path, double check_speedup) {
     }
   }
   os << "\n  ],\n";
+  os << "  \"modgemm_reports\": {\n";
+  {
+    bool first = true;
+    for (const auto& [name, json] : modgemm_reports) {
+      os << (first ? "" : ",\n") << "    \"" << name << "\": " << json;
+      first = false;
+    }
+  }
+  os << "\n  },\n";
   // Speedup of the best non-scalar configuration over scalar, per tile.
   os << "  \"best_simd_speedup_vs_scalar\": {";
   bool first_t = true;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 #include "baselines/conventional.hpp"
 #include "baselines/dgefmm.hpp"
@@ -20,9 +21,12 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       args.paper_protocol = true;
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       args.csv_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_dir = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "unknown argument '%s' (flags: --quick --paper --csv DIR)\n",
+                   "unknown argument '%s' (flags: --quick --paper --csv DIR "
+                   "--json DIR)\n",
                    argv[i]);
     }
   }
@@ -31,6 +35,31 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
 
 void BenchArgs::maybe_mirror(Table& table, const std::string& name) const {
   if (!csv_dir.empty()) table.mirror_csv(csv_dir + "/" + name + ".csv");
+}
+
+ReportLog::ReportLog(const BenchArgs& args, std::string name)
+    : dir_(args.json_dir), name_(std::move(name)) {}
+
+void ReportLog::add(const std::string& label, const obs::GemmReport& report) {
+  if (enabled()) rows_.emplace_back(label, report);
+}
+
+ReportLog::~ReportLog() {
+  if (!enabled() || rows_.empty()) return;
+  const std::string path = dir_ + "/BENCH_" + name_ + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  os << "{\"bench\": \"" << name_ << "\", \"rows\": [\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    os << "  {\"label\": \"" << rows_[i].first
+       << "\", \"report\": " << obs::to_json(rows_[i].second) << "}"
+       << (i + 1 < rows_.size() ? ",\n" : "\n");
+  }
+  os << "]}\n";
+  std::printf("wrote %s (%zu reports)\n", path.c_str(), rows_.size());
 }
 
 MeasureOptions protocol(const BenchArgs& args, int n) {

@@ -11,17 +11,22 @@
 //                  invocations below n=500); default is a lighter protocol
 //                  (2 outer, 5 inner) that keeps a full sweep to minutes
 //   --csv DIR      mirror each table to DIR/<bench>.csv
+//   --json DIR     write DIR/BENCH_<bench>.json, one row per sweep point
+//                  with the full GemmReport of an observed MODGEMM call
+//                  (docs/OBSERVABILITY.md documents the row schema)
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "obs/report.hpp"
 
 namespace strassen::bench {
 
@@ -29,10 +34,34 @@ struct BenchArgs {
   bool quick = false;
   bool paper_protocol = false;
   std::string csv_dir;
+  std::string json_dir;
 
   static BenchArgs parse(int argc, char** argv);
   // Attaches DIR/<name>.csv mirroring to `table` if --csv was given.
   void maybe_mirror(Table& table, const std::string& name) const;
+};
+
+// Collects labelled GemmReports over a sweep and writes them on destruction
+// as DIR/BENCH_<name>.json:
+//
+//   {"bench": "<name>",
+//    "rows": [{"label": "...", "report": <strassen.gemm_report.v1>}, ...]}
+//
+// Inert (enabled() == false, add() drops) without --json, so benches can
+// call it unconditionally.
+class ReportLog {
+ public:
+  ReportLog(const BenchArgs& args, std::string name);
+  ~ReportLog();
+  ReportLog(const ReportLog&) = delete;
+  ReportLog& operator=(const ReportLog&) = delete;
+
+  bool enabled() const { return !dir_.empty(); }
+  void add(const std::string& label, const obs::GemmReport& report);
+
+ private:
+  std::string dir_, name_;
+  std::vector<std::pair<std::string, obs::GemmReport>> rows_;
 };
 
 // Measurement protocol for matrix size n under these args.

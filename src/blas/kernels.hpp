@@ -30,6 +30,7 @@
 #include <type_traits>
 
 #include "common/memmodel.hpp"
+#include "obs/collector.hpp"
 
 namespace strassen::blas {
 
@@ -143,11 +144,16 @@ template <class MM, class T>
 void gemm_leaf(MM& mm, int m, int n, int k, const T* A, int lda, const T* B,
                int ldb, T* C, int ldc, LeafMode mode, T alpha = T{1}) {
   if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
+    // Counted/timed whether the engine dispatches SIMD or falls through to
+    // the generic template: LeafTimer is a pointer test when unobserved.
+    obs::LeafTimer lt;
     if (kernels::simd_gemm_active()) {
       kernels::dispatch_gemm_leaf(m, n, k, A, lda, B, ldb, C, ldc, mode,
                                   alpha);
       return;
     }
+    gemm_leaf_generic(mm, m, n, k, A, lda, B, ldb, C, ldc, mode, alpha);
+    return;
   }
   gemm_leaf_generic(mm, m, n, k, A, lda, B, ldb, C, ldc, mode, alpha);
 }

@@ -22,6 +22,7 @@
 #include <type_traits>
 
 #include "common/memmodel.hpp"
+#include "obs/collector.hpp"
 
 namespace strassen::blas {
 
@@ -40,6 +41,7 @@ void dispatch_vsub_inplace(std::size_t n, double* dst, const double* a);
 template <class MM, class T>
 void vadd(MM& mm, std::size_t n, T* dst, const T* a, const T* b) {
   if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
+    if (obs::Collector* c = obs::current()) c->note_elementwise();
     kernels::dispatch_vadd(n, dst, a, b);
   } else {
     for (std::size_t i = 0; i < n; ++i)
@@ -51,6 +53,7 @@ void vadd(MM& mm, std::size_t n, T* dst, const T* a, const T* b) {
 template <class MM, class T>
 void vsub(MM& mm, std::size_t n, T* dst, const T* a, const T* b) {
   if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
+    if (obs::Collector* c = obs::current()) c->note_elementwise();
     kernels::dispatch_vsub(n, dst, a, b);
   } else {
     for (std::size_t i = 0; i < n; ++i)
@@ -62,6 +65,7 @@ void vsub(MM& mm, std::size_t n, T* dst, const T* a, const T* b) {
 template <class MM, class T>
 void vadd_inplace(MM& mm, std::size_t n, T* dst, const T* a) {
   if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
+    if (obs::Collector* c = obs::current()) c->note_elementwise();
     kernels::dispatch_vadd_inplace(n, dst, a);
   } else {
     for (std::size_t i = 0; i < n; ++i)
@@ -73,6 +77,7 @@ void vadd_inplace(MM& mm, std::size_t n, T* dst, const T* a) {
 template <class MM, class T>
 void vsub_inplace(MM& mm, std::size_t n, T* dst, const T* a) {
   if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
+    if (obs::Collector* c = obs::current()) c->note_elementwise();
     kernels::dispatch_vsub_inplace(n, dst, a);
   } else {
     for (std::size_t i = 0; i < n; ++i)

@@ -1,22 +1,31 @@
 #include "core/modgemm.hpp"
 
+#include "obs/scope.hpp"
+
 namespace strassen::core {
+
+// The production wrappers open an obs::CallScope: it resolves the report
+// target (explicit pointer, ModgemmOptions::report, or a scope-local report
+// the STRASSEN_OBS sink emits), installs the thread's kernel-telemetry
+// collector when the call is observed, and stays entirely inert otherwise.
 
 void modgemm(Op opa, Op opb, int m, int n, int k, double alpha,
              const double* A, int lda, const double* B, int ldb, double beta,
              double* C, int ldc, const ModgemmOptions& opt,
              ModgemmReport* report) {
+  obs::CallScope scope("modgemm", report ? report : opt.report);
   RawMem raw;
   modgemm_mm(raw, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc, opt,
-             report);
+             scope.report());
 }
 
 void modgemm(Op opa, Op opb, int m, int n, int k, float alpha, const float* A,
              int lda, const float* B, int ldb, float beta, float* C, int ldc,
              const ModgemmOptions& opt, ModgemmReport* report) {
+  obs::CallScope scope("modgemm", report ? report : opt.report);
   RawMem raw;
   modgemm_mm(raw, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc, opt,
-             report);
+             scope.report());
 }
 
 namespace {

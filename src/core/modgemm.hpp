@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <new>
 #include <optional>
+#include <type_traits>
 
 #include "blas/gemm.hpp"
 #include "blas/kernels/registry.hpp"
@@ -41,8 +42,16 @@
 #include "layout/convert.hpp"
 #include "layout/plan.hpp"
 #include "layout/split.hpp"
+#include "obs/report.hpp"
 
 namespace strassen::core {
+
+// The per-call report and fallback ladder live in obs/ (shared with the
+// parallel driver and the env sink); core keeps its historical names as
+// aliases so existing embedders compile unchanged.
+using FallbackReason = obs::FallbackReason;
+using ModgemmReport = obs::GemmReport;
+using obs::fallback_reason_name;
 
 // Tuning knobs for the MODGEMM driver.
 struct ModgemmOptions {
@@ -68,57 +77,13 @@ struct ModgemmOptions {
   // always run the scalar path.
   blas::kernels::Kind kernel = blas::kernels::Kind::kAuto;
   blas::kernels::Avx2Variant avx2_variant = blas::kernels::Avx2Variant::kAuto;
-};
-
-// How (if at all) a call degraded from the planned Strassen execution.
-// Ordered by severity so multi-product (split) calls can report the worst
-// rung taken.
-enum class FallbackReason {
-  kNone = 0,        // planned path ran unmodified
-  kDepthReduced,    // workspace budget: shallower recursion chosen
-  kBudgetDirect,    // workspace budget: no depth fit; conventional gemm
-  kAllocDirect,     // an allocation failed mid-call; conventional retry
-  kAllocStrided,    // even the conventional path's staging buffer failed;
-                    // allocation-free strided gemm ran instead
-};
-
-inline const char* fallback_reason_name(FallbackReason r) {
-  switch (r) {
-    case FallbackReason::kNone:
-      return "none";
-    case FallbackReason::kDepthReduced:
-      return "depth-reduced";
-    case FallbackReason::kBudgetDirect:
-      return "budget-direct";
-    case FallbackReason::kAllocDirect:
-      return "alloc-direct";
-    case FallbackReason::kAllocStrided:
-      return "alloc-strided";
-  }
-  return "unknown";
-}
-
-// Optional instrumentation: where the time went (paper Fig. 7 separates the
-// Morton conversion from the multiply itself) and how the call degraded
-// under memory pressure, if it did.
-struct ModgemmReport {
-  double convert_in_seconds = 0.0;
-  double compute_seconds = 0.0;
-  double convert_out_seconds = 0.0;
-  layout::GemmPlan plan{};       // plan of the (last) single product
-  bool split_used = false;       // highly-rectangular path taken
-  int products = 0;              // sub-products executed (1 if no split)
-  // Resilience telemetry.
-  FallbackReason fallback_reason = FallbackReason::kNone;  // worst rung taken
-  int planned_depth = 0;         // depth the planner wanted before any budget
-  std::size_t workspace_peak_bytes = 0;  // max Arena::peak() over products
-  double total_seconds() const {
-    return convert_in_seconds + compute_seconds + convert_out_seconds;
-  }
-  double conversion_fraction() const {
-    const double t = total_seconds();
-    return t > 0 ? (convert_in_seconds + convert_out_seconds) / t : 0.0;
-  }
+  // Per-call observability: when non-null, the call fills *report with phase
+  // timers, plan/padding data, workspace accounting, kernel telemetry and
+  // (for pmodgemm) parallel stats -- see obs/report.hpp.  Null (the default)
+  // keeps the whole subsystem off: no clocks, no counters, no allocations.
+  // Equivalent to the trailing `report` parameter, which takes precedence
+  // when both are set.
+  obs::GemmReport* report = nullptr;
 };
 
 // dgemm-convention argument validation shared by every entry point (serial,
@@ -235,7 +200,8 @@ void modgemm_strassen(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
   const layout::MortonLayout lb{k, n, plan.k.tile, plan.n.tile, plan.depth};
   const layout::MortonLayout lc{m, n, plan.m.tile, plan.n.tile, plan.depth};
 
-  Arena arena(modgemm_workspace_bytes(plan, sizeof(T)));
+  const std::size_t workspace_bytes = modgemm_workspace_bytes(plan, sizeof(T));
+  Arena arena(workspace_bytes);
   T* Am = arena.push<T>(static_cast<std::size_t>(la.elems()));
   T* Bm = arena.push<T>(static_cast<std::size_t>(lb.elems()));
   T* Cm = arena.push<T>(static_cast<std::size_t>(lc.elems()));
@@ -269,6 +235,8 @@ void modgemm_strassen(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
     report->convert_out_seconds += t_out;
     report->plan = plan;
     ++report->products;
+    report->workspace_requested_bytes += workspace_bytes;
+    ++report->workspace_allocations;
     report->workspace_peak_bytes =
         std::max(report->workspace_peak_bytes, arena.peak());
   }
@@ -342,6 +310,23 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
   std::optional<blas::kernels::ScopedKernel> kernel_pin;
   if (opt.kernel != blas::kernels::Kind::kAuto)
     kernel_pin.emplace(opt.kernel, opt.avx2_variant);
+  if (report == nullptr) report = opt.report;
+  obs::WallStamp wall(report);
+  if (report) {
+    report->m = m;
+    report->n = n;
+    report->k = k;
+    // Stamped here, while the per-call pin (if any) is still installed.
+    if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
+      report->kernel = blas::kernels::kind_name(blas::kernels::active_kernel());
+      report->kernel_variant =
+          blas::kernels::variant_name(blas::kernels::avx2_variant());
+    } else {
+      // Traced / non-double executions always run the generic scalar path.
+      report->kernel = "generic";
+      report->kernel_variant = "none";
+    }
+  }
   if (m == 0 || n == 0) return;
   if (alpha == T{0} || k == 0) {
     blas::scale_view(mm, m, n, C, ldc, beta);

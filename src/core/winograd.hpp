@@ -43,6 +43,7 @@
 #include "blas/level1.hpp"
 #include "common/arena.hpp"
 #include "common/memmodel.hpp"
+#include "obs/collector.hpp"
 
 namespace strassen::core {
 
@@ -103,8 +104,11 @@ void winograd_recurse(MM& mm, T* C, const T* A, const T* B, int tm, int tk,
       if (tab.gemm_fused_a != nullptr && tab.gemm_fused_b != nullptr &&
           tab.gemm_fused_ab != nullptr) {
         using ker::FusedOp;
-        tab.gemm_fused_ab(tm, tn, tk, A11, A21, FusedOp::kSub, tm,  // P5 =
-                          B22, B12, FusedOp::kSub, tk, C21, tm);    //  S3.T3
+        {
+          obs::LeafTimer lt(/*fused=*/true);
+          tab.gemm_fused_ab(tm, tn, tk, A11, A21, FusedOp::kSub, tm,  // P5 =
+                            B22, B12, FusedOp::kSub, tk, C21, tm);    //  S3.T3
+        }
         blas::vadd(mm, qa, tS, A21, A22);     // S1
         blas::vsub(mm, qb, tT, B12, B11);     // T1
         mul(C22, tS, tT);                     // P3 = S1.T1
@@ -116,11 +120,17 @@ void winograd_recurse(MM& mm, T* C, const T* A, const T* B, int tm, int tk,
         blas::vadd_inplace(mm, qc, C21, C12);  // U3 = U2 + P5
         blas::vadd_inplace(mm, qc, C12, C22);  // U6 = U2 + P3
         blas::vadd_inplace(mm, qc, C22, C21);  // final C22 = U3 + P3
-        tab.gemm_fused_b(tm, tn, tk, A22, tm, tT, B21,    // -P7 =
-                         FusedOp::kSub, tk, C11, tm);     //  A22.(T2 - B21)
+        {
+          obs::LeafTimer lt(/*fused=*/true);
+          tab.gemm_fused_b(tm, tn, tk, A22, tm, tT, B21,  // -P7 =
+                           FusedOp::kSub, tk, C11, tm);   //  A22.(T2 - B21)
+        }
         blas::vsub_inplace(mm, qc, C21, C11);  // final C21 = U3 + P7
-        tab.gemm_fused_a(tm, tn, tk, A12, tS, FusedOp::kSub, tm,  // P6 =
-                         B22, tk, C11, tm);                       //  S4.B22
+        {
+          obs::LeafTimer lt(/*fused=*/true);
+          tab.gemm_fused_a(tm, tn, tk, A12, tS, FusedOp::kSub, tm,  // P6 =
+                           B22, tk, C11, tm);                       //  S4.B22
+        }
         blas::vadd_inplace(mm, qc, C12, C11);  // final C12 = U6 + P6
         mul(C11, A12, B21);                    // P2
         blas::vadd_inplace(mm, qc, C11, tP);   // final C11 = P1 + P2

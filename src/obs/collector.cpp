@@ -1,0 +1,7 @@
+#include "obs/collector.hpp"
+
+namespace strassen::obs::detail {
+
+thread_local Collector* tl_collector = nullptr;
+
+}  // namespace strassen::obs::detail

@@ -1,0 +1,74 @@
+#include "obs/env_sink.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+namespace strassen::obs {
+
+namespace {
+
+struct SinkConfig {
+  bool enabled = false;
+  std::string path;  // empty = stderr
+};
+
+// Parses STRASSEN_OBS.  Called per emission so setenv() takes effect
+// immediately; getenv is cheap next to any gemm call.
+SinkConfig read_config() {
+  SinkConfig cfg;
+  const char* e = std::getenv("STRASSEN_OBS");
+  if (e == nullptr || *e == '\0') return cfg;
+  if (std::strcmp(e, "json") == 0) {
+    cfg.enabled = true;
+    return cfg;
+  }
+  if (std::strncmp(e, "json:", 5) == 0 && e[5] != '\0') {
+    cfg.enabled = true;
+    cfg.path = e + 5;
+    return cfg;
+  }
+  static std::once_flag warned;
+  std::call_once(warned, [e] {
+    std::fprintf(stderr,
+                 "strassen: ignoring unrecognized STRASSEN_OBS='%s' "
+                 "(expected 'json' or 'json:PATH')\n",
+                 e);
+  });
+  return cfg;
+}
+
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+bool env_sink_enabled() { return read_config().enabled; }
+
+void env_emit(const GemmReport& r) {
+  const SinkConfig cfg = read_config();
+  if (!cfg.enabled) return;
+  const std::string line = to_json(r);
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  if (cfg.path.empty()) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(cfg.path.c_str(), "a");
+  if (f == nullptr) {
+    static std::once_flag warned;
+    std::call_once(warned, [&cfg] {
+      std::fprintf(stderr, "strassen: cannot append STRASSEN_OBS report to %s\n",
+                   cfg.path.c_str());
+    });
+    return;
+  }
+  std::fprintf(f, "%s\n", line.c_str());
+  std::fclose(f);
+}
+
+}  // namespace strassen::obs

@@ -1,0 +1,26 @@
+// obs/env_sink.hpp -- STRASSEN_OBS: report emission without code changes.
+//
+//   STRASSEN_OBS=json         every production modgemm/pmodgemm call prints
+//                             its GemmReport as one JSON line on stderr
+//   STRASSEN_OBS=json:PATH    ... appended to PATH instead (JSONL)
+//
+// The variable is re-read on every call, so embedders (and tests) can flip
+// it at runtime with setenv(); an unknown value disables emission and warns
+// once.  Emission is serialized by an internal mutex -- concurrent calls
+// interleave whole lines, never characters.  Only top-level calls emit:
+// a serial call a parallel driver degraded into reports through its parent.
+#pragma once
+
+#include "obs/report.hpp"
+
+namespace strassen::obs {
+
+// True when STRASSEN_OBS currently requests JSON emission.
+bool env_sink_enabled();
+
+// Emits one JSON line for `r` to the configured destination (no-op when the
+// sink is disabled).  Failures to open the file warn once and drop output --
+// observability must never turn a computed product into an error.
+void env_emit(const GemmReport& r);
+
+}  // namespace strassen::obs

@@ -1,0 +1,60 @@
+// obs/scope.hpp -- CallScope: the driver-side glue of the observability
+// subsystem.
+//
+// A production entry point (core::modgemm, parallel::pmodgemm) constructs a
+// CallScope at the top of the call with the user's report pointer (if any).
+// The scope decides whether this call is observed:
+//
+//   * user passed a report          -> observed, results go to the user (and
+//                                      to the env sink too when STRASSEN_OBS
+//                                      is set)
+//   * no report but STRASSEN_OBS    -> observed into a scope-local report,
+//                                      emitted by the env sink at the end
+//   * neither                       -> inactive: report() returns null and
+//                                      the whole subsystem stays off (no
+//                                      collector, no clocks, no allocations)
+//
+// An observed scope installs a Collector on the calling thread (the thread
+// pool re-installs it inside each task), and on destruction folds the
+// collector's counters into the report, stamps the active kernel, and emits
+// to the env sink when requested.
+//
+// Nesting: a call made while an enclosing scope's collector is installed on
+// this thread (e.g. the serial driver rerunning a product after the parallel
+// driver hit bad_alloc) never starts a second collection or a second env
+// emission -- its kernel work accrues to the enclosing scope, and its phase
+// timers go to whatever report pointer its caller handed down.
+#pragma once
+
+#include "obs/collector.hpp"
+#include "obs/report.hpp"
+
+namespace strassen::obs {
+
+class CallScope {
+ public:
+  // `entry` must be a static string ("modgemm", "pmodgemm").
+  CallScope(const char* entry, GemmReport* user);
+  ~CallScope();
+  CallScope(const CallScope&) = delete;
+  CallScope& operator=(const CallScope&) = delete;
+
+  // The report this call should populate: the user's, the scope-local one
+  // the env sink will emit, or null when the call is unobserved.
+  GemmReport* report() noexcept { return report_; }
+  // The scope's collector (null when unobserved or nested).
+  Collector* collector() noexcept { return collecting_ ? &counters_ : nullptr; }
+
+ private:
+  // Decides the observation mode; returns the collector install_ installs.
+  Collector* init(const char* entry, GemmReport* user);
+
+  GemmReport local_{};     // env-sink target when the user passed no report
+  GemmReport* report_ = nullptr;
+  Collector counters_{};
+  bool collecting_ = false;  // this scope owns the thread's collector
+  bool emit_ = false;        // env sink wants the report on destruction
+  ScopedCollector install_;  // installs &counters_ or re-installs the outer
+};
+
+}  // namespace strassen::obs

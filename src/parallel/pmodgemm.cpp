@@ -8,9 +8,11 @@
 #include "common/aligned_buffer.hpp"
 #include "common/arena.hpp"
 #include "common/check.hpp"
+#include "common/timer.hpp"
 #include "core/winograd.hpp"
 #include "core/workspace.hpp"
 #include "layout/convert.hpp"
+#include "obs/scope.hpp"
 
 namespace strassen::parallel {
 
@@ -31,8 +33,10 @@ std::size_t spawn_level_bytes(std::size_t qa, std::size_t qb, std::size_t qc,
 void recurse(ThreadPool* pool, int spawn, double* C, const double* A,
              const double* B, int tm, int tk, int tn, int depth) {
   if (spawn <= 0 || depth == 0) {
-    Arena arena(
-        core::winograd_workspace_bytes(tm, tk, tn, depth, sizeof(double)));
+    const std::size_t bytes =
+        core::winograd_workspace_bytes(tm, tk, tn, depth, sizeof(double));
+    if (obs::Collector* col = obs::current()) col->note_workspace(bytes);
+    Arena arena(bytes);
     RawMem mm;
     core::winograd_recurse(mm, C, A, B, tm, tk, tn, depth, arena);
     return;
@@ -56,7 +60,9 @@ void recurse(ThreadPool* pool, int spawn, double* C, const double* A,
   double* C21 = C + 2 * qc;
   double* C22 = C + 3 * qc;
 
-  Arena level(spawn_level_bytes(qa, qb, qc, sizeof(double)));
+  const std::size_t level_bytes = spawn_level_bytes(qa, qb, qc, sizeof(double));
+  if (obs::Collector* col = obs::current()) col->note_workspace(level_bytes);
+  Arena level(level_bytes);
   double* S1 = level.push<double>(qa);
   double* S2 = level.push<double>(qa);
   double* S3 = level.push<double>(qa);
@@ -147,6 +153,18 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
   core::require_gemm_args(opa, opb, m, n, k, lda, ldb, ldc);
   STRASSEN_REQUIRE(opt.spawn_levels >= 0,
                    "negative spawn_levels: " << opt.spawn_levels);
+  obs::CallScope scope("pmodgemm", opt.report);
+  obs::GemmReport* rep = scope.report();
+  obs::WallStamp wall(rep);
+  if (rep) {
+    rep->m = m;
+    rep->n = n;
+    rep->k = k;
+    rep->kernel =
+        blas::kernels::kind_name(blas::kernels::active_kernel());
+    rep->kernel_variant =
+        blas::kernels::variant_name(blas::kernels::avx2_variant());
+  }
   if (m == 0 || n == 0) return;
   if (alpha == 0.0 || k == 0) {
     RawMem mm;
@@ -154,14 +172,17 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
     return;
   }
   const layout::GemmPlan plan = layout::plan_gemm(m, k, n, opt.tiles);
+  if (rep) rep->planned_depth = plan.depth;
   if (plan.direct || !plan.feasible) {
     // Thin or highly rectangular shapes: defer to the serial driver (the
     // split path's sub-products are typically small; parallelizing them is
     // future work, as in the paper's own outlook for rectangular inputs).
+    // The report (if any) is handed down, so its phases/plan reflect the
+    // serial execution while entry stays "pmodgemm".
     core::ModgemmOptions serial;
     serial.tiles = opt.tiles;
     core::modgemm(opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc,
-                  serial);
+                  serial, rep);
     return;
   }
 
@@ -169,14 +190,29 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
     const layout::MortonLayout la{m, k, plan.m.tile, plan.k.tile, plan.depth};
     const layout::MortonLayout lb{k, n, plan.k.tile, plan.n.tile, plan.depth};
     const layout::MortonLayout lc{m, n, plan.m.tile, plan.n.tile, plan.depth};
-    AlignedBuffer abuf(layout::buffer_bytes(la, sizeof(double)));
-    AlignedBuffer bbuf(layout::buffer_bytes(lb, sizeof(double)));
-    AlignedBuffer cbuf(layout::buffer_bytes(lc, sizeof(double)));
+    const std::size_t abytes = layout::buffer_bytes(la, sizeof(double));
+    const std::size_t bbytes = layout::buffer_bytes(lb, sizeof(double));
+    const std::size_t cbytes = layout::buffer_bytes(lc, sizeof(double));
+    AlignedBuffer abuf(abytes);
+    AlignedBuffer bbuf(bbytes);
+    AlignedBuffer cbuf(cbytes);
     double* Am = abuf.as<double>();
     double* Bm = bbuf.as<double>();
     double* Cm = cbuf.as<double>();
 
+    const int spawn = std::min(opt.spawn_levels, plan.depth);
+    if (rep) {
+      rep->parallel = true;
+      rep->threads = pool != nullptr ? pool->thread_count() : 0;
+      rep->spawn_levels = spawn;
+      rep->plan = plan;
+      ++rep->products;
+      rep->workspace_requested_bytes += abytes + bbytes + cbytes;
+      rep->workspace_allocations += 3;
+    }
+
     // Parallel conversions: fan out over Morton tile ranges.
+    WallTimer t;
     const auto convert_in = [&](const layout::MortonLayout& l, double* dst,
                                 Op op, const double* src, int ld) {
       const std::int64_t tiles =
@@ -191,11 +227,14 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
     };
     convert_in(la, Am, opa, A, lda);
     convert_in(lb, Bm, opb, B, ldb);
+    if (rep) rep->convert_in_seconds += t.seconds();
 
-    const int spawn = std::min(opt.spawn_levels, plan.depth);
+    t.restart();
     recurse(pool, spawn, Cm, Am, Bm, plan.m.tile, plan.k.tile, plan.n.tile,
             plan.depth);
+    if (rep) rep->compute_seconds += t.seconds();
 
+    t.restart();
     const std::int64_t ctiles =
         static_cast<std::int64_t>(lc.tiles_per_side()) * lc.tiles_per_side();
     parallel_for(pool, 0, ctiles, /*min_grain=*/8,
@@ -205,6 +244,7 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
                                              static_cast<int>(t0),
                                              static_cast<int>(t1));
                  });
+    if (rep) rep->convert_out_seconds += t.seconds();
   } catch (const std::bad_alloc&) {
     // A Morton buffer or a task's arena failed to allocate.  Exceptions from
     // tasks surface at TaskGroup::wait(), after every sibling task joined,
@@ -213,10 +253,11 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
     // conversion, which does not allocate), so the serial driver -- with its
     // full degradation ladder down to the allocation-free path -- can
     // produce the product from scratch.
+    core::detail::record_fallback(rep, core::FallbackReason::kAllocDirect);
     core::ModgemmOptions serial;
     serial.tiles = opt.tiles;
     core::modgemm(opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc,
-                  serial);
+                  serial, rep);
   }
 }
 

@@ -35,6 +35,10 @@ namespace strassen::parallel {
 struct ParallelOptions {
   layout::TileOptions tiles{};
   int spawn_levels = 1;  // recursion levels that fork (0 = fully serial)
+  // Per-call observability (obs/report.hpp): phase timers, workspace
+  // accounting, kernel telemetry plus the parallel section (tasks executed,
+  // per-thread distribution, pool utilization).  Null = subsystem off.
+  obs::GemmReport* report = nullptr;
 };
 
 // Bytes of spawn-level temporaries + per-task arenas pmodgemm needs beyond

@@ -5,8 +5,31 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/collector.hpp"
 
 namespace strassen::parallel {
+
+namespace {
+// Worker index of the current thread within its owning pool; -1 outside any
+// pool.  Used only for the per-thread task telemetry.
+thread_local int tl_worker_index = -1;
+
+// Runs `task`, timing it into `col` when an observed call is in flight.
+// `col` is the collector captured where the task was LAUNCHED -- the worker
+// re-installs it so kernel hooks inside the task attribute to the right call.
+void run_observed(const std::function<void()>& task, obs::Collector* col) {
+  if (col == nullptr) {
+    task();
+    return;
+  }
+  obs::ScopedCollector install(col);
+  const std::uint64_t t0 = obs::now_nanos();
+  task();
+  col->note_task(ThreadPool::current_worker_index(), obs::now_nanos() - t0);
+}
+}  // namespace
+
+int ThreadPool::current_worker_index() noexcept { return tl_worker_index; }
 
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) {
@@ -15,7 +38,10 @@ ThreadPool::ThreadPool(int threads) {
   }
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      tl_worker_index = i;
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -80,11 +106,14 @@ void ThreadPool::worker_loop() {
 }
 
 void TaskGroup::run(std::function<void()> task) {
+  // Captured at launch: tasks run under the collector of the call that
+  // spawned them, wherever (and on whatever thread) they execute.
+  obs::Collector* col = obs::current();
   if (pool_ == nullptr) {
     // Inline execution still defers the exception to wait(), so callers see
     // one surfacing point regardless of whether a pool is attached.
     try {
-      task();
+      run_observed(task, col);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!error_) error_ = std::current_exception();
@@ -95,10 +124,10 @@ void TaskGroup::run(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++pending_;
   }
-  pool_->submit([this, task = std::move(task)] {
+  pool_->submit([this, col, task = std::move(task)] {
     std::exception_ptr err;
     try {
-      task();
+      run_observed(task, col);
     } catch (...) {
       err = std::current_exception();
     }

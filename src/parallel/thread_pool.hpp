@@ -43,6 +43,10 @@ class ThreadPool {
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
+  // Index of the pool worker running the current thread, or -1 when called
+  // from outside any pool (observability maps -1 to per-thread slot 0).
+  static int current_worker_index() noexcept;
+
   // Enqueues a task.  A throwing task no longer terminates the process: an
   // exception escaping a task is captured -- by the owning TaskGroup if the
   // task was launched through one (rethrown at wait()), otherwise in the

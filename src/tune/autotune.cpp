@@ -77,6 +77,23 @@ AutotuneResult autotune(const AutotuneOptions& opt) {
         result.best_kernel = c.kind;
         result.best_avx2_variant = c.variant;
       }
+      if (opt.collect_reports) {
+        // One observed, forced-recursion call per configuration: its report
+        // carries the leaf/fused split and phase times behind the ranking.
+        const int n = std::max(64, opt.report_problem_size);
+        Rng rng(static_cast<std::uint64_t>(n));
+        Matrix<double> A(n, n), B(n, n), C(n, n);
+        rng.fill_uniform(A.storage());
+        rng.fill_uniform(B.storage());
+        core::ModgemmOptions mo;
+        mo.kernel = c.kind;
+        mo.avx2_variant = c.variant;
+        mo.tiles.direct_threshold = std::max(8, n / 4);
+        obs::GemmReport report;
+        core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), A.ld(),
+                      B.data(), B.ld(), 0.0, C.data(), C.ld(), mo, &report);
+        result.config_reports.push_back(report);
+      }
     }
     if (opt.apply_best_kernel) {
       ker::set_active_kernel(result.best_kernel);

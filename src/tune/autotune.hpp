@@ -25,6 +25,7 @@
 
 #include "blas/kernels/registry.hpp"
 #include "layout/plan.hpp"
+#include "obs/report.hpp"
 
 namespace strassen::tune {
 
@@ -42,6 +43,13 @@ struct AutotuneOptions {
   // Install the winning kernel/variant as the engine's active kernel (a
   // process-global setting, see kernels/registry.hpp).
   bool apply_best_kernel = true;
+  // Attach a full GemmReport (obs/report.hpp) for one representative
+  // modgemm call per surveyed kernel configuration, so tuning runs can
+  // explain WHY a configuration won (leaf time, fused-kernel usage, phase
+  // split) instead of reporting a bare MFLOPS number.
+  bool collect_reports = false;
+  // Problem size of that representative call.
+  int report_problem_size = 256;
 };
 
 struct AutotuneResult {
@@ -59,6 +67,10 @@ struct AutotuneResult {
     double mflops;
   };
   std::vector<KernelSurveyPoint> kernel_survey;
+  // One report per surveyed configuration (same order as the distinct
+  // (kind, variant) pairs of kernel_survey); empty unless
+  // AutotuneOptions::collect_reports.
+  std::vector<obs::GemmReport> config_reports;
   // Diagnostics: (tile, MFLOPS) pairs from the leaf survey.
   std::vector<std::pair<int, double>> leaf_survey;
   // (n, conventional seconds, strassen seconds) from the crossover probe.

@@ -1,0 +1,401 @@
+// Observability subsystem tests (src/obs + its hooks through the drivers).
+//
+// The contracts under test, in the order docs/OBSERVABILITY.md states them:
+//
+//   * disabled path -- a call without a report makes exactly the same gated
+//     allocations as the seed library (one arena for a serial Strassen call)
+//     and leaves no collector installed;
+//   * enabled path -- phase timers are populated and consistent (phases sum
+//     to at most the wall time, leaf time is a subset of compute time),
+//     kernel counts match the closed-form Strassen-Winograd identities,
+//     workspace accounting matches what the fault injector observes, and a
+//     report adds no gated allocations;
+//   * JSON -- to_json carries the documented schema id and every section;
+//   * env sink -- STRASSEN_OBS=json:PATH appends one JSONL line per
+//     top-level production call, flipped at runtime via setenv;
+//   * parallel -- pmodgemm fills the parallel section, per-thread task
+//     counts sum to the total, and degradation into the serial driver keeps
+//     one coherent report (no double counting, fallback recorded).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "blas/kernels/registry.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/modgemm.hpp"
+#include "obs/collector.hpp"
+#include "obs/report.hpp"
+#include "parallel/pmodgemm.hpp"
+#include "parallel/thread_pool.hpp"
+#include "testing/fault_injection.hpp"
+
+namespace strassen {
+namespace {
+
+namespace ft = ::strassen::testing;
+namespace ker = ::strassen::blas::kernels;
+using core::FallbackReason;
+using core::ModgemmOptions;
+using core::ModgemmReport;
+
+std::uint64_t pow7(int e) {
+  std::uint64_t r = 1;
+  for (int i = 0; i < e; ++i) r *= 7;
+  return r;
+}
+
+struct Problem {
+  Matrix<double> A, B, C;
+  int n;
+  explicit Problem(int n_, std::uint64_t seed = 42)
+      : A(n_, n_), B(n_, n_), C(n_, n_), n(n_) {
+    Rng rng(seed);
+    rng.fill_uniform(A.storage());
+    rng.fill_uniform(B.storage());
+  }
+  void run(const ModgemmOptions& opt, ModgemmReport* report = nullptr) {
+    core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), A.ld(),
+                  B.data(), B.ld(), 0.0, C.data(), C.ld(), opt, report);
+  }
+};
+
+// Forces a depth-2 Strassen execution with a known plan.
+ModgemmOptions fixed_depth2() {
+  ModgemmOptions opt;
+  opt.fixed_tile = 16;  // 64 = 16 << 2
+  return opt;
+}
+
+// ---------------------------------------------------------------------------
+// Disabled path.
+// ---------------------------------------------------------------------------
+
+TEST(ObsDisabled, NoCollectorAndSeedAllocationCount) {
+  Problem p(64);
+  EXPECT_EQ(obs::current(), nullptr);
+  ft::FaultInjector counter;  // kCountOnly
+  p.run(fixed_depth2());
+  // The serial Strassen call makes exactly ONE gated allocation: the arena
+  // covering the three Morton buffers and the recursion temporaries.
+  EXPECT_EQ(counter.allocations(), 1u);
+  EXPECT_EQ(obs::current(), nullptr);
+}
+
+TEST(ObsEnabled, ReportAddsNoGatedAllocations) {
+  Problem p(64);
+  ModgemmReport report;
+  ft::FaultInjector counter;
+  p.run(fixed_depth2(), &report);
+  EXPECT_EQ(counter.allocations(), 1u);
+  EXPECT_EQ(report.workspace_allocations, 1);
+  EXPECT_EQ(obs::current(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Phase timers.
+// ---------------------------------------------------------------------------
+
+TEST(ObsPhases, PopulatedAndConsistent) {
+  Problem p(200);
+  ModgemmOptions opt;
+  opt.tiles.direct_threshold = 32;  // force a Strassen execution
+  ModgemmReport report;
+  p.run(opt, &report);
+
+  EXPECT_EQ(report.m, 200);
+  EXPECT_EQ(report.n, 200);
+  EXPECT_EQ(report.k, 200);
+  EXPECT_STREQ(report.entry, "modgemm");
+  EXPECT_GT(report.convert_in_seconds, 0.0);
+  EXPECT_GT(report.compute_seconds, 0.0);
+  EXPECT_GT(report.convert_out_seconds, 0.0);
+  EXPECT_GT(report.leaf_seconds, 0.0);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  // The three phases nest inside the wall time (validation, planning and
+  // arena setup make the wall strictly larger; allow 20% timer noise).
+  EXPECT_LE(report.total_seconds(), report.wall_seconds * 1.2);
+  // Leaf products execute inside the compute phase.
+  EXPECT_LE(report.leaf_seconds, report.compute_seconds * 1.2);
+  EXPECT_GT(report.conversion_fraction(), 0.0);
+  EXPECT_LT(report.conversion_fraction(), 1.0);
+  EXPECT_FALSE(report.plan.direct);
+  EXPECT_EQ(report.products, 1);
+  EXPECT_GT(report.workspace_peak_bytes, 0u);
+  EXPECT_LE(report.workspace_peak_bytes, report.workspace_requested_bytes);
+}
+
+TEST(ObsPhases, AccumulateAcrossCalls) {
+  Problem p(64);
+  ModgemmReport report;
+  p.run(fixed_depth2(), &report);
+  const double wall1 = report.wall_seconds;
+  const std::uint64_t leaves1 = report.leaf_calls + report.fused_calls;
+  p.run(fixed_depth2(), &report);
+  EXPECT_EQ(report.products, 2);
+  EXPECT_GT(report.wall_seconds, wall1);
+  EXPECT_EQ(report.leaf_calls + report.fused_calls, 2 * leaves1);
+  EXPECT_EQ(report.workspace_allocations, 2);
+}
+
+TEST(ObsOptions, OptionsPointerAndTrailingParameterAgree) {
+  Problem p(64);
+  ModgemmReport via_opt, via_param;
+  ModgemmOptions opt = fixed_depth2();
+  opt.report = &via_opt;
+  p.run(opt);
+  p.run(fixed_depth2(), &via_param);
+  EXPECT_EQ(via_opt.leaf_calls, via_param.leaf_calls);
+  EXPECT_EQ(via_opt.elementwise_calls, via_param.elementwise_calls);
+  EXPECT_EQ(via_opt.plan.depth, via_param.plan.depth);
+  EXPECT_EQ(via_opt.products, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel telemetry: closed-form Strassen-Winograd counts.
+// ---------------------------------------------------------------------------
+
+TEST(ObsKernels, ScalarCountsMatchClosedForm) {
+  Problem p(64);
+  ModgemmOptions opt = fixed_depth2();
+  opt.kernel = ker::Kind::kScalar;  // scalar table: no fused entries
+  ModgemmReport report;
+  p.run(opt, &report);
+
+  const int d = report.plan.depth;
+  ASSERT_EQ(d, 2);
+  EXPECT_STREQ(report.kernel, "scalar");
+  EXPECT_EQ(report.leaf_calls, pow7(d));
+  EXPECT_EQ(report.fused_calls, 0u);
+  // 15 quadrant additions at each internal node: 15 * (7^d - 1) / 6.
+  EXPECT_EQ(report.elementwise_calls, 15 * (pow7(d) - 1) / 6);
+}
+
+TEST(ObsKernels, FusedCountsMatchClosedForm) {
+  // Only meaningful when a SIMD table with fused entries can run here.
+  ker::Kind simd = ker::Kind::kScalar;
+  for (ker::Kind k : ker::available_kernels())
+    if (k != ker::Kind::kScalar) simd = k;
+  if (simd == ker::Kind::kScalar) GTEST_SKIP() << "no SIMD kernel available";
+  const ker::LeafKernels* tab = ker::kernel_table(simd);
+  ASSERT_NE(tab, nullptr);
+  if (tab->gemm_fused_ab == nullptr)
+    GTEST_SKIP() << "kernel publishes no fused entries";
+
+  Problem p(64);
+  ModgemmOptions opt = fixed_depth2();
+  opt.kernel = simd;
+  ModgemmReport report;
+  p.run(opt, &report);
+
+  const int d = report.plan.depth;
+  ASSERT_EQ(d, 2);
+  EXPECT_STREQ(report.kernel, ker::kind_name(simd));
+  // Each bottom-level node fuses 3 of its 7 products (P5, P7, P6) and runs
+  // the other 4 as plain leaves; there are 7^(d-1) bottom-level nodes.
+  EXPECT_EQ(report.fused_calls, 3 * pow7(d - 1));
+  EXPECT_EQ(report.leaf_calls, 4 * pow7(d - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Workspace accounting vs the fault injector.
+// ---------------------------------------------------------------------------
+
+TEST(ObsWorkspace, RequestedMatchesPublicSizing) {
+  Problem p(200);
+  ModgemmOptions opt;
+  opt.tiles.direct_threshold = 32;
+  ModgemmReport report;
+  p.run(opt, &report);
+  ASSERT_FALSE(report.plan.direct);
+  EXPECT_EQ(report.workspace_requested_bytes,
+            core::modgemm_workspace_bytes(report.plan, sizeof(double)));
+  EXPECT_EQ(report.workspace_allocations, 1);
+}
+
+TEST(ObsWorkspace, FallbackLadderIsRecorded) {
+  Problem p(200);
+  ModgemmOptions opt;
+  opt.tiles.direct_threshold = 32;
+  ModgemmReport report;
+  {
+    // Refuse the (single) arena allocation: the ladder degrades to the
+    // conventional path and the report says so.
+    ft::FaultInjector inj(ft::FaultMode::kFailOnce, 1);
+    p.run(opt, &report);
+  }
+  EXPECT_EQ(report.fallback_reason, FallbackReason::kAllocDirect);
+  EXPECT_EQ(report.products, 1);
+  EXPECT_GT(report.compute_seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// JSON serialization.
+// ---------------------------------------------------------------------------
+
+TEST(ObsJson, CarriesSchemaAndEverySection) {
+  Problem p(64);
+  ModgemmReport report;
+  p.run(fixed_depth2(), &report);
+  const std::string json = obs::to_json(report);
+
+  EXPECT_NE(json.find("\"schema\": \"strassen.gemm_report.v1\""),
+            std::string::npos);
+  for (const char* key :
+       {"\"call\"", "\"phases\"", "\"plan\"", "\"workspace\"", "\"kernels\"",
+        "\"parallel\"", "\"wall_s\"", "\"leaf_calls\"", "\"peak_bytes\"",
+        "\"fallback\"", "\"per_thread_tasks\"", "\"pad_elems\""})
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  // One line, balanced braces.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+  }
+  EXPECT_EQ(depth, 0);
+
+  std::ostringstream os;
+  obs::write_json(os, report);
+  EXPECT_EQ(os.str(), json);
+}
+
+TEST(ObsJson, PadElemsMatchesPlanArithmetic) {
+  Problem p(64);
+  ModgemmReport report;
+  p.run(fixed_depth2(), &report);
+  // fixed_tile=16 pads every dimension of a 64-problem to 64: no padding.
+  EXPECT_EQ(report.pad_elems(), 0);
+
+  Problem q(63);
+  ModgemmReport r63;
+  q.run(fixed_depth2(), &r63);
+  // 63 -> 64 padded: each operand pays 64*64 - 63*63.
+  EXPECT_EQ(r63.pad_elems(), 3 * (64 * 64 - 63 * 63));
+}
+
+// ---------------------------------------------------------------------------
+// Env sink.
+// ---------------------------------------------------------------------------
+
+TEST(ObsEnvSink, AppendsOneJsonlLinePerCall) {
+  const std::string path =
+      ::testing::TempDir() + "/strassen_obs_test.jsonl";
+  std::remove(path.c_str());
+  ASSERT_EQ(::setenv("STRASSEN_OBS", ("json:" + path).c_str(), 1), 0);
+  Problem p(64);
+  p.run(fixed_depth2());
+  p.run(fixed_depth2());
+  ASSERT_EQ(::unsetenv("STRASSEN_OBS"), 0);
+  p.run(fixed_depth2());  // sink off again: must not append
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "sink did not create " << path;
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NE(line.find("\"schema\": \"strassen.gemm_report.v1\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"entry\": \"modgemm\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Parallel driver.
+// ---------------------------------------------------------------------------
+
+TEST(ObsParallel, PmodgemmFillsParallelSection) {
+  const int n = 256;
+  Problem p(n);
+  Matrix<double> Cserial(n, n);
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, p.A.data(), p.A.ld(),
+                p.B.data(), p.B.ld(), 0.0, Cserial.data(), Cserial.ld());
+
+  parallel::ThreadPool pool(4);
+  parallel::ParallelOptions popt;
+  popt.spawn_levels = 1;
+  ModgemmReport report;
+  popt.report = &report;
+  parallel::pmodgemm(&pool, Op::NoTrans, Op::NoTrans, n, n, n, 1.0,
+                     p.A.data(), p.A.ld(), p.B.data(), p.B.ld(), 0.0,
+                     p.C.data(), p.C.ld(), popt);
+
+  // Observability must not perturb the bit-exactness contract.
+  EXPECT_EQ(max_abs_diff<double>(p.C.view(), Cserial.view()), 0.0);
+
+  EXPECT_STREQ(report.entry, "pmodgemm");
+  EXPECT_TRUE(report.parallel);
+  EXPECT_EQ(report.threads, 4);
+  EXPECT_EQ(report.spawn_levels, 1);
+  // 7 product tasks plus the parallel_for conversion chunks.
+  EXPECT_GE(report.tasks_executed, 7u);
+  EXPECT_GT(report.task_busy_seconds, 0.0);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  std::uint64_t per_thread_total = 0;
+  for (std::uint64_t t : report.per_thread_tasks) per_thread_total += t;
+  EXPECT_EQ(per_thread_total, report.tasks_executed);
+  EXPECT_EQ(report.per_thread_tasks.size(), 5u);  // caller + 4 workers
+  // The parallel schedule keeps everything live at once.
+  EXPECT_GT(report.workspace_requested_bytes, 0u);
+  EXPECT_EQ(report.workspace_peak_bytes, report.workspace_requested_bytes);
+  EXPECT_GE(report.workspace_allocations, 3 + 7);  // Morton bufs + task arenas
+  EXPECT_GT(report.leaf_calls + report.fused_calls, 0u);
+  EXPECT_GT(report.pool_utilization(), 0.0);
+}
+
+TEST(ObsParallel, AllocFailureDegradesIntoOneCoherentReport) {
+  const int n = 256;
+  Problem p(n);
+  Matrix<double> Cserial(n, n);
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, p.A.data(), p.A.ld(),
+                p.B.data(), p.B.ld(), 0.0, Cserial.data(), Cserial.ld());
+
+  parallel::ThreadPool pool(2);
+  parallel::ParallelOptions popt;
+  ModgemmReport report;
+  popt.report = &report;
+  {
+    // Kill the first Morton buffer: pmodgemm falls back to the serial
+    // driver, which reports through the same GemmReport.
+    ft::FaultInjector inj(ft::FaultMode::kFailOnce, 1);
+    parallel::pmodgemm(&pool, Op::NoTrans, Op::NoTrans, n, n, n, 1.0,
+                       p.A.data(), p.A.ld(), p.B.data(), p.B.ld(), 0.0,
+                       p.C.data(), p.C.ld(), popt);
+  }
+  EXPECT_EQ(max_abs_diff<double>(p.C.view(), Cserial.view()), 0.0);
+
+  EXPECT_STREQ(report.entry, "pmodgemm");
+  EXPECT_EQ(report.fallback_reason, FallbackReason::kAllocDirect);
+  // The serial rerun's execution is fully accounted (one product, phases).
+  EXPECT_EQ(report.products, 1);
+  EXPECT_GT(report.compute_seconds, 0.0);
+  EXPECT_GT(report.leaf_calls + report.fused_calls, 0u);
+}
+
+TEST(ObsParallel, InlinePoolStillCountsTasks) {
+  const int n = 256;
+  Problem p(n);
+  parallel::ParallelOptions popt;
+  ModgemmReport report;
+  popt.report = &report;
+  parallel::pmodgemm(nullptr, Op::NoTrans, Op::NoTrans, n, n, n, 1.0,
+                     p.A.data(), p.A.ld(), p.B.data(), p.B.ld(), 0.0,
+                     p.C.data(), p.C.ld(), popt);
+  EXPECT_TRUE(report.parallel);
+  EXPECT_EQ(report.threads, 0);
+  // The 7 products still run as (inline) tasks on the calling thread.
+  EXPECT_GE(report.tasks_executed, 7u);
+  ASSERT_FALSE(report.per_thread_tasks.empty());
+  EXPECT_EQ(report.per_thread_tasks[0], report.tasks_executed);
+}
+
+}  // namespace
+}  // namespace strassen

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Checks that every relative link in the repo's markdown files resolves.
+
+Scans *.md under the repository root (or the paths given on the command
+line) for inline links/images ``[text](target)`` and reference definitions
+``[label]: target``.  Relative targets must exist on disk; external schemes
+(http/https/mailto) and pure in-page anchors are skipped, since CI must not
+depend on network access.  Exits nonzero listing every broken link.
+
+Usage: python3 tools/check_markdown_links.py [file-or-dir ...]
+"""
+
+import os
+import re
+import sys
+
+# Inline [text](target) -- target ends at the first unescaped ')' (no
+# nested parentheses appear in this repo's links).  The leading '!' of an
+# image link is irrelevant to resolution.  Reference defs: [label]: target
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(roots):
+    for root in roots:
+        if os.path.isfile(root):
+            yield root
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            # Never descend into build trees or VCS metadata.
+            dirnames[:] = [
+                d for d in dirnames
+                if d not in (".git", "build", "out") and not d.startswith("build")
+            ]
+            for name in sorted(filenames):
+                if name.endswith(".md"):
+                    yield os.path.join(dirpath, name)
+
+
+def check_file(path):
+    """Returns a list of (line_number, target) broken links in `path`."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    broken = []
+    base = os.path.dirname(path)
+    for match in list(INLINE_LINK.finditer(text)) + list(REF_DEF.finditer(text)):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        # Strip an in-page anchor from a file target (FILE.md#section).
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        if not os.path.exists(os.path.join(base, file_part)):
+            line = text.count("\n", 0, match.start()) + 1
+            broken.append((line, target))
+    return broken
+
+
+def main(argv):
+    roots = argv[1:] or ["."]
+    failures = 0
+    checked = 0
+    for path in iter_markdown_files(roots):
+        checked += 1
+        for line, target in check_file(path):
+            print(f"{path}:{line}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"FAIL: {failures} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"OK: all relative links resolve across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validates strassen.gemm_report.v1 JSON lines (stdlib only).
+
+Input: one or more files of JSONL as emitted by STRASSEN_OBS=json:PATH, a
+single-report .json file, or a bench --json file
+(``{"bench": ..., "rows": [{"label": ..., "report": {...}}]}``).  Every
+report must carry the exact v1 key set with the documented types -- the
+schema is a compatibility contract (docs/OBSERVABILITY.md): consumers index
+fields unconditionally, so a missing, extra or retyped key is an error, not
+a warning.  Exits nonzero with the offending path on the first failure per
+report.
+
+Usage: python3 tools/validate_report_schema.py report.jsonl [...]
+"""
+
+import json
+import sys
+
+SCHEMA_ID = "strassen.gemm_report.v1"
+
+BOOL = bool
+INT = int
+NUM = (int, float)  # JSON has one number type; integers satisfy "number"
+STR = str
+
+# section -> {key: expected type}; the full v1 key set, nothing optional.
+SECTIONS = {
+    "call": {"entry": STR, "m": INT, "n": INT, "k": INT},
+    "phases": {
+        "wall_s": NUM,
+        "convert_in_s": NUM,
+        "compute_s": NUM,
+        "leaf_s": NUM,
+        "convert_out_s": NUM,
+        "conversion_fraction": NUM,
+    },
+    "plan": {
+        "direct": BOOL,
+        "split": BOOL,
+        "products": INT,
+        "planned_depth": INT,
+        "depth": INT,
+        "tile_m": INT,
+        "tile_k": INT,
+        "tile_n": INT,
+        "padded_m": INT,
+        "padded_k": INT,
+        "padded_n": INT,
+        "pad_elems": INT,
+    },
+    "workspace": {
+        "requested_bytes": INT,
+        "peak_bytes": INT,
+        "allocations": INT,
+        "fallback": STR,
+    },
+    "kernels": {
+        "active": STR,
+        "variant": STR,
+        "leaf_calls": INT,
+        "fused_calls": INT,
+        "elementwise_calls": INT,
+    },
+    "parallel": {
+        "used": BOOL,
+        "threads": INT,
+        "spawn_levels": INT,
+        "tasks": INT,
+        "task_busy_s": NUM,
+        "utilization": NUM,
+        "per_thread_tasks": list,
+    },
+}
+
+FALLBACKS = {"none", "depth-reduced", "budget-direct", "alloc-direct",
+             "alloc-strided"}
+ENTRIES = {"modgemm", "pmodgemm"}
+
+
+def type_name(t):
+    return t[0].__name__ + "-like" if isinstance(t, tuple) else t.__name__
+
+
+def check(cond, where, msg):
+    if not cond:
+        raise ValueError(f"{where}: {msg}")
+
+
+def validate_report(report, where):
+    check(isinstance(report, dict), where, "report is not an object")
+    expected_top = {"schema"} | set(SECTIONS)
+    check(set(report) == expected_top, where,
+          f"top-level keys {sorted(report)} != {sorted(expected_top)}")
+    check(report["schema"] == SCHEMA_ID, where,
+          f"schema {report['schema']!r} != {SCHEMA_ID!r}")
+    for section, fields in SECTIONS.items():
+        obj = report[section]
+        check(isinstance(obj, dict), f"{where}.{section}", "not an object")
+        check(set(obj) == set(fields), f"{where}.{section}",
+              f"keys {sorted(obj)} != {sorted(fields)}")
+        for key, expected in fields.items():
+            value = obj[key]
+            # bool is an int subclass in Python; forbid the crossover.
+            ok = (isinstance(value, expected)
+                  and not (expected in (INT, NUM) and isinstance(value, bool)))
+            check(ok, f"{where}.{section}.{key}",
+                  f"{value!r} is not {type_name(expected)}")
+    check(report["call"]["entry"] in ENTRIES, f"{where}.call.entry",
+          f"{report['call']['entry']!r} not in {sorted(ENTRIES)}")
+    check(report["workspace"]["fallback"] in FALLBACKS,
+          f"{where}.workspace.fallback",
+          f"{report['workspace']['fallback']!r} not in {sorted(FALLBACKS)}")
+    for i, t in enumerate(report["parallel"]["per_thread_tasks"]):
+        check(isinstance(t, int) and not isinstance(t, bool),
+              f"{where}.parallel.per_thread_tasks[{i}]", f"{t!r} is not int")
+
+
+def iter_reports(path):
+    """Yields (report, where) pairs from JSONL, bare-report or bench JSON."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    stripped = text.strip()
+    if not stripped:
+        raise ValueError(f"{path}: empty file")
+    # Bench --json / micro_kernels files are one multi-line document.
+    if "\n" in stripped and not stripped.startswith("{\"schema\""):
+        doc = json.loads(stripped)
+        rows = doc.get("rows", [])
+        reports = doc.get("modgemm_reports", {})
+        for i, row in enumerate(rows):
+            yield row["report"], f"{path}:rows[{i}]({row.get('label', '?')})"
+        for label, rep in sorted(reports.items()):
+            yield rep, f"{path}:modgemm_reports[{label}]"
+        if not rows and not reports:
+            raise ValueError(f"{path}: no reports found in bench JSON")
+        return
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        if line.strip():
+            yield json.loads(line), f"{path}:{lineno}"
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    total = 0
+    failures = 0
+    for path in argv[1:]:
+        try:
+            for report, where in iter_reports(path):
+                total += 1
+                try:
+                    validate_report(report, where)
+                except ValueError as err:
+                    print(f"FAIL {err}")
+                    failures += 1
+        except (OSError, json.JSONDecodeError, KeyError, ValueError) as err:
+            print(f"FAIL {path}: {err}")
+            failures += 1
+    if failures:
+        print(f"FAIL: {failures} invalid of {total} report(s)")
+        return 1
+    print(f"OK: {total} report(s) conform to {SCHEMA_ID}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
