@@ -40,6 +40,16 @@ void AlignedBuffer::set_allocation_gate(AllocationGate gate,
   g_gate_user = user;
 }
 
+bool AlignedBuffer::allocation_allowed(std::size_t bytes) noexcept {
+  // Present the same rounded size the constructor would, so byte-accounting
+  // gates see identical requests on the cold and cached paths.
+  const std::size_t a = kDefaultAlignment;
+  const std::size_t rounded =
+      bytes > static_cast<std::size_t>(-1) - (a - 1) ? bytes
+                                                     : (bytes + a - 1) / a * a;
+  return gate_allows(rounded);
+}
+
 AlignedBuffer::AlignedBuffer(std::size_t bytes, std::size_t alignment) {
   STRASSEN_REQUIRE(alignment != 0 && (alignment & (alignment - 1)) == 0,
                    "alignment must be a power of two: " << alignment);

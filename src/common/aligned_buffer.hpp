@@ -26,6 +26,15 @@ class AlignedBuffer {
   using AllocationGate = bool (*)(std::size_t bytes, void* user);
   static void set_allocation_gate(AllocationGate gate, void* user) noexcept;
 
+  // Consults the installed gate exactly as an allocation of `bytes` would,
+  // without allocating.  Storage-reuse paths (the parallel scratch-arena
+  // cache) call this before handing out cached memory, so a fault-injection
+  // sweep or accounting gate observes every acquisition -- cache hits
+  // included -- and each acquisition consults the gate exactly once whether
+  // it is served cold or from the cache.  Returns false when the gate
+  // refuses (callers then throw std::bad_alloc, matching the cold path).
+  static bool allocation_allowed(std::size_t bytes) noexcept;
+
   AlignedBuffer() = default;
   // Allocates `bytes` bytes aligned to `alignment` (a power of two).
   // The memory is NOT zero-initialized; call zero() if needed.

@@ -56,6 +56,7 @@ struct Collector {
   // --- parallel stats ---
   std::atomic<std::uint64_t> tasks_executed{0};
   std::atomic<std::uint64_t> task_nanos{0};
+  std::atomic<std::uint64_t> steals{0};  // tasks migrated between workers
   std::atomic<std::uint64_t> per_thread_tasks[kMaxThreadSlots]{};
 
   void note_leaf(std::uint64_t nanos, bool fused) noexcept {
@@ -68,6 +69,13 @@ struct Collector {
   void note_workspace(std::size_t bytes) noexcept {
     workspace_noted_bytes.fetch_add(bytes, std::memory_order_relaxed);
     workspace_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  // One task of this call migrated from the deque of the worker that spawned
+  // it to another thread by a steal.  Called by the work-stealing scheduler
+  // at steal time (thief thread, collector not necessarily installed there --
+  // the pointer travels with the task).
+  void note_steal() noexcept {
+    steals.fetch_add(1, std::memory_order_relaxed);
   }
   // worker_index: -1 for the calling thread, otherwise the pool worker index.
   void note_task(int worker_index, std::uint64_t nanos) noexcept {

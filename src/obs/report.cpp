@@ -55,10 +55,11 @@ void put_string(std::ostream& os, const char* s) {
 
 }  // namespace
 
-// One line, stable key set and order: schema strassen.gemm_report.v1.
-// Adding a key is a schema version bump (see docs/OBSERVABILITY.md).
+// One line, stable key set and order: schema strassen.gemm_report.v2.
+// Adding a key is a schema version bump (see docs/OBSERVABILITY.md); v2
+// added parallel.steals when the work-stealing scheduler landed.
 void write_json(std::ostream& os, const GemmReport& r) {
-  os << "{\"schema\": \"strassen.gemm_report.v1\", ";
+  os << "{\"schema\": \"strassen.gemm_report.v2\", ";
 
   os << "\"call\": {\"entry\": ";
   put_string(os, r.entry[0] != '\0' ? r.entry : "modgemm");
@@ -107,7 +108,8 @@ void write_json(std::ostream& os, const GemmReport& r) {
   os << "\"parallel\": {\"used\": " << (r.parallel ? "true" : "false")
      << ", \"threads\": " << r.threads
      << ", \"spawn_levels\": " << r.spawn_levels
-     << ", \"tasks\": " << r.tasks_executed << ", \"task_busy_s\": ";
+     << ", \"tasks\": " << r.tasks_executed << ", \"steals\": " << r.steals
+     << ", \"task_busy_s\": ";
   put_double(os, r.task_busy_seconds);
   os << ", \"utilization\": ";
   put_double(os, r.pool_utilization());

@@ -14,8 +14,9 @@
 //                 of the PR-1 degradation ladder the call took, if any
 //   kernels    -- active engine kernel/variant and leaf / fused-leaf /
 //                 element-wise invocation counts
-//   parallel   -- thread count, tasks executed (total and per worker), task
-//                 busy time, and pool utilization
+//   parallel   -- thread count, tasks executed (total and per worker), tasks
+//                 migrated between workers by stealing, task busy time, and
+//                 pool utilization
 //
 // A report is requested per call (ModgemmOptions::report /
 // ParallelOptions::report, or the legacy trailing parameter) and costs
@@ -56,7 +57,7 @@ const char* fallback_reason_name(FallbackReason r);
 
 // Everything the library can tell you about one gemm call.  Field semantics
 // are specified in docs/OBSERVABILITY.md together with the JSON schema
-// (strassen.gemm_report.v1) that to_json() emits.
+// (strassen.gemm_report.v2) that to_json() emits.
 struct GemmReport {
   // --- call identity -------------------------------------------------------
   const char* entry = "";  // "modgemm" | "pmodgemm" (static strings)
@@ -91,9 +92,21 @@ struct GemmReport {
   // --- parallel stats ------------------------------------------------------
   bool parallel = false;  // went through parallel::pmodgemm
   int threads = 0;        // pool width (0 = inline/serial)
+  // Spawn depth the call actually used: the value of
+  // ParallelOptions::spawn_levels when set explicitly (>= 0), or the
+  // effective depth the auto policy (kSpawnAuto) resolved to.
   int spawn_levels = 0;
   std::uint64_t tasks_executed = 0;
-  double task_busy_seconds = 0.0;  // sum of task execution times
+  // Tasks that migrated from the worker that spawned them to another thread
+  // via a work-steal (0 when inline or when every task ran where it was
+  // queued).  A high steal share with low utilization points at tasks too
+  // fine for the pool; near-zero steals at low utilization points at too few
+  // tasks.
+  std::uint64_t steals = 0;
+  // Sum of EXCLUSIVE task execution times: a task help-running other tasks
+  // while blocked in a join does not count their time as its own, so this
+  // sums to real busy time even for deeply nested spawn trees.
+  double task_busy_seconds = 0.0;
   // Tasks per thread: index 0 is the calling thread (inline execution and
   // TaskGroup help-first draining), index i >= 1 is pool worker i - 1.
   // Empty until a parallel call populates it.
@@ -141,7 +154,7 @@ class WallStamp {
 };
 
 // Serializes `r` as one line of schema-stable JSON (schema id
-// "strassen.gemm_report.v1"; see docs/OBSERVABILITY.md for the contract).
+// "strassen.gemm_report.v2"; see docs/OBSERVABILITY.md for the contract).
 // Key set and nesting never change within a schema version -- consumers may
 // index fields unconditionally.
 std::string to_json(const GemmReport& r);

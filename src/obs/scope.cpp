@@ -50,6 +50,7 @@ CallScope::~CallScope() {
         std::max(r.workspace_peak_bytes, r.workspace_requested_bytes);
 
   r.tasks_executed += ld(counters_.tasks_executed);
+  r.steals += ld(counters_.steals);
   r.task_busy_seconds += static_cast<double>(ld(counters_.task_nanos)) * 1e-9;
   if (r.parallel) {
     const int slots =

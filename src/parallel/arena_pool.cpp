@@ -1,0 +1,91 @@
+#include "parallel/arena_pool.hpp"
+
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "obs/collector.hpp"
+
+namespace strassen::parallel {
+
+namespace {
+
+// Idle arenas cached per thread.  Bounded so a long-lived caller thread
+// holds at most kMaxCachedArenas buffers of the largest sizes it has used.
+constexpr std::size_t kMaxCachedArenas = 8;
+
+struct ThreadArenaCache {
+  std::vector<Arena> idle;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+ThreadArenaCache& cache() {
+  thread_local ThreadArenaCache tl_cache;
+  return tl_cache;
+}
+
+}  // namespace
+
+ScratchArena::ScratchArena(std::size_t bytes) : requested_(bytes) {
+  // A zero-byte request never touches storage or the gate, mirroring
+  // Arena(0) / AlignedBuffer(0): the arena stays empty and is not cached.
+  if (bytes == 0) return;
+  ThreadArenaCache& c = cache();
+  // Best fit: the smallest cached arena with enough capacity.
+  std::size_t best = c.idle.size();
+  for (std::size_t i = 0; i < c.idle.size(); ++i) {
+    if (c.idle[i].capacity() < bytes) continue;
+    if (best == c.idle.size() ||
+        c.idle[i].capacity() < c.idle[best].capacity())
+      best = i;
+  }
+  if (best != c.idle.size()) {
+    // A cache hit is still an acquisition: consult the allocation gate
+    // exactly as a cold allocation would, and fail the same way.  No
+    // retry -- refusal feeds the degradation ladder like a real OOM.
+    if (!AlignedBuffer::allocation_allowed(bytes)) throw std::bad_alloc();
+    arena_ = std::move(c.idle[best]);
+    c.idle.erase(c.idle.begin() + static_cast<std::ptrdiff_t>(best));
+    ++c.hits;
+  } else {
+    ++c.misses;
+    arena_ = Arena(bytes);  // consults the gate inside AlignedBuffer
+  }
+  if (obs::Collector* col = obs::current()) col->note_workspace(bytes);
+}
+
+ScratchArena::~ScratchArena() {
+  if (arena_.capacity() == 0) return;
+  arena_.pop(0);  // release all frames; capacity is retained
+  ThreadArenaCache& c = cache();
+  if (c.idle.size() < kMaxCachedArenas) {
+    c.idle.push_back(std::move(arena_));
+    return;
+  }
+  // Cache full: keep the larger of ours and the smallest cached one, so the
+  // cache converges on the biggest working set seen on this thread.
+  std::size_t smallest = 0;
+  for (std::size_t i = 1; i < c.idle.size(); ++i)
+    if (c.idle[i].capacity() < c.idle[smallest].capacity()) smallest = i;
+  if (c.idle[smallest].capacity() < arena_.capacity())
+    c.idle[smallest] = std::move(arena_);
+  // else: drop ours (freed by ~Arena)
+}
+
+void purge_thread_arena_cache() noexcept {
+  cache().idle.clear();
+}
+
+ArenaCacheStats thread_arena_cache_stats() noexcept {
+  const ThreadArenaCache& c = cache();
+  ArenaCacheStats s;
+  s.cached_arenas = c.idle.size();
+  for (const Arena& a : c.idle) s.cached_bytes += a.capacity();
+  s.hits = c.hits;
+  s.misses = c.misses;
+  return s;
+}
+
+}  // namespace strassen::parallel

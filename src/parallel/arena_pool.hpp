@@ -1,0 +1,68 @@
+// arena_pool.hpp -- per-thread cache of recursion arenas.
+//
+// Every Winograd task needs an Arena for its level temporaries (or, below
+// the spawn cutoff, for the whole serial subtree).  Allocating those arenas
+// fresh per task would put aligned_alloc/free on the task hot path and --
+// worse on multi-socket machines -- hand a worker memory that another thread
+// first touched.  Instead each thread keeps a small cache of idle arenas:
+//
+//   * ScratchArena acquires the best-fitting cached arena (or allocates one
+//     cold) and returns it to the cache on destruction.  Because the cache
+//     is thread_local, a worker's scratch memory is first-touched by that
+//     worker and stays on its NUMA node; with STRASSEN_NUMA=1 pinning the
+//     workers (see thread_pool.hpp), the binding is stable for the process
+//     lifetime.
+//   * Reuse stays visible to the allocation gate: a cache hit consults
+//     AlignedBuffer::allocation_allowed() with the requested size, so
+//     fault-injection sweeps cover every acquisition site, warm or cold,
+//     and each acquisition consults the gate exactly once.
+//   * There is no clear-and-retry on refusal -- a refused or failed
+//     acquisition throws std::bad_alloc straight into the degradation
+//     ladder, exactly like a cold allocation failure.
+//
+// Each ScratchArena is an independent buffer (not a slice of a shared
+// stack), so a task that help-runs other tasks while blocked in
+// TaskGroup::wait() never interleaves arena frames with them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/arena.hpp"
+
+namespace strassen::parallel {
+
+// RAII scratch arena drawn from (and returned to) the calling thread's cache.
+// Observability: acquisition notes the requested bytes on the installed
+// collector as a workspace acquisition (cache hits included), preserving the
+// "one workspace note per task arena" accounting the obs layer documents.
+class ScratchArena {
+ public:
+  explicit ScratchArena(std::size_t bytes);
+  ~ScratchArena();
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  Arena& arena() { return arena_; }
+
+ private:
+  Arena arena_;
+  std::size_t requested_ = 0;
+};
+
+// Frees every idle arena cached by the CURRENT thread.  Called by the
+// degradation ladder before a serial retry so real memory pressure is
+// relieved on the falling-back thread; workers' caches drain when the pool
+// is destroyed.  Never consults the allocation gate (it only frees).
+void purge_thread_arena_cache() noexcept;
+
+// Stats for the CURRENT thread's cache (tests and benchmarks).
+struct ArenaCacheStats {
+  std::size_t cached_arenas = 0;  // idle arenas currently held
+  std::size_t cached_bytes = 0;   // sum of their capacities
+  std::uint64_t hits = 0;         // acquisitions served from the cache
+  std::uint64_t misses = 0;       // acquisitions that allocated cold
+};
+ArenaCacheStats thread_arena_cache_stats() noexcept;
+
+}  // namespace strassen::parallel

@@ -1,8 +1,12 @@
 #include "parallel/pmodgemm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <memory>
 #include <new>
+#include <vector>
 
 #include "blas/level1.hpp"
 #include "common/aligned_buffer.hpp"
@@ -12,7 +16,9 @@
 #include "core/winograd.hpp"
 #include "core/workspace.hpp"
 #include "layout/convert.hpp"
+#include "layout/split.hpp"
 #include "obs/scope.hpp"
+#include "parallel/arena_pool.hpp"
 
 namespace strassen::parallel {
 
@@ -28,17 +34,51 @@ std::size_t spawn_level_bytes(std::size_t qa, std::size_t qb, std::size_t qc,
          7 * round_up64(qc * elem);
 }
 
-// The parallel recursion.  Below the spawn levels this is exactly
+// Where the recursion stops forking.  Legacy mode (explicit spawn_levels
+// >= 0) counts levels down; auto mode forks as long as the CHILD sub-product
+// is at least min_task_flops of padded volume, so task granularity -- not a
+// fixed level count -- decides, and big multiplies fan out deep while small
+// ones stay serial.
+struct SpawnPolicy {
+  bool auto_mode = true;
+  std::int64_t min_task_flops = 0;
+};
+
+bool should_fork(const SpawnPolicy& policy, int spawn, int tm, int tk, int tn,
+                 int depth) {
+  if (depth == 0) return false;
+  if (!policy.auto_mode) return spawn > 0;
+  // Padded volume of one child: (tm*tk*tn) << 3*(depth-1).  Computed in
+  // double to sidestep overflow for deep plans.
+  const double child_volume =
+      std::ldexp(static_cast<double>(tm) * tk * tn, 3 * (depth - 1));
+  return child_volume >= static_cast<double>(policy.min_task_flops);
+}
+
+// Spawn depth the policy resolves to for this plan (what lands in
+// GemmReport::spawn_levels; for legacy mode = min(explicit, depth)).
+int effective_spawn_levels(const SpawnPolicy& policy, int explicit_levels,
+                           int tm, int tk, int tn, int depth) {
+  int levels = 0;
+  int spawn = policy.auto_mode ? 0 : explicit_levels;
+  for (int d = depth; d > 0; --d) {
+    if (!should_fork(policy, spawn, tm, tk, tn, d)) break;
+    ++levels;
+    if (!policy.auto_mode) --spawn;
+  }
+  return levels;
+}
+
+// The parallel recursion.  Below the spawn cutoff this is exactly
 // core::winograd_recurse, so results are bit-identical to the serial code.
-void recurse(ThreadPool* pool, int spawn, double* C, const double* A,
-             const double* B, int tm, int tk, int tn, int depth) {
-  if (spawn <= 0 || depth == 0) {
-    const std::size_t bytes =
-        core::winograd_workspace_bytes(tm, tk, tn, depth, sizeof(double));
-    if (obs::Collector* col = obs::current()) col->note_workspace(bytes);
-    Arena arena(bytes);
+void recurse(ThreadPool* pool, const SpawnPolicy& policy, int spawn, double* C,
+             const double* A, const double* B, int tm, int tk, int tn,
+             int depth) {
+  if (!should_fork(policy, spawn, tm, tk, tn, depth)) {
+    ScratchArena scratch(
+        core::winograd_workspace_bytes(tm, tk, tn, depth, sizeof(double)));
     RawMem mm;
-    core::winograd_recurse(mm, C, A, B, tm, tk, tn, depth, arena);
+    core::winograd_recurse(mm, C, A, B, tm, tk, tn, depth, scratch.arena());
     return;
   }
   const int d1 = depth - 1;
@@ -60,9 +100,11 @@ void recurse(ThreadPool* pool, int spawn, double* C, const double* A,
   double* C21 = C + 2 * qc;
   double* C22 = C + 3 * qc;
 
-  const std::size_t level_bytes = spawn_level_bytes(qa, qb, qc, sizeof(double));
-  if (obs::Collector* col = obs::current()) col->note_workspace(level_bytes);
-  Arena level(level_bytes);
+  // The level's 15 temporaries come from the per-thread arena cache.  Each
+  // ScratchArena is an independent buffer, so a task that help-runs other
+  // tasks while blocked in wait() below never interleaves frames with them.
+  ScratchArena scratch(spawn_level_bytes(qa, qb, qc, sizeof(double)));
+  Arena& level = scratch.arena();
   double* S1 = level.push<double>(qa);
   double* S2 = level.push<double>(qa);
   double* S3 = level.push<double>(qa);
@@ -99,11 +141,17 @@ void recurse(ThreadPool* pool, int spawn, double* C, const double* A,
   blas::vsub(mm, qb, T3, B22, B12);
   blas::vsub(mm, qb, T4, T2, B21);
 
-  // The seven independent products, forked.
+  // The seven independent products, forked.  When this runs on a pool
+  // worker, the children land on ITS deque bottom (depth-first, cache-hot)
+  // and idle workers steal whole subtrees from the top; the U-chain below is
+  // the continuation this task runs once the join counter drains.
   {
     TaskGroup group(pool);
+    const int child_spawn = policy.auto_mode ? 0 : spawn - 1;
     auto fork = [&](double* dst, const double* a, const double* b) {
-      group.run([=] { recurse(pool, spawn - 1, dst, a, b, tm, tk, tn, d1); });
+      group.run([=, &policy] {
+        recurse(pool, policy, child_spawn, dst, a, b, tm, tk, tn, d1);
+      });
     };
     fork(M1, A11, B11);
     fork(M2, A12, B21);
@@ -124,6 +172,107 @@ void recurse(ThreadPool* pool, int spawn, double* C, const double* A,
   blas::vadd(mm, qc, C22, M7, M5);           // C22 = U3 + M5
   blas::vadd_inplace(mm, qc, M1, M5);        // M1 := U4 = U2 + M5
   blas::vadd(mm, qc, C12, M1, M3);           // C12 = U4 + M3
+}
+
+// Accumulates one split sub-task's local report into the call report after
+// the join.  Kernel counters and task stats flow through the shared
+// collector and are NOT in the locals; everything the serial driver writes
+// into the report directly is.
+void merge_sub_report(obs::GemmReport* rep, const obs::GemmReport& sub) {
+  if (rep == nullptr) return;
+  rep->convert_in_seconds += sub.convert_in_seconds;
+  rep->compute_seconds += sub.compute_seconds;
+  rep->convert_out_seconds += sub.convert_out_seconds;
+  rep->products += sub.products;
+  rep->workspace_requested_bytes += sub.workspace_requested_bytes;
+  rep->workspace_allocations += sub.workspace_allocations;
+  rep->workspace_peak_bytes =
+      std::max(rep->workspace_peak_bytes, sub.workspace_peak_bytes);
+  core::detail::record_fallback(rep, sub.fallback_reason);
+  // Like the serial splitter, the call-level plan reflects the last
+  // sub-product executed.
+  rep->plan = sub.plan;
+}
+
+// The split decomposition (paper Fig. 4), parallel over C-blocks: each
+// (m_chunk x n_chunk) block of C is one pool task running its k-chain of
+// sub-products SEQUENTIALLY in chunk order with the serial driver --
+// first ? beta : 1 accumulation exactly like core::modgemm_mm.  Blocks write
+// disjoint parts of C and the within-block order is unchanged, so the result
+// is bit-identical to the serial splitter.  Each task degrades independently
+// through the serial ladder (bad_alloc never escapes a task); if task SETUP
+// fails mid-submission, the blocks that never completed are finished
+// serially on the caller.
+void split_parallel(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
+                    double alpha, const double* A, int lda, const double* B,
+                    int ldb, double beta, double* C, int ldc,
+                    const ParallelOptions& opt, obs::GemmReport* rep) {
+  const layout::SplitPlan split = layout::plan_split(m, k, n, opt.tiles);
+  if (rep) {
+    rep->split_used = true;
+    rep->parallel = true;
+    rep->threads = pool != nullptr ? pool->thread_count() : 0;
+  }
+  const std::size_t blocks = split.m_chunks.size() * split.n_chunks.size();
+  // Everything a task touches is allocated before the first submission:
+  // local reports (merged after the join -- GemmReport is not thread-safe)
+  // and per-block completion flags for the setup-failure path.
+  std::vector<obs::GemmReport> locals(rep != nullptr ? blocks : 0);
+  const std::unique_ptr<std::atomic<bool>[]> done(
+      new std::atomic<bool>[blocks]());
+
+  core::ModgemmOptions serial;
+  serial.tiles = opt.tiles;
+  const auto run_block = [&](std::size_t index, const layout::Chunk& cm,
+                             const layout::Chunk& cn) {
+    obs::GemmReport* local = locals.empty() ? nullptr : &locals[index];
+    bool first = true;
+    for (const layout::Chunk& ck : split.k_chunks) {
+      const double* Ablk =
+          opa == Op::NoTrans
+              ? A + static_cast<std::size_t>(ck.offset) * lda + cm.offset
+              : A + static_cast<std::size_t>(cm.offset) * lda + ck.offset;
+      const double* Bblk =
+          opb == Op::NoTrans
+              ? B + static_cast<std::size_t>(cn.offset) * ldb + ck.offset
+              : B + static_cast<std::size_t>(ck.offset) * ldb + cn.offset;
+      double* Cblk = C + static_cast<std::size_t>(cn.offset) * ldc + cm.offset;
+      // The serial entry point: plans the chunk (feasible or direct by
+      // plan_split's guarantee), runs its full degradation ladder, and --
+      // executing under this call's collector, installed by the pool --
+      // nests its CallScope so kernel counters flow to this call while the
+      // phase/workspace numbers land in `local`.
+      core::modgemm(opa, opb, cm.size, cn.size, ck.size, alpha, Ablk, lda,
+                    Bblk, ldb, first ? beta : 1.0, Cblk, ldc, serial, local);
+      first = false;
+    }
+    done[index].store(true, std::memory_order_release);
+  };
+
+  try {
+    TaskGroup group(pool);
+    std::size_t index = 0;
+    for (const layout::Chunk& cm : split.m_chunks)
+      for (const layout::Chunk& cn : split.n_chunks) {
+        const std::size_t i = index++;
+        group.run([&run_block, &cm, &cn, i] { run_block(i, cm, cn); });
+      }
+    group.wait();
+  } catch (const std::bad_alloc&) {
+    // Task-setup allocation failed part way (the tasks themselves absorb
+    // bad_alloc in the serial ladder and complete their block).  ~TaskGroup
+    // already joined everything in flight; finish the untouched blocks on
+    // this thread.
+    core::detail::record_fallback(rep, core::FallbackReason::kAllocDirect);
+    purge_thread_arena_cache();
+    std::size_t index = 0;
+    for (const layout::Chunk& cm : split.m_chunks)
+      for (const layout::Chunk& cn : split.n_chunks) {
+        const std::size_t i = index++;
+        if (!done[i].load(std::memory_order_acquire)) run_block(i, cm, cn);
+      }
+  }
+  for (const obs::GemmReport& local : locals) merge_sub_report(rep, local);
 }
 
 }  // namespace
@@ -151,8 +300,10 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
               double beta, double* C, int ldc, const ParallelOptions& opt) {
   // Reject bad inputs identically to the serial entry point.
   core::require_gemm_args(opa, opb, m, n, k, lda, ldb, ldc);
-  STRASSEN_REQUIRE(opt.spawn_levels >= 0,
-                   "negative spawn_levels: " << opt.spawn_levels);
+  STRASSEN_REQUIRE(opt.spawn_levels >= kSpawnAuto,
+                   "bad spawn_levels: " << opt.spawn_levels);
+  STRASSEN_REQUIRE(opt.min_task_flops >= 1,
+                   "min_task_flops must be positive: " << opt.min_task_flops);
   obs::CallScope scope("pmodgemm", opt.report);
   obs::GemmReport* rep = scope.report();
   obs::WallStamp wall(rep);
@@ -173,19 +324,25 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
   }
   const layout::GemmPlan plan = layout::plan_gemm(m, k, n, opt.tiles);
   if (rep) rep->planned_depth = plan.depth;
-  if (plan.direct || !plan.feasible) {
-    // Thin or highly rectangular shapes: defer to the serial driver (the
-    // split path's sub-products are typically small; parallelizing them is
-    // future work, as in the paper's own outlook for rectangular inputs).
-    // The report (if any) is handed down, so its phases/plan reflect the
-    // serial execution while entry stays "pmodgemm".
+  if (plan.direct) {
+    // Thin shapes: one conventional product; nothing to fan out.  The
+    // report (if any) is handed down, so its phases/plan reflect the serial
+    // execution while entry stays "pmodgemm".
     core::ModgemmOptions serial;
     serial.tiles = opt.tiles;
     core::modgemm(opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc,
                   serial, rep);
     return;
   }
+  if (!plan.feasible) {
+    // Highly rectangular: the split decomposition, C-blocks as pool tasks.
+    split_parallel(pool, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C,
+                   ldc, opt, rep);
+    return;
+  }
 
+  const SpawnPolicy policy{opt.spawn_levels == kSpawnAuto,
+                           opt.min_task_flops};
   try {
     const layout::MortonLayout la{m, k, plan.m.tile, plan.k.tile, plan.depth};
     const layout::MortonLayout lb{k, n, plan.k.tile, plan.n.tile, plan.depth};
@@ -200,11 +357,13 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
     double* Bm = bbuf.as<double>();
     double* Cm = cbuf.as<double>();
 
-    const int spawn = std::min(opt.spawn_levels, plan.depth);
+    const int spawn =
+        policy.auto_mode ? 0 : std::min(opt.spawn_levels, plan.depth);
     if (rep) {
       rep->parallel = true;
       rep->threads = pool != nullptr ? pool->thread_count() : 0;
-      rep->spawn_levels = spawn;
+      rep->spawn_levels = effective_spawn_levels(
+          policy, spawn, plan.m.tile, plan.k.tile, plan.n.tile, plan.depth);
       rep->plan = plan;
       ++rep->products;
       rep->workspace_requested_bytes += abytes + bbytes + cbytes;
@@ -230,8 +389,8 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
     if (rep) rep->convert_in_seconds += t.seconds();
 
     t.restart();
-    recurse(pool, spawn, Cm, Am, Bm, plan.m.tile, plan.k.tile, plan.n.tile,
-            plan.depth);
+    recurse(pool, policy, spawn, Cm, Am, Bm, plan.m.tile, plan.k.tile,
+            plan.n.tile, plan.depth);
     if (rep) rep->compute_seconds += t.seconds();
 
     t.restart();
@@ -252,8 +411,10 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
     // here.  C has not been touched (it is written only by the final
     // conversion, which does not allocate), so the serial driver -- with its
     // full degradation ladder down to the allocation-free path -- can
-    // produce the product from scratch.
+    // produce the product from scratch.  The caller's idle arena cache is
+    // released first so the retry runs with every reusable byte returned.
     core::detail::record_fallback(rep, core::FallbackReason::kAllocDirect);
+    purge_thread_arena_cache();
     core::ModgemmOptions serial;
     serial.tiles = opt.tiles;
     core::modgemm(opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc,

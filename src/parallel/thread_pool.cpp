@@ -2,7 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "common/check.hpp"
 #include "obs/collector.hpp"
@@ -10,64 +17,179 @@
 namespace strassen::parallel {
 
 namespace {
-// Worker index of the current thread within its owning pool; -1 outside any
-// pool.  Used only for the per-thread task telemetry.
+// Worker identity of the current thread: index within -- and owning pool of
+// -- the worker running here; (-1, nullptr) outside any pool.  The index
+// feeds per-thread task telemetry; the pool pointer routes submit() from a
+// worker onto its own deque (and only for its own pool -- a worker
+// submitting into a DIFFERENT pool goes through that pool's inject queue).
 thread_local int tl_worker_index = -1;
+thread_local ThreadPool* tl_worker_pool = nullptr;
 
-// Runs `task`, timing it into `col` when an observed call is in flight.
-// `col` is the collector captured where the task was LAUNCHED -- the worker
-// re-installs it so kernel hooks inside the task attribute to the right call.
+bool env_flag_enabled(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
+         std::strcmp(v, "true") == 0 || std::strcmp(v, "yes") == 0;
+}
+
+// Nanoseconds spent in observed tasks nested inside the currently-running
+// observed task on THIS thread.  Help-first joins make nesting routine: a
+// task blocked in TaskGroup::wait() runs other tasks inline, and its own
+// elapsed time contains theirs.  Each task therefore reports EXCLUSIVE time
+// (elapsed minus nested), so task_busy_seconds sums to real busy time
+// instead of multiply counting every level of the spawn tree.
+thread_local std::uint64_t tl_nested_nanos = 0;
+
+// Runs `task`, timing its exclusive execution into `col` when an observed
+// call is in flight.  Used by every TaskGroup execution path (inline and
+// pooled -- the pool wrapper calls this with the submit-time collector
+// re-installed).  A throwing task still charges its elapsed time to the
+// enclosing task, but notes nothing itself (it did not complete).
 void run_observed(const std::function<void()>& task, obs::Collector* col) {
   if (col == nullptr) {
     task();
     return;
   }
   obs::ScopedCollector install(col);
+  const std::uint64_t saved = tl_nested_nanos;
+  tl_nested_nanos = 0;
   const std::uint64_t t0 = obs::now_nanos();
-  task();
-  col->note_task(ThreadPool::current_worker_index(), obs::now_nanos() - t0);
+  try {
+    task();
+  } catch (...) {
+    tl_nested_nanos = saved + (obs::now_nanos() - t0);
+    throw;
+  }
+  const std::uint64_t elapsed = obs::now_nanos() - t0;
+  const std::uint64_t nested = std::min(tl_nested_nanos, elapsed);
+  tl_nested_nanos = saved + elapsed;
+  col->note_task(ThreadPool::current_worker_index(), elapsed - nested);
 }
 }  // namespace
 
 int ThreadPool::current_worker_index() noexcept { return tl_worker_index; }
 
-ThreadPool::ThreadPool(int threads) {
-  if (threads <= 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw > 0 ? static_cast<int>(hw) : 1;
+int ThreadPool::default_thread_count() noexcept {
+  if (const char* env = std::getenv("STRASSEN_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0 && v <= 4096) return static_cast<int>(v);
   }
-  workers_.reserve(static_cast<std::size_t>(threads));
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = default_thread_count();
+  deques_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i)
+    deques_.push_back(std::make_unique<WorkDeque>());
+  const bool pin = env_flag_enabled("STRASSEN_NUMA");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
     workers_.emplace_back([this, i] {
       tl_worker_index = i;
-      worker_loop();
+      tl_worker_pool = this;
+      worker_loop(i);
     });
+#if defined(__linux__)
+    if (pin) {
+      // Round-robin CPU pinning.  With first-touch allocation and the
+      // per-thread arena cache, this binds each worker's scratch memory to
+      // its own NUMA node for the pool's lifetime.  Best effort: pinning may
+      // fail under restrictive cpusets, in which case the scheduler places
+      // the thread as usual.
+      const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(static_cast<unsigned>(i) % cpus, &set);
+      if (pthread_setaffinity_np(workers_.back().native_handle(), sizeof(set),
+                                 &set) == 0)
+        numa_pinned_ = true;
+    }
+#else
+    (void)pin;
+#endif
+  }
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
+  stopping_.store(true, std::memory_order_release);
   cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   STRASSEN_REQUIRE(task != nullptr, "null task");
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
-  }
-  cv_.notify_one();
+  PoolTask t{std::move(task), obs::current()};
+  if (tl_worker_pool == this && tl_worker_index >= 0 &&
+      tl_worker_index < static_cast<int>(deques_.size()))
+    deques_[static_cast<std::size_t>(tl_worker_index)]->push_bottom(
+        std::move(t));
+  else
+    inject_.push_bottom(std::move(t));
+  // Lockless peek: a worker between its idle_ increment and the timed wait
+  // can miss this notify, but the 1ms bounded wait covers that race.
+  if (idle_.load(std::memory_order_relaxed) > 0) cv_.notify_one();
 }
 
-// Runs a task on the current thread, parking an escaping exception in the
-// pool's error slot.  TaskGroup tasks catch their own exceptions before this
-// sees them, so the slot only ever holds fire-and-forget escapes.
-void ThreadPool::run_task(std::function<void()>& task) {
+bool ThreadPool::find_task(int me, PoolTask& out) {
+  const int n = static_cast<int>(deques_.size());
+  if (me >= 0 && me < n) {
+    // 1. Own deque, newest first: depth-first on our own subtree.
+    if (deques_[static_cast<std::size_t>(me)]->pop_bottom(out)) return true;
+    // 2. Injection queue, then victims round-robin from our right neighbor;
+    //    steal-half moves a batch, we run its oldest entry and park the rest
+    //    on our own deque (where other thieves can sub-steal them).
+    std::vector<PoolTask> batch;
+    for (int i = 0; i <= n; ++i) {
+      WorkDeque& victim =
+          i == 0 ? inject_ : *deques_[static_cast<std::size_t>((me + i) % n)];
+      if (i != 0 && (me + i) % n == me) continue;
+      const std::size_t got = victim.steal_top_half(batch);
+      if (got == 0) continue;
+      if (i != 0) {
+        // A real worker-to-worker migration (inject grabs are not steals).
+        steals_.fetch_add(got, std::memory_order_relaxed);
+        for (PoolTask& pt : batch)
+          if (pt.col != nullptr) pt.col->note_steal();
+      }
+      out = std::move(batch.front());
+      for (std::size_t j = 1; j < batch.size(); ++j)
+        deques_[static_cast<std::size_t>(me)]->push_bottom(
+            std::move(batch[j]));
+      if (batch.size() > 1 && idle_.load(std::memory_order_relaxed) > 0)
+        cv_.notify_one();
+      return true;
+    }
+    return false;
+  }
+  // External helper (TaskGroup::wait on a non-worker thread): no deque to
+  // park surplus on, so take single tasks -- injection queue first.
+  if (inject_.steal_top(out)) return true;
+  for (int v = 0; v < n; ++v) {
+    if (deques_[static_cast<std::size_t>(v)]->steal_top(out)) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      if (out.col != nullptr) out.col->note_steal();
+      return true;
+    }
+  }
+  return false;
+}
+
+// Runs one scheduled task on the current thread.  Re-installs the collector
+// captured at submit() so kernel hooks inside the task attribute to the call
+// that spawned it.  Task timing/counting happens INSIDE the task body
+// (TaskGroup wraps with run_observed), not here: the group's pending count
+// only drops after the note lands, so a collector is never touched after
+// its call returned.  An escaping exception is parked in the pool's error
+// slot; TaskGroup tasks catch their own exceptions before this sees them,
+// so the slot only ever holds fire-and-forget escapes.
+void ThreadPool::execute(PoolTask& task) {
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  obs::ScopedCollector install(task.col);
   try {
-    task();
+    task.fn();
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!error_) error_ = std::current_exception();
@@ -80,40 +202,36 @@ std::exception_ptr ThreadPool::take_error() {
 }
 
 bool ThreadPool::try_run_one() {
-  std::function<void()> task;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop_front();
-  }
-  run_task(task);
+  const int me = tl_worker_pool == this ? tl_worker_index : -1;
+  PoolTask task;
+  if (!find_task(me, task)) return false;
+  execute(task);
   return true;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int me) {
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    PoolTask task;
+    if (find_task(me, task)) {
+      execute(task);
+      continue;
     }
-    run_task(task);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.fetch_add(1, std::memory_order_relaxed);
+    // Timed wait: a submit() racing our idle_ increment may skip the
+    // notify, so never sleep unboundedly on the condition alone.
+    cv_.wait_for(lock, std::chrono::milliseconds(1));
+    idle_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void TaskGroup::run(std::function<void()> task) {
-  // Captured at launch: tasks run under the collector of the call that
-  // spawned them, wherever (and on whatever thread) they execute.
-  obs::Collector* col = obs::current();
   if (pool_ == nullptr) {
     // Inline execution still defers the exception to wait(), so callers see
     // one surfacing point regardless of whether a pool is attached.
     try {
-      run_observed(task, col);
+      run_observed(task, obs::current());
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!error_) error_ = std::current_exception();
@@ -124,10 +242,14 @@ void TaskGroup::run(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++pending_;
   }
-  pool_->submit([this, col, task = std::move(task)] {
+  // The pool re-installs the collector captured at submit() before running
+  // this wrapper, so run_observed sees it via obs::current() and notes the
+  // task BEFORE pending_ drops -- a joined group therefore never leaves a
+  // note racing the caller's report finalization.
+  pool_->submit([this, task = std::move(task)] {
     std::exception_ptr err;
     try {
-      run_observed(task, col);
+      run_observed(task, obs::current());
     } catch (...) {
       err = std::current_exception();
     }
@@ -140,16 +262,18 @@ void TaskGroup::run(std::function<void()> task) {
 
 void TaskGroup::join() {
   for (;;) {
-    // Help-first: drain queued work on this thread before blocking, so a
-    // worker waiting on its children never starves them of a thread.
+    // Help-first: drain runnable work on this thread before blocking, so a
+    // worker waiting on its children never starves them of a thread.  With
+    // work stealing this also lets the waiting thread pick up its own
+    // children even after a thief moved them.
     if (pool_ != nullptr) {
       while (pool_->try_run_one()) {
       }
     }
     std::unique_lock<std::mutex> lock(mutex_);
     if (pending_ == 0) return;
-    // Our tasks may be in flight on other workers (queue empty, pending
-    // nonzero); bounded wait covers the race with new queue arrivals.
+    // Our tasks may be in flight on other workers (nothing runnable here,
+    // pending nonzero); bounded wait covers the race with new arrivals.
     cv_.wait_for(lock, std::chrono::milliseconds(1),
                  [this] { return pending_ == 0; });
     if (pending_ == 0) return;

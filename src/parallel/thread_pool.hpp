@@ -1,40 +1,60 @@
-// thread_pool.hpp -- a small fixed-size worker pool for task parallelism.
+// thread_pool.hpp -- work-stealing worker pool for task parallelism.
 //
 // The paper's future work asks for further performance on top of the
 // memory-friendly algorithm; the natural next step on a multicore host is to
 // run the seven independent Strassen-Winograd products concurrently (they
-// only synchronize at the U-chain combination).  This pool provides exactly
-// the primitives that needs: submit() for fire-and-forget tasks and
-// TaskGroup for fork/join.
+// only synchronize at the U-chain combination).  With deep spawning
+// (parallel/pmodgemm.hpp) the recursion forks the 7 sub-products at EVERY
+// level above a flops cutoff, so the pool schedules hundreds-to-thousands of
+// coarse tasks per multiply and keeping them balanced matters.
 //
-// Exception safety: tasks may throw.  A TaskGroup captures the first
-// exception any of its tasks raises and rethrows it from wait(), after every
-// task in the group has finished -- so no task can outlive the state it
-// captured by reference, and the pool remains fully usable afterwards.  A
-// fire-and-forget task submitted directly to the pool has no join point to
-// rethrow at; its first exception is parked and can be collected with
-// take_error().
+// Scheduling: each worker owns a WorkDeque (work_deque.hpp).  A worker that
+// spawns tasks pushes them to the BOTTOM of its own deque and pops from the
+// bottom too, so it executes its own subtree depth-first and cache-hot.  An
+// idle worker steals from the TOP of a victim's deque -- the oldest entry,
+// i.e. the largest pending subtree -- taking half the deque per grab
+// (steal-half), which amortizes synchronization and spreads whole subtrees
+// across the machine in O(log tasks) steals.  Threads that are not pool
+// workers submit into a shared injection queue that workers drain FIFO with
+// the same stealing machinery.
 //
-// Deliberately simple: one mutex-protected FIFO, N worker threads, no work
-// stealing -- the library spawns a handful of coarse tasks (7 or 49 products,
-// or tile-range chunks of a conversion), so queue contention is negligible.
+// Environment knobs (read when a pool is constructed with threads <= 0 /
+// at construction respectively):
+//   STRASSEN_THREADS=N  pool width when the constructor argument is 0
+//                       (otherwise hardware_concurrency)
+//   STRASSEN_NUMA=1     pin worker i to CPU (i mod cpus).  Combined with the
+//                       per-thread arena cache (arena_pool.hpp) this keeps a
+//                       worker's scratch memory first-touched on -- and
+//                       therefore resident at -- its own NUMA node.  Off by
+//                       default; accepts 1/on/true/yes.
+//
+// Exception safety (unchanged contract from the FIFO pool this replaces):
+// tasks may throw.  A TaskGroup captures the first exception any of its
+// tasks raises and rethrows it from wait(), after every task in the group
+// has finished -- so no task can outlive the state it captured by reference,
+// and the pool remains fully usable afterwards.  A fire-and-forget task
+// submitted directly to the pool has no join point; its first exception is
+// parked and can be collected with take_error().
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "parallel/work_deque.hpp"
 
 namespace strassen::parallel {
 
 class ThreadPool {
  public:
-  // Spawns `threads` workers (0 = std::thread::hardware_concurrency()).
+  // Spawns `threads` workers (<= 0 = default_thread_count()).
   explicit ThreadPool(int threads = 0);
   ~ThreadPool();
 
@@ -43,20 +63,28 @@ class ThreadPool {
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
+  // Pool width used when the constructor argument is <= 0: STRASSEN_THREADS
+  // when set to a positive integer, otherwise hardware_concurrency (min 1).
+  static int default_thread_count() noexcept;
+
   // Index of the pool worker running the current thread, or -1 when called
   // from outside any pool (observability maps -1 to per-thread slot 0).
   static int current_worker_index() noexcept;
 
-  // Enqueues a task.  A throwing task no longer terminates the process: an
-  // exception escaping a task is captured -- by the owning TaskGroup if the
-  // task was launched through one (rethrown at wait()), otherwise in the
-  // pool's error slot (collected with take_error()).
+  // Enqueues a task: onto the calling worker's own deque when invoked from
+  // a worker of THIS pool (depth-first spawning), otherwise onto the shared
+  // injection queue.  The observability collector active on the calling
+  // thread travels with the task.  A throwing task does not terminate the
+  // process: an exception escaping a task is captured -- by the owning
+  // TaskGroup if the task was launched through one (rethrown at wait()),
+  // otherwise in the pool's error slot (collected with take_error()).
   void submit(std::function<void()> task);
 
-  // Pops one queued task and runs it on the CALLING thread; returns false if
-  // the queue was empty.  TaskGroup::wait() uses this to "help" instead of
-  // blocking, which makes nested fork/join (spawn_levels >= 2) deadlock-free
-  // even on a single-thread pool.
+  // Finds one task -- own deque, then injection queue, then stealing from
+  // the other workers -- and runs it on the CALLING thread; returns false if
+  // no task was found.  TaskGroup::wait() uses this to "help" instead of
+  // blocking, which makes nested fork/join deadlock-free even on a
+  // single-thread pool.
   bool try_run_one();
 
   // First exception that escaped a fire-and-forget task since the last call
@@ -64,16 +92,43 @@ class ThreadPool {
   // TaskGroup report at wait() instead and never land here.
   std::exception_ptr take_error();
 
- private:
-  void worker_loop();
-  void run_task(std::function<void()>& task);
+  // --- scheduler telemetry (monotonic since construction) -------------------
+  // Tasks that migrated from the deque of the worker that spawned them to
+  // another thread by a steal (injection-queue grabs are not steals).
+  std::uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  // Tasks executed by the pool's scheduling machinery (workers and helping
+  // external threads combined).
+  std::uint64_t tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  // Whether STRASSEN_NUMA pinned the workers at construction.
+  bool numa_pinned() const { return numa_pinned_; }
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+ private:
+  // Locates a runnable task for the calling thread (`me` = its worker index
+  // in this pool, -1 for external helpers).  Steal-half batches park their
+  // surplus on the thief's own deque; externals take single tasks.
+  bool find_task(int me, PoolTask& out);
+  // Runs one task: installs its collector, times it, notes per-thread
+  // telemetry, and parks fire-and-forget exceptions in the error slot.
+  void execute(PoolTask& task);
+  void worker_loop(int me);
+
+  std::vector<std::unique_ptr<WorkDeque>> deques_;  // one per worker
+  WorkDeque inject_;  // submissions from non-worker threads
   std::vector<std::thread> workers_;
+
+  std::mutex mutex_;  // error slot + sleep coordination
+  std::condition_variable cv_;
   std::exception_ptr error_;  // first fire-and-forget escape
-  bool stopping_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> idle_{0};  // workers currently in a timed wait
+
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  bool numa_pinned_ = false;
 };
 
 // Fork/join helper: run() submits to the pool (or runs inline if no pool),

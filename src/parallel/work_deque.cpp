@@ -1,0 +1,43 @@
+#include "parallel/work_deque.hpp"
+
+#include <utility>
+
+namespace strassen::parallel {
+
+void WorkDeque::push_bottom(PoolTask task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tasks_.push_back(std::move(task));
+}
+
+bool WorkDeque::pop_bottom(PoolTask& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tasks_.empty()) return false;
+  out = std::move(tasks_.back());
+  tasks_.pop_back();
+  return true;
+}
+
+bool WorkDeque::steal_top(PoolTask& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tasks_.empty()) return false;
+  out = std::move(tasks_.front());
+  tasks_.pop_front();
+  return true;
+}
+
+std::size_t WorkDeque::steal_top_half(std::vector<PoolTask>& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t take = (tasks_.size() + 1) / 2;
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(std::move(tasks_.front()));
+    tasks_.pop_front();
+  }
+  return take;
+}
+
+std::size_t WorkDeque::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+}  // namespace strassen::parallel

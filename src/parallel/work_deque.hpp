@@ -1,0 +1,65 @@
+// work_deque.hpp -- the per-worker deque of the work-stealing scheduler.
+//
+// Each pool worker owns one WorkDeque.  The owner treats it as a stack:
+// push_bottom / pop_bottom at the bottom, so the task it resumes is the one
+// it most recently spawned (cache-hot, depth-first).  Thieves take from the
+// opposite end: steal_top removes the OLDEST task -- in the Winograd
+// recursion that is the largest pending subtree, so one steal buys the thief
+// the most work per synchronization -- and steal_top_half moves the top half
+// of the deque in one grab, halving the steal rate when a victim has a run
+// of queued siblings.
+//
+// The implementation is a mutex around a std::deque rather than a lock-free
+// Chase-Lev buffer: tasks here are coarse (a sub-product is >= ~1e6 flops,
+// hundreds of microseconds), so the lock is taken thousands of times per
+// multiply, not millions, and a mutex keeps the structure trivially correct
+// under TSan -- including the steal-vs-pop race on a one-element deque that
+// lock-free deques get subtly wrong.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace strassen::obs {
+struct Collector;
+}
+
+namespace strassen::parallel {
+
+// One scheduled task: the callable plus the observability collector that was
+// active on the submitting thread (null when the call is unobserved).  The
+// executing worker re-installs the collector so kernel counters and task
+// telemetry attribute to the call that spawned the task, wherever it runs.
+struct PoolTask {
+  std::function<void()> fn;
+  obs::Collector* col = nullptr;
+};
+
+class WorkDeque {
+ public:
+  WorkDeque() = default;
+  WorkDeque(const WorkDeque&) = delete;
+  WorkDeque& operator=(const WorkDeque&) = delete;
+
+  // Owner side (bottom).
+  void push_bottom(PoolTask task);
+  bool pop_bottom(PoolTask& out);  // newest task (LIFO); false when empty
+
+  // Thief side (top).
+  bool steal_top(PoolTask& out);  // oldest task (FIFO); false when empty
+  // Moves the top ceil(size/2) tasks into `out` (appended oldest-first).
+  // Returns the number stolen (0 when empty).
+  std::size_t steal_top_half(std::vector<PoolTask>& out);
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<PoolTask> tasks_;
+};
+
+}  // namespace strassen::parallel

@@ -244,12 +244,13 @@ TEST(ObsJson, CarriesSchemaAndEverySection) {
   p.run(fixed_depth2(), &report);
   const std::string json = obs::to_json(report);
 
-  EXPECT_NE(json.find("\"schema\": \"strassen.gemm_report.v1\""),
+  EXPECT_NE(json.find("\"schema\": \"strassen.gemm_report.v2\""),
             std::string::npos);
   for (const char* key :
        {"\"call\"", "\"phases\"", "\"plan\"", "\"workspace\"", "\"kernels\"",
         "\"parallel\"", "\"wall_s\"", "\"leaf_calls\"", "\"peak_bytes\"",
-        "\"fallback\"", "\"per_thread_tasks\"", "\"pad_elems\""})
+        "\"fallback\"", "\"steals\"", "\"per_thread_tasks\"",
+        "\"pad_elems\""})
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   // One line, balanced braces.
   EXPECT_EQ(json.find('\n'), std::string::npos);
@@ -300,7 +301,7 @@ TEST(ObsEnvSink, AppendsOneJsonlLinePerCall) {
   std::string line;
   while (std::getline(in, line)) {
     ++lines;
-    EXPECT_NE(line.find("\"schema\": \"strassen.gemm_report.v1\""),
+    EXPECT_NE(line.find("\"schema\": \"strassen.gemm_report.v2\""),
               std::string::npos);
     EXPECT_NE(line.find("\"entry\": \"modgemm\""), std::string::npos);
   }
@@ -349,6 +350,41 @@ TEST(ObsParallel, PmodgemmFillsParallelSection) {
   EXPECT_GE(report.workspace_allocations, 3 + 7);  // Morton bufs + task arenas
   EXPECT_GT(report.leaf_calls + report.fused_calls, 0u);
   EXPECT_GT(report.pool_utilization(), 0.0);
+  // Steals are scheduling-dependent (0 is legal on a loaded host), but they
+  // can never exceed the number of tasks that ran.
+  EXPECT_LE(report.steals, report.tasks_executed);
+}
+
+TEST(ObsParallel, DeepSpawnReportsEffectiveLevelsAndTaskFanout) {
+  const int n = 256;
+  Problem p(n);
+  Matrix<double> Cserial(n, n);
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, p.A.data(), p.A.ld(),
+                p.B.data(), p.B.ld(), 0.0, Cserial.data(), Cserial.ld());
+
+  parallel::ThreadPool pool(4);
+  parallel::ParallelOptions popt;  // spawn_levels = kSpawnAuto
+  popt.min_task_flops = 1;         // fork at EVERY level
+  ModgemmReport report;
+  popt.report = &report;
+  parallel::pmodgemm(&pool, Op::NoTrans, Op::NoTrans, n, n, n, 1.0,
+                     p.A.data(), p.A.ld(), p.B.data(), p.B.ld(), 0.0,
+                     p.C.data(), p.C.ld(), popt);
+  EXPECT_EQ(max_abs_diff<double>(p.C.view(), Cserial.view()), 0.0);
+
+  // Auto mode reports the depth it resolved to -- with a 1-flop cutoff that
+  // is the full plan depth -- and the task count covers the whole spawn
+  // tree: sum_{l=1..d} 7^l product tasks.
+  const int d = report.plan.depth;
+  ASSERT_GE(d, 2);
+  EXPECT_EQ(report.spawn_levels, d);
+  std::uint64_t product_tasks = 0;
+  for (int l = 1; l <= d; ++l) product_tasks += pow7(l);
+  EXPECT_GE(report.tasks_executed, product_tasks);
+  EXPECT_LE(report.steals, report.tasks_executed);
+  std::uint64_t per_thread_total = 0;
+  for (std::uint64_t t : report.per_thread_tasks) per_thread_total += t;
+  EXPECT_EQ(per_thread_total, report.tasks_executed);
 }
 
 TEST(ObsParallel, AllocFailureDegradesIntoOneCoherentReport) {

@@ -14,6 +14,7 @@
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
 #include "core/modgemm.hpp"
+#include "obs/report.hpp"
 #include "parallel/pmodgemm.hpp"
 
 namespace strassen::parallel {
@@ -43,7 +44,41 @@ INSTANTIATE_TEST_SUITE_P(
     ThreadsAndSpawn, Pmodgemm,
     ::testing::Combine(::testing::Values(150, 257, 513),
                        ::testing::Values(1, 2, 4),
-                       ::testing::Values(0, 1, 2)));
+                       ::testing::Values(kSpawnAuto, 0, 1, 2)));
+
+TEST(PmodgemmDeepSpawn, ForkingEveryLevelStaysBitIdentical) {
+  // min_task_flops = 1 forces the auto policy to fork the 7 sub-products at
+  // EVERY recursion level -- the deepest possible task tree, maximum
+  // steal/continuation traffic -- and the result must still be bit-identical.
+  const int n = 320;
+  Rng rng(7);
+  Matrix<double> A(n, n), B(n, n), Cs(n, n), Cp(n, n);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n, B.data(),
+                n, 0.0, Cs.data(), n);
+  ThreadPool pool(4);
+  ParallelOptions opt;
+  opt.min_task_flops = 1;
+  pmodgemm(&pool, Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+           B.data(), n, 0.0, Cp.data(), n, opt);
+  EXPECT_EQ(max_abs_diff<double>(Cs.view(), Cp.view()), 0.0);
+}
+
+TEST(PmodgemmDeepSpawn, RejectsInvalidPolicyValues) {
+  ThreadPool pool(2);
+  Matrix<double> A(64, 64), B(64, 64), C(64, 64);
+  ParallelOptions opt;
+  opt.spawn_levels = -2;  // only kSpawnAuto (-1) and N >= 0 are meaningful
+  EXPECT_THROW(pmodgemm(&pool, Op::NoTrans, Op::NoTrans, 64, 64, 64, 1.0,
+                        A.data(), 64, B.data(), 64, 0.0, C.data(), 64, opt),
+               std::invalid_argument);
+  opt.spawn_levels = kSpawnAuto;
+  opt.min_task_flops = 0;
+  EXPECT_THROW(pmodgemm(&pool, Op::NoTrans, Op::NoTrans, 64, 64, 64, 1.0,
+                        A.data(), 64, B.data(), 64, 0.0, C.data(), 64, opt),
+               std::invalid_argument);
+}
 
 TEST(PmodgemmSemantics, NullPoolMatchesSerial) {
   const int n = 300;
@@ -79,7 +114,8 @@ TEST(PmodgemmSemantics, FullDgemmInterface) {
 }
 
 TEST(PmodgemmSemantics, SplitShapesFallBackCorrectly) {
-  // Highly rectangular: the parallel driver defers to the serial splitter.
+  // Highly rectangular: the split decomposition, with each C-block running
+  // as its own pool task (the k-chain within a block stays sequential).
   const int m = 2100, k = 100, n = 100;
   Rng rng(3);
   Matrix<double> A(m, k), B(k, n), Cs(m, n), Cp(m, n);
@@ -92,6 +128,55 @@ TEST(PmodgemmSemantics, SplitShapesFallBackCorrectly) {
            B.data(), k, 0.0, Cp.data(), m, {});
   EXPECT_EQ(max_abs_diff<double>(Cs.view(), Cp.view()), 0.0);
 }
+
+// The parallel split path must be bit-identical to the serial splitter for
+// every orientation of the long dimension, under transposes, with alpha/beta
+// accumulation into strided C, across pool widths.
+using SplitParam = std::tuple<std::tuple<int, int, int>, int>;  // (m,n,k), thr
+class PmodgemmSplitPath : public ::testing::TestWithParam<SplitParam> {};
+
+TEST_P(PmodgemmSplitPath, BitIdenticalToSerialSplitter) {
+  const auto [shape, threads] = GetParam();
+  const auto [m, n, k] = shape;
+  Rng rng(static_cast<std::uint64_t>(m) * 7 + n * 3 + k + threads);
+  // op(A) is m x k with A stored transposed (k x m); op(B) is k x n with B
+  // stored transposed (n x k) -- exercises the block pointer arithmetic for
+  // both transpose flags at once.
+  Matrix<double> A(k, m), B(n, k);
+  Matrix<double> Cs(m, n, m + 3), Cp(m, n, m + 3), C0(m, n, m + 3);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  rng.fill_uniform(C0.storage());
+  copy_matrix<double>(C0.view(), Cs.view());
+  copy_matrix<double>(C0.view(), Cp.view());
+
+  core::modgemm(Op::Trans, Op::Trans, m, n, k, 1.5, A.data(), A.ld(),
+                B.data(), B.ld(), -0.5, Cs.data(), Cs.ld());
+  ThreadPool pool(threads);
+  obs::GemmReport report;
+  ParallelOptions opt;
+  opt.report = &report;
+  pmodgemm(&pool, Op::Trans, Op::Trans, m, n, k, 1.5, A.data(), A.ld(),
+           B.data(), B.ld(), -0.5, Cp.data(), Cp.ld(), opt);
+  EXPECT_EQ(max_abs_diff<double>(Cs.view(), Cp.view()), 0.0);
+
+  // The report must show the split path actually ran in the pool.
+  EXPECT_TRUE(report.split_used);
+  EXPECT_TRUE(report.parallel);
+  EXPECT_EQ(report.threads, threads);
+  EXPECT_GT(report.products, 1);
+  EXPECT_GE(report.tasks_executed, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LongDimensions, PmodgemmSplitPath,
+    ::testing::Combine(::testing::Values(std::tuple<int, int, int>{2100, 100,
+                                                                   100},
+                                         std::tuple<int, int, int>{100, 2100,
+                                                                   100},
+                                         std::tuple<int, int, int>{100, 100,
+                                                                   2100}),
+                       ::testing::Values(2, 4)));
 
 TEST(PmodgemmSemantics, DegenerateDimensions) {
   ThreadPool pool(2);

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <numeric>
 #include <stdexcept>
@@ -216,6 +217,92 @@ TEST(ThreadPoolErrors, FireAndForgetErrorParkedInPool) {
   ASSERT_TRUE(err != nullptr);
   EXPECT_THROW(std::rethrow_exception(err), std::runtime_error);
   EXPECT_EQ(pool.take_error(), nullptr);  // collecting cleared the slot
+}
+
+TEST(ThreadPoolSteals, BlockedOwnerForcesASteal) {
+  // Deterministic steal: the task below runs on one of the two workers,
+  // pushes children onto that worker's OWN deque, then holds the worker
+  // hostage until a child has run.  The only agent that can run a child is
+  // the other worker -- and its only source is stealing from the hostage's
+  // deque (the injection queue is empty) -- so steal_count must advance.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::atomic<bool> owner_started{false};
+  TaskGroup group(&pool);
+  group.run([&] {
+    owner_started = true;
+    TaskGroup inner(&pool);
+    for (int i = 0; i < 8; ++i) inner.run([&ran] { ++ran; });
+    while (ran.load() == 0) std::this_thread::yield();
+    inner.wait();
+  });
+  // Spin (don't help) until a WORKER owns the outer task -- group.wait()'s
+  // help-first draining would otherwise run it on this thread, where the
+  // children go through the injection queue instead of a worker deque.
+  while (!owner_started.load()) std::this_thread::yield();
+  group.wait();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_GE(pool.steal_count(), 1u);
+  EXPECT_GE(pool.tasks_executed(), 9u);  // the outer task + its children
+}
+
+TEST(ThreadPoolStress, OversubscribedNestedForkJoin) {
+  // More threads than this host has cores (CI runs this leg under TSan with
+  // STRASSEN_THREADS > nproc on top): three levels of nested fork/join keep
+  // steal-half, sub-stealing of parked batches, and help-first waits all
+  // active at once.
+  ThreadPool pool(8);
+  std::atomic<long> sum{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 16; ++i) {
+    outer.run([&] {
+      TaskGroup mid(&pool);
+      for (int j = 0; j < 8; ++j) {
+        mid.run([&] {
+          TaskGroup inner(&pool);
+          for (int l = 0; l < 4; ++l) inner.run([&] { ++sum; });
+          inner.wait();
+        });
+      }
+      mid.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(sum.load(), 16 * 8 * 4);
+  EXPECT_EQ(pool.take_error(), nullptr);
+}
+
+TEST(ThreadPoolEnv, StrassenThreadsControlsDefaultWidth) {
+  ASSERT_EQ(setenv("STRASSEN_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3);
+  {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.thread_count(), 3);
+  }
+  // Unparseable or out-of-range values fall back to hardware concurrency.
+  ASSERT_EQ(setenv("STRASSEN_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+  ASSERT_EQ(setenv("STRASSEN_THREADS", "-2", 1), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+  unsetenv("STRASSEN_THREADS");
+}
+
+TEST(ThreadPoolEnv, NumaPinningIsBestEffortAndHarmless) {
+  // Pinning may fail under restrictive cpusets; the contract is only that
+  // the pool still works and the flag reflects what actually happened.
+  ASSERT_EQ(setenv("STRASSEN_NUMA", "1", 1), 0);
+  {
+    ThreadPool pool(2);
+    std::atomic<int> n{0};
+    TaskGroup group(&pool);
+    for (int i = 0; i < 10; ++i) group.run([&] { ++n; });
+    group.wait();
+    EXPECT_EQ(n.load(), 10);
+    (void)pool.numa_pinned();
+  }
+  unsetenv("STRASSEN_NUMA");
+  ThreadPool unpinned(2);
+  EXPECT_FALSE(unpinned.numa_pinned());
 }
 
 TEST(ParallelForErrors, ChunkExceptionPropagatesPoolSurvives) {

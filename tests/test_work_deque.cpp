@@ -1,0 +1,136 @@
+// Unit tests for the per-worker steal deque (src/parallel/work_deque).
+//
+// The scheduling contract: the owner works depth-first (push/pop at the
+// bottom, LIFO -- newest task first, so a worker descends its own subtree),
+// thieves take from the top (FIFO -- oldest task first, the biggest
+// remaining subtree), and steal_top_half migrates ceil(n/2) tasks in one
+// locked grab so a thief leaves with enough work to stay busy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "parallel/work_deque.hpp"
+
+namespace strassen::parallel {
+namespace {
+
+PoolTask marked(int id, std::vector<int>* order) {
+  return PoolTask{[id, order] { order->push_back(id); }, nullptr};
+}
+
+TEST(WorkDeque, OwnerPopsNewestFirst) {
+  WorkDeque dq;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) dq.push_bottom(marked(i, &order));
+  PoolTask t;
+  for (int expect : {3, 2, 1, 0}) {
+    ASSERT_TRUE(dq.pop_bottom(t));
+    t.fn();
+    EXPECT_EQ(order.back(), expect);
+  }
+  EXPECT_FALSE(dq.pop_bottom(t));
+  EXPECT_TRUE(dq.empty());
+}
+
+TEST(WorkDeque, ThiefStealsOldestFirst) {
+  WorkDeque dq;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) dq.push_bottom(marked(i, &order));
+  PoolTask t;
+  for (int expect : {0, 1, 2, 3}) {
+    ASSERT_TRUE(dq.steal_top(t));
+    t.fn();
+    EXPECT_EQ(order.back(), expect);
+  }
+  EXPECT_FALSE(dq.steal_top(t));
+}
+
+TEST(WorkDeque, StealHalfTakesCeilHalfFromTheTop) {
+  WorkDeque dq;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) dq.push_bottom(marked(i, &order));
+  std::vector<PoolTask> batch;
+  EXPECT_EQ(dq.steal_top_half(batch), 3u);  // ceil(5/2)
+  ASSERT_EQ(batch.size(), 3u);
+  for (PoolTask& t : batch) t.fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));  // the OLDEST entries
+  EXPECT_EQ(dq.size(), 2u);
+  // The owner still sees its newest task next.
+  PoolTask t;
+  ASSERT_TRUE(dq.pop_bottom(t));
+  t.fn();
+  EXPECT_EQ(order.back(), 4);
+}
+
+TEST(WorkDeque, StealHalfOfOneTakesIt) {
+  WorkDeque dq;
+  std::vector<int> order;
+  dq.push_bottom(marked(0, &order));
+  std::vector<PoolTask> batch;
+  EXPECT_EQ(dq.steal_top_half(batch), 1u);
+  EXPECT_TRUE(dq.empty());
+}
+
+TEST(WorkDeque, EmptyStealsAndPopsFail) {
+  WorkDeque dq;
+  PoolTask t;
+  std::vector<PoolTask> batch;
+  EXPECT_FALSE(dq.pop_bottom(t));
+  EXPECT_FALSE(dq.steal_top(t));
+  EXPECT_EQ(dq.steal_top_half(batch), 0u);
+  EXPECT_EQ(dq.size(), 0u);
+}
+
+TEST(WorkDequeStress, ConcurrentStealVsPopLosesNothing) {
+  // One owner popping at the bottom, three thieves stealing (singly and in
+  // batches) at the top, with the owner refilling -- every task must run
+  // exactly once.  This is the test the TSan leg leans on.
+  WorkDeque dq;
+  constexpr int kTasks = 20000;
+  std::atomic<int> executed{0};
+  std::atomic<int> produced{0};
+  std::atomic<bool> done_producing{false};
+
+  std::thread owner([&] {
+    PoolTask t;
+    int next = 0;
+    while (next < kTasks || dq.pop_bottom(t)) {
+      if (next < kTasks) {
+        dq.push_bottom(PoolTask{[&executed] { ++executed; }, nullptr});
+        ++produced;
+        ++next;
+        continue;
+      }
+      t.fn();
+    }
+    done_producing = true;
+  });
+  std::vector<std::thread> thieves;
+  for (int i = 0; i < 3; ++i) {
+    thieves.emplace_back([&, i] {
+      PoolTask t;
+      std::vector<PoolTask> batch;
+      while (!done_producing.load() || !dq.empty()) {
+        if (i == 0) {
+          if (dq.steal_top(t)) t.fn();
+        } else {
+          batch.clear();
+          dq.steal_top_half(batch);
+          for (PoolTask& b : batch) b.fn();
+        }
+      }
+    });
+  }
+  owner.join();
+  for (auto& th : thieves) th.join();
+  // Drain anything the owner popped into `t` races left behind.
+  PoolTask t;
+  while (dq.pop_bottom(t)) t.fn();
+  EXPECT_EQ(produced.load(), kTasks);
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+}  // namespace
+}  // namespace strassen::parallel

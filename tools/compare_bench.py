@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_kernels.json against the checked-in baseline.
+
+Raw GFLOP/s numbers are machine-dependent, so CI cannot diff them across
+runner generations.  What IS stable is each SIMD kernel's speedup over the
+scalar kernel measured in the same run on the same machine: a code change
+that costs 20% of the AVX2 kernel's throughput shows up as a 20% drop in
+that ratio no matter how fast the runner is.  This script therefore
+normalizes every (kernel, tile) point by the same-run scalar throughput at
+that tile and fails when any point's normalized ratio regresses more than
+--tolerance (default 15%) below the baseline's.
+
+Points present in the baseline but missing from the current run (e.g. an
+AVX2 kernel on a runner without AVX2) are reported and skipped, never
+silently ignored.  Stdlib only.
+
+Usage:
+  tools/compare_bench.py --baseline bench/baselines/BENCH_kernels.json \
+                         --current build/BENCH_kernels.json [--tolerance 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_points(path):
+    """Returns {(kernel, tile): gflops} from a BENCH_kernels.json file."""
+    with open(path) as f:
+        data = json.load(f)
+    points = {}
+    for row in data.get("results", []):
+        points[(row["kernel"], int(row["tile"]))] = float(row["gflops"])
+    return points
+
+
+def normalized_ratios(points):
+    """Speedup over the same-run scalar kernel at the same tile size."""
+    scalar = {tile: g for (kernel, tile), g in points.items()
+              if kernel == "scalar"}
+    ratios = {}
+    for (kernel, tile), gflops in points.items():
+        if kernel == "scalar":
+            continue
+        base = scalar.get(tile)
+        if base and base > 0.0:
+            ratios[(kernel, tile)] = gflops / base
+    return ratios
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="maximum allowed relative regression (default 0.15)")
+    args = ap.parse_args()
+
+    base = normalized_ratios(load_points(args.baseline))
+    cur = normalized_ratios(load_points(args.current))
+    if not base:
+        print("compare_bench: baseline has no comparable points", file=sys.stderr)
+        return 2
+
+    regressions, skipped = [], []
+    for key in sorted(base):
+        kernel, tile = key
+        if key not in cur:
+            skipped.append(key)
+            continue
+        rel = cur[key] / base[key]
+        status = "OK"
+        if rel < 1.0 - args.tolerance:
+            status = "REGRESSION"
+            regressions.append(key)
+        print(f"{kernel:>12} tile {tile:>3}: baseline x{base[key]:6.2f} "
+              f"current x{cur[key]:6.2f}  ({rel * 100.0:6.1f}%)  {status}")
+    for kernel, tile in skipped:
+        print(f"{kernel:>12} tile {tile:>3}: missing from current run, skipped")
+    for key in sorted(set(cur) - set(base)):
+        print(f"{key[0]:>12} tile {key[1]:>3}: new point, no baseline")
+
+    if regressions:
+        print(f"compare_bench: {len(regressions)} point(s) regressed more "
+              f"than {args.tolerance * 100.0:.0f}% vs baseline",
+              file=sys.stderr)
+        return 1
+    compared = len(base) - len(skipped)
+    print(f"compare_bench: {compared} point(s) within tolerance "
+          f"({len(skipped)} skipped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""Validates strassen.gemm_report.v1 JSON lines (stdlib only).
+"""Validates strassen.gemm_report.v2 JSON lines (stdlib only).
 
 Input: one or more files of JSONL as emitted by STRASSEN_OBS=json:PATH, a
 single-report .json file, or a bench --json file
 (``{"bench": ..., "rows": [{"label": ..., "report": {...}}]}``).  Every
-report must carry the exact v1 key set with the documented types -- the
+report must carry the exact v2 key set with the documented types -- the
 schema is a compatibility contract (docs/OBSERVABILITY.md): consumers index
 fields unconditionally, so a missing, extra or retyped key is an error, not
 a warning.  Exits nonzero with the offending path on the first failure per
@@ -16,14 +16,15 @@ Usage: python3 tools/validate_report_schema.py report.jsonl [...]
 import json
 import sys
 
-SCHEMA_ID = "strassen.gemm_report.v1"
+SCHEMA_ID = "strassen.gemm_report.v2"
 
 BOOL = bool
 INT = int
 NUM = (int, float)  # JSON has one number type; integers satisfy "number"
 STR = str
 
-# section -> {key: expected type}; the full v1 key set, nothing optional.
+# section -> {key: expected type}; the full v2 key set, nothing optional.
+# v2 added parallel.steals (work-steal migrations) to the v1 layout.
 SECTIONS = {
     "call": {"entry": STR, "m": INT, "n": INT, "k": INT},
     "phases": {
@@ -66,6 +67,7 @@ SECTIONS = {
         "threads": INT,
         "spawn_levels": INT,
         "tasks": INT,
+        "steals": INT,
         "task_busy_s": NUM,
         "utilization": NUM,
         "per_thread_tasks": list,
