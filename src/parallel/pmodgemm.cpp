@@ -394,25 +394,59 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
     if (rep) rep->compute_seconds += t.seconds();
 
     t.restart();
+    // Convert-out applies beta to C exactly once per tile, so unlike the
+    // phases above it is NOT safe to abandon to the from-scratch serial
+    // rerun: a chunk that already ran would get beta applied twice.  The
+    // conversion itself never allocates (RawMem), but SUBMITTING a chunk
+    // can throw bad_alloc (building the task object), so chunks record
+    // completion and the catch finishes only the missing ones inline --
+    // same idiom as split_parallel's setup-failure path.
     const std::int64_t ctiles =
         static_cast<std::int64_t>(lc.tiles_per_side()) * lc.tiles_per_side();
-    parallel_for(pool, 0, ctiles, /*min_grain=*/8,
-                 [&](std::int64_t t0, std::int64_t t1) {
-                   RawMem mm;
-                   layout::from_morton_range(mm, lc, Cm, alpha, C, ldc, beta,
-                                             static_cast<int>(t0),
-                                             static_cast<int>(t1));
-                 });
+    const int width = pool != nullptr ? pool->thread_count() : 1;
+    const std::int64_t chunks = std::max<std::int64_t>(
+        1, std::min<std::int64_t>(width, (ctiles + 7) / 8));
+    const std::int64_t per = (ctiles + chunks - 1) / chunks;
+    const std::size_t nchunks =
+        static_cast<std::size_t>((ctiles + per - 1) / per);
+    const std::unique_ptr<std::atomic<bool>[]> done(
+        new std::atomic<bool>[nchunks]());
+    const auto convert_chunk = [&](std::size_t ci, std::int64_t lo,
+                                   std::int64_t hi) {
+      RawMem mm;
+      layout::from_morton_range(mm, lc, Cm, alpha, C, ldc, beta,
+                                static_cast<int>(lo), static_cast<int>(hi));
+      done[ci].store(true, std::memory_order_release);
+    };
+    try {
+      TaskGroup group(pool);
+      std::size_t ci = 0;
+      for (std::int64_t c = 0; c < ctiles; c += per, ++ci) {
+        const std::int64_t hi = std::min(ctiles, c + per);
+        group.run([&convert_chunk, ci, c, hi] { convert_chunk(ci, c, hi); });
+      }
+      group.wait();
+    } catch (const std::bad_alloc&) {
+      // ~TaskGroup joined everything in flight, so the flags are final and
+      // no chunk is mid-write.
+      core::detail::record_fallback(rep, core::FallbackReason::kAllocDirect);
+      std::size_t ci = 0;
+      for (std::int64_t c = 0; c < ctiles; c += per, ++ci) {
+        if (done[ci].load(std::memory_order_acquire)) continue;
+        convert_chunk(ci, c, std::min(ctiles, c + per));
+      }
+    }
     if (rep) rep->convert_out_seconds += t.seconds();
   } catch (const std::bad_alloc&) {
     // A Morton buffer or a task's arena failed to allocate.  Exceptions from
     // tasks surface at TaskGroup::wait(), after every sibling task joined,
     // so nothing still references the spawn-level temporaries being unwound
-    // here.  C has not been touched (it is written only by the final
-    // conversion, which does not allocate), so the serial driver -- with its
-    // full degradation ladder down to the allocation-free path -- can
-    // produce the product from scratch.  The caller's idle arena cache is
-    // released first so the retry runs with every reusable byte returned.
+    // here.  C has not been touched (the final conversion above completes
+    // even under submission failure and lets no bad_alloc escape), so the
+    // serial driver -- with its full degradation ladder down to the
+    // allocation-free path -- can produce the product from scratch.  The
+    // caller's idle arena cache is released first so the retry runs with
+    // every reusable byte returned.
     core::detail::record_fallback(rep, core::FallbackReason::kAllocDirect);
     purge_thread_arena_cache();
     core::ModgemmOptions serial;

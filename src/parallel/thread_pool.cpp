@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 #include <utility>
 
 #if defined(__linux__)
@@ -25,6 +26,25 @@ namespace {
 thread_local int tl_worker_index = -1;
 thread_local ThreadPool* tl_worker_pool = nullptr;
 
+// Installed submit gate and its user pointer, read under a mutex so an
+// install never races a concurrent submission into a torn (gate, user) pair
+// (same scheme as AlignedBuffer's allocation gate).  Uncontended in
+// production: no gate is installed.
+std::mutex g_submit_gate_mutex;
+ThreadPool::SubmitGate g_submit_gate = nullptr;
+void* g_submit_gate_user = nullptr;
+
+bool submit_gate_allows() {
+  ThreadPool::SubmitGate gate;
+  void* user;
+  {
+    std::lock_guard<std::mutex> lock(g_submit_gate_mutex);
+    gate = g_submit_gate;
+    user = g_submit_gate_user;
+  }
+  return gate == nullptr || gate(user);
+}
+
 bool env_flag_enabled(const char* name) {
   const char* v = std::getenv(name);
   if (v == nullptr) return false;
@@ -40,6 +60,13 @@ bool env_flag_enabled(const char* name) {
 // instead of multiply counting every level of the spawn tree.
 thread_local std::uint64_t tl_nested_nanos = 0;
 
+// Observed TaskGroup frames currently on this thread's stack.  Nonzero means
+// an enclosing task is timing itself, so even an UNOBSERVED nested task must
+// charge its elapsed time upward -- otherwise an observed task that
+// help-runs a task from an unobserved call would absorb that task's time
+// into its own exclusive time and inflate task_busy_seconds.
+thread_local int tl_observed_depth = 0;
+
 // Runs `task`, timing its exclusive execution into `col` when an observed
 // call is in flight.  Used by every TaskGroup execution path (inline and
 // pooled -- the pool wrapper calls this with the submit-time collector
@@ -47,19 +74,38 @@ thread_local std::uint64_t tl_nested_nanos = 0;
 // enclosing task, but notes nothing itself (it did not complete).
 void run_observed(const std::function<void()>& task, obs::Collector* col) {
   if (col == nullptr) {
-    task();
+    if (tl_observed_depth == 0) {
+      task();
+      return;
+    }
+    // Unobserved task inside an observed frame: note nothing, but run the
+    // same save/zero/restore dance so observed tasks nested in THIS one are
+    // not double counted into the enclosing frame's nested time.
+    const std::uint64_t saved = tl_nested_nanos;
+    tl_nested_nanos = 0;
+    const std::uint64_t t0 = obs::now_nanos();
+    try {
+      task();
+    } catch (...) {
+      tl_nested_nanos = saved + (obs::now_nanos() - t0);
+      throw;
+    }
+    tl_nested_nanos = saved + (obs::now_nanos() - t0);
     return;
   }
   obs::ScopedCollector install(col);
   const std::uint64_t saved = tl_nested_nanos;
   tl_nested_nanos = 0;
+  ++tl_observed_depth;
   const std::uint64_t t0 = obs::now_nanos();
   try {
     task();
   } catch (...) {
+    --tl_observed_depth;
     tl_nested_nanos = saved + (obs::now_nanos() - t0);
     throw;
   }
+  --tl_observed_depth;
   const std::uint64_t elapsed = obs::now_nanos() - t0;
   const std::uint64_t nested = std::min(tl_nested_nanos, elapsed);
   tl_nested_nanos = saved + elapsed;
@@ -121,13 +167,28 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   STRASSEN_REQUIRE(task != nullptr, "null task");
-  PoolTask t{std::move(task), obs::current()};
+  // Fire-and-forget: deliberately no collector.  The submitting call's
+  // Collector lives in its CallScope, and with no join point the task could
+  // run after that scope unwound -- a dangling note_steal/note_task.
+  enqueue(PoolTask{std::move(task), nullptr, false});
+}
+
+void ThreadPool::set_submit_gate(SubmitGate gate, void* user) noexcept {
+  std::lock_guard<std::mutex> lock(g_submit_gate_mutex);
+  g_submit_gate = gate;
+  g_submit_gate_user = user;
+}
+
+void ThreadPool::enqueue(PoolTask t) {
+  if (!submit_gate_allows()) throw std::bad_alloc();
   if (tl_worker_pool == this && tl_worker_index >= 0 &&
-      tl_worker_index < static_cast<int>(deques_.size()))
+      tl_worker_index < static_cast<int>(deques_.size())) {
     deques_[static_cast<std::size_t>(tl_worker_index)]->push_bottom(
         std::move(t));
-  else
+  } else {
+    t.injected = true;
     inject_.push_bottom(std::move(t));
+  }
   // Lockless peek: a worker between its idle_ increment and the timed wait
   // can miss this notify, but the 1ms bounded wait covers that race.
   if (idle_.load(std::memory_order_relaxed) > 0) cv_.notify_one();
@@ -149,10 +210,16 @@ bool ThreadPool::find_task(int me, PoolTask& out) {
       const std::size_t got = victim.steal_top_half(batch);
       if (got == 0) continue;
       if (i != 0) {
-        // A real worker-to-worker migration (inject grabs are not steals).
-        steals_.fetch_add(got, std::memory_order_relaxed);
-        for (PoolTask& pt : batch)
+        // A real worker-to-worker migration.  Injection-queue work parked
+        // on the victim's deque by an earlier grab keeps its exemption: it
+        // never had an owning worker, so moving it again is not a steal.
+        std::size_t stolen = 0;
+        for (PoolTask& pt : batch) {
+          if (pt.injected) continue;
+          ++stolen;
           if (pt.col != nullptr) pt.col->note_steal();
+        }
+        if (stolen > 0) steals_.fetch_add(stolen, std::memory_order_relaxed);
       }
       out = std::move(batch.front());
       for (std::size_t j = 1; j < batch.size(); ++j)
@@ -169,8 +236,10 @@ bool ThreadPool::find_task(int me, PoolTask& out) {
   if (inject_.steal_top(out)) return true;
   for (int v = 0; v < n; ++v) {
     if (deques_[static_cast<std::size_t>(v)]->steal_top(out)) {
-      steals_.fetch_add(1, std::memory_order_relaxed);
-      if (out.col != nullptr) out.col->note_steal();
+      if (!out.injected) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        if (out.col != nullptr) out.col->note_steal();
+      }
       return true;
     }
   }
@@ -242,22 +311,36 @@ void TaskGroup::run(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++pending_;
   }
-  // The pool re-installs the collector captured at submit() before running
-  // this wrapper, so run_observed sees it via obs::current() and notes the
-  // task BEFORE pending_ drops -- a joined group therefore never leaves a
-  // note racing the caller's report finalization.
-  pool_->submit([this, task = std::move(task)] {
-    std::exception_ptr err;
-    try {
-      run_observed(task, obs::current());
-    } catch (...) {
-      err = std::current_exception();
-    }
+  // The pool re-installs the collector captured here before running this
+  // wrapper, so run_observed sees it via obs::current() and notes the task
+  // BEFORE pending_ drops -- a joined group therefore never leaves a note
+  // racing the caller's report finalization.  The collector is safe to ship
+  // (unlike the fire-and-forget submit()) because wait()/~TaskGroup keep the
+  // call -- and its collector -- alive until every task finished.
+  try {
+    pool_->enqueue(PoolTask{[this, task = std::move(task)] {
+                              std::exception_ptr err;
+                              try {
+                                run_observed(task, obs::current());
+                              } catch (...) {
+                                err = std::current_exception();
+                              }
+                              std::lock_guard<std::mutex> lock(mutex_);
+                              if (err && !error_) error_ = err;
+                              --pending_;
+                              if (pending_ == 0) cv_.notify_all();
+                            },
+                            obs::current(), false});
+  } catch (...) {
+    // bad_alloc building the std::function or pushing onto the deque: the
+    // task was never enqueued, so roll the count back or join()/~TaskGroup
+    // would spin forever -- deadlocking the very serial fallbacks (pmodgemm,
+    // split_parallel) that catch this rethrow to finish the work inline.
     std::lock_guard<std::mutex> lock(mutex_);
-    if (err && !error_) error_ = err;
     --pending_;
     if (pending_ == 0) cv_.notify_all();
-  });
+    throw;
+  }
 }
 
 void TaskGroup::join() {

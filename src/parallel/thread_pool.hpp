@@ -71,13 +71,16 @@ class ThreadPool {
   // from outside any pool (observability maps -1 to per-thread slot 0).
   static int current_worker_index() noexcept;
 
-  // Enqueues a task: onto the calling worker's own deque when invoked from
-  // a worker of THIS pool (depth-first spawning), otherwise onto the shared
-  // injection queue.  The observability collector active on the calling
-  // thread travels with the task.  A throwing task does not terminate the
-  // process: an exception escaping a task is captured -- by the owning
-  // TaskGroup if the task was launched through one (rethrown at wait()),
-  // otherwise in the pool's error slot (collected with take_error()).
+  // Enqueues a fire-and-forget task: onto the calling worker's own deque
+  // when invoked from a worker of THIS pool (depth-first spawning),
+  // otherwise onto the shared injection queue.  The observability collector
+  // active on the calling thread does NOT travel with the task: with no join
+  // point, the task can outlive the submitting call's collector, so it runs
+  // unobserved (TaskGroup::run, whose wait() pins the collector's lifetime,
+  // is the observed path).  A throwing task does not terminate the process:
+  // the exception is parked in the pool's error slot (collected with
+  // take_error()); tasks launched through a TaskGroup rethrow at wait()
+  // instead.
   void submit(std::function<void()> task);
 
   // Finds one task -- own deque, then injection queue, then stealing from
@@ -92,9 +95,23 @@ class ThreadPool {
   // TaskGroup report at wait() instead and never land here.
   std::exception_ptr take_error();
 
+  // Gate consulted by the enqueue path (submit() and TaskGroup::run) before
+  // a task is queued, for ALL pools; returning false makes the submission
+  // throw std::bad_alloc -- exactly what an OOM building the task object
+  // looks like to callers.  Test hook (mirrors
+  // AlignedBuffer::set_allocation_gate) for exercising mid-submission
+  // failure: TaskGroup must roll its pending count back and the serial
+  // fallbacks must finish the work inline.  The gate runs concurrently from
+  // pool workers, so it must be thread-safe.  Pass nullptr to restore the
+  // default (always allow).
+  using SubmitGate = bool (*)(void* user);
+  static void set_submit_gate(SubmitGate gate, void* user) noexcept;
+
   // --- scheduler telemetry (monotonic since construction) -------------------
   // Tasks that migrated from the deque of the worker that spawned them to
-  // another thread by a steal (injection-queue grabs are not steals).
+  // another thread by a steal.  Injection-queue work is never a steal: it
+  // has no owning worker, and it stays exempt even after a grab parks it on
+  // some worker's deque and another worker takes it from there.
   std::uint64_t steal_count() const {
     return steals_.load(std::memory_order_relaxed);
   }
@@ -107,6 +124,13 @@ class ThreadPool {
   bool numa_pinned() const { return numa_pinned_; }
 
  private:
+  friend class TaskGroup;  // uses enqueue() to ship its collector with tasks
+
+  // Shared enqueue path behind submit() and TaskGroup::run: routes the task
+  // to the calling worker's deque or the injection queue (tagging it
+  // `injected` there) and wakes an idle worker.  May throw bad_alloc from
+  // the deque push; the task is then not enqueued.
+  void enqueue(PoolTask task);
   // Locates a runnable task for the calling thread (`me` = its worker index
   // in this pool, -1 for external helpers).  Steal-half batches park their
   // surplus on the thief's own deque; externals take single tasks.
@@ -146,6 +170,10 @@ class TaskGroup {
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
+  // Launches a task through the group.  A failure to ENQUEUE (bad_alloc
+  // building the pool task) throws here, with the group's pending count
+  // rolled back -- wait()/the destructor still terminate, so callers can
+  // catch and fall back to running the remaining work serially.
   void run(std::function<void()> task);
   // Blocks until every task launched through this group finished, then
   // rethrows the first exception any of them threw (if any).  The group and

@@ -33,9 +33,14 @@ namespace strassen::parallel {
 // active on the submitting thread (null when the call is unobserved).  The
 // executing worker re-installs the collector so kernel counters and task
 // telemetry attribute to the call that spawned the task, wherever it runs.
+// `injected` marks tasks that entered through the shared injection queue:
+// they have no owning worker, so moving one between deques is load balancing,
+// not a steal, and the steal telemetry skips them for their whole lifetime
+// (including after a grab parks them on some worker's deque).
 struct PoolTask {
   std::function<void()> fn;
   obs::Collector* col = nullptr;
+  bool injected = false;
 };
 
 class WorkDeque {

@@ -7,6 +7,8 @@
 // just integers.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <tuple>
@@ -177,6 +179,103 @@ INSTANTIATE_TEST_SUITE_P(
                                          std::tuple<int, int, int>{100, 100,
                                                                    2100}),
                        ::testing::Values(2, 4)));
+
+// Deterministic mid-submission failure: the pool's submit gate (the OOM
+// point where building a task object throws) denies every third submission.
+// TaskGroup::run must roll its pending count back on the failed submission
+// so the drivers' bad_alloc catches reach their serial fallbacks instead of
+// deadlocking in join() -- and the fallback output must stay bit-identical.
+struct ScopedFlakySubmits {
+  ScopedFlakySubmits() { ThreadPool::set_submit_gate(&gate, &count); }
+  ~ScopedFlakySubmits() { ThreadPool::set_submit_gate(nullptr, nullptr); }
+  static bool gate(void* user) {
+    auto* n = static_cast<std::atomic<std::uint64_t>*>(user);
+    return n->fetch_add(1, std::memory_order_relaxed) % 3 != 2;
+  }
+  std::atomic<std::uint64_t> count{0};
+};
+
+TEST(PmodgemmDegradation, SquarePathSurvivesSubmissionFailures) {
+  const int n = 320;
+  Rng rng(11);
+  Matrix<double> A(n, n), B(n, n), Cs(n, n), Cp(n, n);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n, B.data(),
+                n, 0.0, Cs.data(), n);
+  ThreadPool pool(4);
+  ParallelOptions opt;
+  opt.min_task_flops = 1;  // deepest spawn tree: maximum submissions to fail
+  ScopedFlakySubmits flaky;
+  pmodgemm(&pool, Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+           B.data(), n, 0.0, Cp.data(), n, opt);
+  EXPECT_GE(flaky.count.load(), 3u);  // the gate actually denied something
+  EXPECT_EQ(max_abs_diff<double>(Cs.view(), Cp.view()), 0.0);
+}
+
+TEST(PmodgemmDegradation, SplitPathFinishesBlocksAfterSubmissionFailure) {
+  const int m = 2100, k = 100, n = 100;
+  Rng rng(13);
+  Matrix<double> A(m, k), B(k, n), Cs(m, n), Cp(m, n);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  core::modgemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A.data(), m, B.data(),
+                k, 0.0, Cs.data(), m);
+  ThreadPool pool(2);
+  ScopedFlakySubmits flaky;
+  pmodgemm(&pool, Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A.data(), m,
+           B.data(), k, 0.0, Cp.data(), m, {});
+  EXPECT_GE(flaky.count.load(), 3u);
+  EXPECT_EQ(max_abs_diff<double>(Cs.view(), Cp.view()), 0.0);
+}
+
+TEST(PmodgemmDegradation, ConvertOutSubmissionFailureKeepsBetaExact) {
+  // The convert-out phase applies beta to C exactly once per tile.  A
+  // submission failure there must NOT hand the multiply to the from-scratch
+  // serial rerun (tiles already converted would get beta applied twice);
+  // the driver finishes the missing chunks inline instead.  Submission
+  // counts are schedule-independent, so a counting dry run tells us the
+  // total, and denying the LAST submission deterministically lands the
+  // failure inside convert-out -- after earlier chunks were accepted.
+  struct CountingGate {
+    std::atomic<std::uint64_t> count{0};
+    std::uint64_t deny_from = ~std::uint64_t{0};
+    static bool allow(void* user) {
+      auto* g = static_cast<CountingGate*>(user);
+      return g->count.fetch_add(1, std::memory_order_relaxed) < g->deny_from;
+    }
+  };
+  const int n = 320;
+  Rng rng(17);
+  Matrix<double> A(n, n), B(n, n), C0(n, n), Cs(n, n), Cp(n, n);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  rng.fill_uniform(C0.storage());
+  copy_matrix<double>(C0.view(), Cs.view());
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n, B.data(),
+                n, 0.5, Cs.data(), n);
+
+  ThreadPool pool(4);
+  ParallelOptions opt;
+  opt.spawn_levels = 0;  // every submission is a conversion chunk
+  CountingGate dry;
+  ThreadPool::set_submit_gate(&CountingGate::allow, &dry);
+  copy_matrix<double>(C0.view(), Cp.view());
+  pmodgemm(&pool, Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+           B.data(), n, 0.5, Cp.data(), n, opt);
+  ThreadPool::set_submit_gate(nullptr, nullptr);
+  ASSERT_GE(dry.count.load(), 1u);
+
+  CountingGate deny;
+  deny.deny_from = dry.count.load() - 1;  // the last convert-out submission
+  ThreadPool::set_submit_gate(&CountingGate::allow, &deny);
+  copy_matrix<double>(C0.view(), Cp.view());
+  pmodgemm(&pool, Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+           B.data(), n, 0.5, Cp.data(), n, opt);
+  ThreadPool::set_submit_gate(nullptr, nullptr);
+  EXPECT_GT(deny.count.load(), deny.deny_from);  // the denial really fired
+  EXPECT_EQ(max_abs_diff<double>(Cs.view(), Cp.view()), 0.0);
+}
 
 TEST(PmodgemmSemantics, DegenerateDimensions) {
   ThreadPool pool(2);

@@ -219,6 +219,44 @@ TEST(ThreadPoolErrors, FireAndForgetErrorParkedInPool) {
   EXPECT_EQ(pool.take_error(), nullptr);  // collecting cleared the slot
 }
 
+// RAII submit-gate install so a failing EXPECT cannot leak a gate into the
+// next test.
+struct ScopedSubmitGate {
+  explicit ScopedSubmitGate(ThreadPool::SubmitGate gate, void* user) {
+    ThreadPool::set_submit_gate(gate, user);
+  }
+  ~ScopedSubmitGate() { ThreadPool::set_submit_gate(nullptr, nullptr); }
+};
+
+bool deny_all_submissions(void*) { return false; }
+
+TEST(ThreadPoolErrors, FailedSubmissionRollsBackPendingCount) {
+  // A submission that throws (OOM building the task object) must leave the
+  // group's pending count untouched: wait()/~TaskGroup would otherwise spin
+  // forever, deadlocking the serial fallbacks that catch the rethrow to
+  // finish the work inline.
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  group.run([&ran] { ++ran; });
+  {
+    ScopedSubmitGate deny(&deny_all_submissions, nullptr);
+    EXPECT_THROW(group.run([&ran] { ++ran; }), std::bad_alloc);
+  }
+  group.wait();  // must terminate, and only the first task ran
+  EXPECT_EQ(ran.load(), 1);
+  // Group and pool both stay usable after the failure.
+  group.run([&ran] { ++ran; });
+  group.wait();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolErrors, FailedFireAndForgetSubmitThrowsToCaller) {
+  ThreadPool pool(2);
+  ScopedSubmitGate deny(&deny_all_submissions, nullptr);
+  EXPECT_THROW(pool.submit([] {}), std::bad_alloc);
+}
+
 TEST(ThreadPoolSteals, BlockedOwnerForcesASteal) {
   // Deterministic steal: the task below runs on one of the two workers,
   // pushes children onto that worker's OWN deque, then holds the worker
