@@ -28,13 +28,17 @@ thread_local ThreadPool* tl_worker_pool = nullptr;
 
 // Installed submit gate and its user pointer, read under a mutex so an
 // install never races a concurrent submission into a torn (gate, user) pair
-// (same scheme as AlignedBuffer's allocation gate).  Uncontended in
-// production: no gate is installed.
+// (same scheme as AlignedBuffer's allocation gate).  Unlike allocations --
+// a handful per multiply -- submissions number in the thousands with deep
+// spawning, so the common no-gate case is a single relaxed atomic load and
+// the mutex is only touched while a gate is installed (tests).
+std::atomic<bool> g_submit_gate_active{false};
 std::mutex g_submit_gate_mutex;
 ThreadPool::SubmitGate g_submit_gate = nullptr;
 void* g_submit_gate_user = nullptr;
 
 bool submit_gate_allows() {
+  if (!g_submit_gate_active.load(std::memory_order_acquire)) return true;
   ThreadPool::SubmitGate gate;
   void* user;
   {
@@ -174,9 +178,15 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::set_submit_gate(SubmitGate gate, void* user) noexcept {
-  std::lock_guard<std::mutex> lock(g_submit_gate_mutex);
-  g_submit_gate = gate;
-  g_submit_gate_user = user;
+  {
+    std::lock_guard<std::mutex> lock(g_submit_gate_mutex);
+    g_submit_gate = gate;
+    g_submit_gate_user = user;
+  }
+  // Published AFTER the pair is consistent; a concurrent submission that
+  // still sees the flag set after an uninstall reads (nullptr, _) under the
+  // mutex and allows.
+  g_submit_gate_active.store(gate != nullptr, std::memory_order_release);
 }
 
 void ThreadPool::enqueue(PoolTask t) {
