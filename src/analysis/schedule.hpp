@@ -1,0 +1,312 @@
+// analysis/schedule.hpp -- fast-matrix-multiplication schedules as data.
+//
+// A Strassen-Winograd level is a straight-line program over twelve quadrant
+// operands (A11..A22, B11..B22, C11..C22) and a handful of quadrant-sized
+// temporaries: element-wise +/- steps and recursive products.  This header
+// lifts the schedules that used to be hard-coded in core/winograd.hpp into
+// declarative step tables so that
+//
+//   * the recursion (core/winograd.hpp) EXECUTES the table -- the same
+//     blas::vadd/vsub/gemm calls in the same order as the seed code, so the
+//     arithmetic (and every pinned bit-exactness contract) is unchanged, and
+//   * the verifier (analysis/schedule_verify.hpp) symbolically executes the
+//     same table and PROVES it: every C quadrant equals its sum-of-products
+//     target, no step reads an undefined or clobbered value, products never
+//     alias their destination, and the live-temporary peak matches the
+//     schedule's declared bound (3 for the paper's schedule; the
+//     Boyer-Dumas-Pernet-Zhou 2-temporary and in-place variants on the
+//     ROADMAP will declare theirs).
+//
+// The tables are constexpr and the verifier core is constexpr: the library
+// build static_asserts the shipped tables (schedule_verify.cpp), so an edit
+// that breaks a schedule does not compile, let alone pass tests.
+//
+// Operand shapes.  With A (tm x tk), B (tk x tn), C (tm x tn) per level:
+// A-shaped operands are the A quadrants and S-temporaries, B-shaped the B
+// quadrants and T-temporaries, C-shaped the C quadrants and P-temporaries.
+// Linear steps require all operands of one shape; a product maps
+// (A-shaped) x (B-shaped) -> C-shaped.
+#pragma once
+
+#include <cstdint>
+
+namespace strassen::analysis {
+
+// ---- operands -------------------------------------------------------------
+
+// Slot identifiers of one recursion level.  Two temporaries per shape are
+// reserved so alternative schedules (and the verifier's negative tests) can
+// express higher temporary counts; the shipped schedules use one of each.
+enum class Operand : std::uint8_t {
+  kA11 = 0, kA12, kA21, kA22,   // A quadrants (read-only inputs)
+  kB11, kB12, kB21, kB22,       // B quadrants (read-only inputs)
+  kC11, kC12, kC21, kC22,       // C quadrants (outputs, usable as scratch)
+  kTS0, kTS1,                   // A-shaped temporaries
+  kTT0, kTT1,                   // B-shaped temporaries
+  kTP0, kTP1,                   // C-shaped temporaries
+  kNone,
+};
+
+inline constexpr int kOperandCount = 18;
+
+enum class Shape : std::uint8_t { kA, kB, kC, kNone };
+
+constexpr Shape shape_of(Operand op) {
+  const auto v = static_cast<std::uint8_t>(op);
+  if (v <= static_cast<std::uint8_t>(Operand::kA22)) return Shape::kA;
+  if (v <= static_cast<std::uint8_t>(Operand::kB22)) return Shape::kB;
+  if (v <= static_cast<std::uint8_t>(Operand::kC22)) return Shape::kC;
+  if (op == Operand::kTS0 || op == Operand::kTS1) return Shape::kA;
+  if (op == Operand::kTT0 || op == Operand::kTT1) return Shape::kB;
+  if (op == Operand::kTP0 || op == Operand::kTP1) return Shape::kC;
+  return Shape::kNone;
+}
+
+// Read-only inputs: the A and B quadrants.
+constexpr bool is_input(Operand op) {
+  return op >= Operand::kA11 && op <= Operand::kB22;
+}
+
+constexpr bool is_c_quadrant(Operand op) {
+  return op >= Operand::kC11 && op <= Operand::kC22;
+}
+
+constexpr bool is_temp(Operand op) {
+  return op >= Operand::kTS0 && op <= Operand::kTP1;
+}
+
+constexpr const char* operand_name(Operand op) {
+  switch (op) {
+    case Operand::kA11: return "A11";
+    case Operand::kA12: return "A12";
+    case Operand::kA21: return "A21";
+    case Operand::kA22: return "A22";
+    case Operand::kB11: return "B11";
+    case Operand::kB12: return "B12";
+    case Operand::kB21: return "B21";
+    case Operand::kB22: return "B22";
+    case Operand::kC11: return "C11";
+    case Operand::kC12: return "C12";
+    case Operand::kC21: return "C21";
+    case Operand::kC22: return "C22";
+    case Operand::kTS0: return "tS";
+    case Operand::kTS1: return "tS'";
+    case Operand::kTT0: return "tT";
+    case Operand::kTT1: return "tT'";
+    case Operand::kTP0: return "tP";
+    case Operand::kTP1: return "tP'";
+    case Operand::kNone: break;
+  }
+  return "<none>";
+}
+
+// ---- steps ----------------------------------------------------------------
+
+// One straight-line operation.  Operand roles per kind:
+//   kAdd          dst = a0 + a1                    (blas::vadd)
+//   kSub          dst = a0 - a1                    (blas::vsub)
+//   kAddInplace   dst = dst + a0                   (blas::vadd_inplace)
+//   kSubInplace   dst = dst - a0                   (blas::vsub_inplace)
+//   kMul          dst = a0 . b0                    (recursive product)
+//   kMulFusedA    dst = (a0 asign a1) . b0         (kernel gemm_fused_a)
+//   kMulFusedB    dst = a0 . (b0 bsign b1)         (kernel gemm_fused_b)
+//   kMulFusedAB   dst = (a0 asign a1) . (b0 bsign b1)  (gemm_fused_ab)
+// Element-wise steps may alias dst with a source EXACTLY (the level-1 alias
+// contract); products must never alias their destination with a source --
+// the verifier rejects the latter, shape rules make it impossible for
+// well-shaped tables, but mutated tables are checked explicitly.
+enum class StepKind : std::uint8_t {
+  kAdd,
+  kSub,
+  kAddInplace,
+  kSubInplace,
+  kMul,
+  kMulFusedA,
+  kMulFusedB,
+  kMulFusedAB,
+};
+
+enum class Sign : std::int8_t { kMinus = -1, kPlus = 1 };
+
+constexpr bool is_product(StepKind k) {
+  return k == StepKind::kMul || k == StepKind::kMulFusedA ||
+         k == StepKind::kMulFusedB || k == StepKind::kMulFusedAB;
+}
+
+constexpr bool is_fused(StepKind k) {
+  return k == StepKind::kMulFusedA || k == StepKind::kMulFusedB ||
+         k == StepKind::kMulFusedAB;
+}
+
+struct Step {
+  StepKind kind;
+  Operand dst;
+  Operand a0 = Operand::kNone;  // first source (A side of a product)
+  Operand a1 = Operand::kNone;  // second linear source / fused A partner
+  Operand b0 = Operand::kNone;  // B side of a product
+  Operand b1 = Operand::kNone;  // fused B partner
+  Sign asign = Sign::kPlus;     // sign applied to a1 in kMulFusedA/AB
+  Sign bsign = Sign::kPlus;     // sign applied to b1 in kMulFusedB/AB
+  const char* note = "";        // paper name of the step (S3, P5, U2, ...)
+};
+
+// Step factories -- keep the tables readable.
+constexpr Step add(Operand dst, Operand x, Operand y, const char* note) {
+  return Step{StepKind::kAdd, dst, x, y, Operand::kNone, Operand::kNone,
+              Sign::kPlus, Sign::kPlus, note};
+}
+constexpr Step sub(Operand dst, Operand x, Operand y, const char* note) {
+  return Step{StepKind::kSub, dst, x, y, Operand::kNone, Operand::kNone,
+              Sign::kPlus, Sign::kPlus, note};
+}
+constexpr Step add_ip(Operand dst, Operand x, const char* note) {
+  return Step{StepKind::kAddInplace, dst, x, Operand::kNone, Operand::kNone,
+              Operand::kNone, Sign::kPlus, Sign::kPlus, note};
+}
+constexpr Step sub_ip(Operand dst, Operand x, const char* note) {
+  return Step{StepKind::kSubInplace, dst, x, Operand::kNone, Operand::kNone,
+              Operand::kNone, Sign::kPlus, Sign::kPlus, note};
+}
+constexpr Step mul(Operand dst, Operand a, Operand b, const char* note) {
+  return Step{StepKind::kMul, dst, a, Operand::kNone, b, Operand::kNone,
+              Sign::kPlus, Sign::kPlus, note};
+}
+constexpr Step mul_fused_a(Operand dst, Operand a0, Sign s, Operand a1,
+                           Operand b, const char* note) {
+  return Step{StepKind::kMulFusedA, dst, a0, a1, b, Operand::kNone, s,
+              Sign::kPlus, note};
+}
+constexpr Step mul_fused_b(Operand dst, Operand a, Operand b0, Sign s,
+                           Operand b1, const char* note) {
+  return Step{StepKind::kMulFusedB, dst, a, Operand::kNone, b0, b1,
+              Sign::kPlus, s, note};
+}
+constexpr Step mul_fused_ab(Operand dst, Operand a0, Sign sa, Operand a1,
+                            Operand b0, Sign sb, Operand b1,
+                            const char* note) {
+  return Step{StepKind::kMulFusedAB, dst, a0, a1, b0, b1, sa, sb, note};
+}
+
+// ---- schedules ------------------------------------------------------------
+
+struct Schedule {
+  const char* name;
+  const Step* steps;
+  int step_count;
+  const Operand* temps;    // temporaries in ALLOCATION order (arena pushes)
+  int temp_count;
+  int declared_temp_peak;  // documented live-temporary bound; verified
+  // True when the table contains fused-product steps: it is only executable
+  // at the last level before the leaves (d == 1) on a kernel table that
+  // publishes the fused entries, and only verifiable against a materialized
+  // reference.
+  bool uses_fused_kernels;
+};
+
+namespace detail {
+
+using Op = Operand;
+inline constexpr Op A11 = Op::kA11, A12 = Op::kA12, A21 = Op::kA21,
+                    A22 = Op::kA22;
+inline constexpr Op B11 = Op::kB11, B12 = Op::kB12, B21 = Op::kB21,
+                    B22 = Op::kB22;
+inline constexpr Op C11 = Op::kC11, C12 = Op::kC12, C21 = Op::kC21,
+                    C22 = Op::kC22;
+inline constexpr Op tS = Op::kTS0, tT = Op::kTT0, tP = Op::kTP0;
+
+// The paper's Winograd schedule (S2), reordered so C's quadrants double as
+// scratch and exactly three temporaries are live per level: 7 recursive
+// products, 15 element-wise steps, 22 steps total.  This is the table the
+// recursion executes at every level (and the ONLY table executed for the
+// scalar kernel pin and for traced/counted memory models, which is what
+// keeps those paths bit-identical to the seed).
+inline constexpr Step kWinogradSteps[] = {
+    sub(tS, A11, A21, "S3"),        // tS  = A11 - A21
+    sub(tT, B22, B12, "T3"),        // tT  = B22 - B12
+    mul(C21, tS, tT, "P5"),         // C21 = S3 . T3
+    add(tS, A21, A22, "S1"),        // tS  = A21 + A22
+    sub(tT, B12, B11, "T1"),        // tT  = B12 - B11
+    mul(C22, tS, tT, "P3"),         // C22 = S1 . T1
+    sub_ip(tS, A11, "S2"),          // tS  = S1 - A11
+    sub(tT, B22, tT, "T2"),         // tT  = B22 - T1
+    mul(C12, tS, tT, "P4"),         // C12 = S2 . T2
+    sub(tS, A12, tS, "S4"),         // tS  = A12 - S2
+    sub_ip(tT, B21, "-T4"),         // tT  = T2 - B21
+    mul(tP, A11, B11, "P1"),        // tP  = A11 . B11
+    add_ip(C12, tP, "U2"),          // C12 = P1 + P4
+    add_ip(C21, C12, "U3"),         // C21 = U2 + P5
+    add_ip(C12, C22, "U6"),         // C12 = U2 + P3
+    add_ip(C22, C21, "U5"),         // C22 = U3 + P3       [final C22]
+    mul(C11, A22, tT, "-P7"),       // C11 = A22 . (T2 - B21)
+    sub_ip(C21, C11, "U4"),         // C21 = U3 + P7       [final C21]
+    mul(C11, tS, B22, "P6"),        // C11 = S4 . B22
+    add_ip(C12, C11, "U7"),         // C12 = U6 + P6       [final C12]
+    mul(C11, A12, B21, "P2"),       // C11 = A12 . B21
+    add_ip(C11, tP, "U1"),          // C11 = P1 + P2       [final C11]
+};
+
+// Level-1 variant with the operand combinations that feed exactly one
+// product fused into the product itself (S3/T3 into P5, -T4 into P7, S4
+// into P6), saving four full passes over quadrant-sized temporaries.
+// S1/T1/S2/T2 stay materialized because the schedule reuses them.  Same
+// U-chain, same three temporaries.
+inline constexpr Step kWinogradFusedL1Steps[] = {
+    mul_fused_ab(C21, A11, Sign::kMinus, A21,     // C21 = (A11-A21).(B22-B12)
+                 B22, Sign::kMinus, B12, "P5"),   //       = S3 . T3
+    add(tS, A21, A22, "S1"),                      // tS  = A21 + A22
+    sub(tT, B12, B11, "T1"),                      // tT  = B12 - B11
+    mul(C22, tS, tT, "P3"),                       // C22 = S1 . T1
+    sub_ip(tS, A11, "S2"),                        // tS  = S1 - A11
+    sub(tT, B22, tT, "T2"),                       // tT  = B22 - T1
+    mul(C12, tS, tT, "P4"),                       // C12 = S2 . T2
+    mul(tP, A11, B11, "P1"),                      // tP  = A11 . B11
+    add_ip(C12, tP, "U2"),                        // C12 = P1 + P4
+    add_ip(C21, C12, "U3"),                       // C21 = U2 + P5
+    add_ip(C12, C22, "U6"),                       // C12 = U2 + P3
+    add_ip(C22, C21, "U5"),                       // C22 = U3 + P3  [final]
+    mul_fused_b(C11, A22, tT, Sign::kMinus, B21,  // C11 = A22 . (T2-B21)
+                "-P7"),
+    sub_ip(C21, C11, "U4"),                       // C21 = U3 + P7  [final]
+    mul_fused_a(C11, A12, Sign::kMinus, tS, B22,  // C11 = (A12-S2) . B22
+                "P6"),                            //       = S4 . B22
+    add_ip(C12, C11, "U7"),                       // C12 = U6 + P6  [final]
+    mul(C11, A12, B21, "P2"),                     // C11 = A12 . B21
+    add_ip(C11, tP, "U1"),                        // C11 = P1 + P2  [final]
+};
+
+// Allocation order matches the seed's arena pushes (tS, tT, tP) so the
+// table-driven recursion reproduces the seed's exact workspace layout.
+inline constexpr Operand kWinogradTemps[] = {tS, tT, tP};
+
+}  // namespace detail
+
+// The production Winograd schedule (every level; sole schedule for the
+// scalar pin and all traced/counted models).
+inline constexpr Schedule kWinograd{
+    "winograd",
+    detail::kWinogradSteps,
+    static_cast<int>(sizeof(detail::kWinogradSteps) / sizeof(Step)),
+    detail::kWinogradTemps,
+    static_cast<int>(sizeof(detail::kWinogradTemps) / sizeof(Operand)),
+    /*declared_temp_peak=*/3,
+    /*uses_fused_kernels=*/false,
+};
+
+// The fused level-1 variant, executed when d == 1 and the active kernel
+// table publishes gemm_fused_{a,b,ab}.
+inline constexpr Schedule kWinogradFusedL1{
+    "winograd-fused-l1",
+    detail::kWinogradFusedL1Steps,
+    static_cast<int>(sizeof(detail::kWinogradFusedL1Steps) / sizeof(Step)),
+    detail::kWinogradTemps,
+    static_cast<int>(sizeof(detail::kWinogradTemps) / sizeof(Operand)),
+    /*declared_temp_peak=*/3,
+    /*uses_fused_kernels=*/true,
+};
+
+// All shipped schedules, for the verifier CLI and tests.
+inline constexpr const Schedule* kShippedSchedules[] = {&kWinograd,
+                                                        &kWinogradFusedL1};
+inline constexpr int kShippedScheduleCount = 2;
+
+}  // namespace strassen::analysis

@@ -1,0 +1,300 @@
+// analysis/schedule_verify.cpp -- diagnostics layer over the constexpr core,
+// plus the compile-time proof of the shipped tables.
+#include "analysis/schedule_verify.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace strassen::analysis {
+
+// ---- compile-time proof of the shipped schedules --------------------------
+// A bad edit to analysis/schedule.hpp stops the library from building; the
+// CLI (tools/verify_schedules) and tests re-prove at runtime with readable
+// diagnostics.
+static_assert(verify_core(kWinograd).violation == Violation::kNone,
+              "shipped Winograd schedule failed symbolic verification");
+static_assert(verify_core(kWinograd).temp_peak == 3,
+              "shipped Winograd schedule must run with exactly 3 live "
+              "temporaries (paper section 3.3)");
+static_assert(verify_core(kWinograd).products == 7 &&
+                  verify_core(kWinograd).linear_ops == 15,
+              "shipped Winograd schedule must be 7 products + 15 additions");
+static_assert(verify_core(kWinogradFusedL1).violation == Violation::kNone,
+              "shipped fused level-1 schedule failed symbolic verification");
+static_assert(verify_core(kWinogradFusedL1).temp_peak == 3 &&
+                  verify_core(kWinogradFusedL1).products == 7 &&
+                  verify_core(kWinogradFusedL1).fused_products == 3 &&
+                  verify_core(kWinogradFusedL1).linear_ops == 11,
+              "shipped fused level-1 schedule must be 7 products (3 fused) "
+              "+ 11 additions with a 3-temporary peak");
+
+namespace {
+
+std::string step_label(const Schedule& sched, int i) {
+  std::ostringstream os;
+  os << "step " << i;
+  if (i >= 0 && i < sched.step_count && sched.steps[i].note[0] != '\0')
+    os << " (" << sched.steps[i].note << ")";
+  return os.str();
+}
+
+std::string step_render(const Step& s) {
+  std::ostringstream os;
+  const char* dst = operand_name(s.dst);
+  switch (s.kind) {
+    case StepKind::kAdd:
+      os << dst << " = " << operand_name(s.a0) << " + " << operand_name(s.a1);
+      break;
+    case StepKind::kSub:
+      os << dst << " = " << operand_name(s.a0) << " - " << operand_name(s.a1);
+      break;
+    case StepKind::kAddInplace:
+      os << dst << " += " << operand_name(s.a0);
+      break;
+    case StepKind::kSubInplace:
+      os << dst << " -= " << operand_name(s.a0);
+      break;
+    case StepKind::kMul:
+      os << dst << " = " << operand_name(s.a0) << " . " << operand_name(s.b0);
+      break;
+    case StepKind::kMulFusedA:
+      os << dst << " = (" << operand_name(s.a0)
+         << (s.asign == Sign::kPlus ? " + " : " - ") << operand_name(s.a1)
+         << ") . " << operand_name(s.b0);
+      break;
+    case StepKind::kMulFusedB:
+      os << dst << " = " << operand_name(s.a0) << " . ("
+         << operand_name(s.b0) << (s.bsign == Sign::kPlus ? " + " : " - ")
+         << operand_name(s.b1) << ")";
+      break;
+    case StepKind::kMulFusedAB:
+      os << dst << " = (" << operand_name(s.a0)
+         << (s.asign == Sign::kPlus ? " + " : " - ") << operand_name(s.a1)
+         << ") . (" << operand_name(s.b0)
+         << (s.bsign == Sign::kPlus ? " + " : " - ") << operand_name(s.b1)
+         << ")";
+      break;
+  }
+  return os.str();
+}
+
+// Forward pass collecting EVERY forward-detectable violation instead of
+// stopping at the first one (the constexpr core's behaviour).  Execution
+// continues past a violation where the symbolic state still makes sense, so
+// one mutation does not drown the report in cascading noise: an undefined
+// read contributes zero coefficients, a skipped malformed step leaves its
+// destination untouched.
+SymState forward_diagnose(const Schedule& sched,
+                          std::vector<std::string>& errors) {
+  SymState st = detail::initial_state();
+  for (int i = 0; i < sched.step_count; ++i) {
+    const Step& s = sched.steps[i];
+    Operand bad = Operand::kNone;
+    const Violation shape_v = detail::step_shape_check(s, &bad);
+    if (shape_v != Violation::kNone) {
+      std::ostringstream os;
+      os << step_label(sched, i) << ": " << violation_name(shape_v)
+         << " on operand " << operand_name(bad) << " in '" << step_render(s)
+         << "'";
+      errors.push_back(os.str());
+      continue;  // malformed: cannot execute symbolically
+    }
+    if (is_input(s.dst)) {
+      std::ostringstream os;
+      os << step_label(sched, i) << ": writes input quadrant "
+         << operand_name(s.dst) << " ('" << step_render(s)
+         << "'); A/B quadrants are read-only";
+      errors.push_back(os.str());
+      continue;
+    }
+    if (is_fused(s.kind) && !sched.uses_fused_kernels) {
+      std::ostringstream os;
+      os << step_label(sched, i)
+         << ": fused product in a table not marked uses_fused_kernels";
+      errors.push_back(os.str());
+    }
+    const detail::ReadSet reads = detail::step_reads(s);
+    if (is_product(s.kind)) {
+      for (int k = 0; k < reads.count; ++k) {
+        if (reads.ops[k] == s.dst) {
+          std::ostringstream os;
+          os << step_label(sched, i) << ": product destination "
+             << operand_name(s.dst)
+             << " aliases a source operand; recursive products require "
+                "disjoint storage";
+          errors.push_back(os.str());
+        }
+      }
+    }
+    for (int k = 0; k < reads.count; ++k) {
+      const Operand op = reads.ops[k];
+      if (is_temp(op) && !detail::temp_declared(sched, op)) {
+        std::ostringstream os;
+        os << step_label(sched, i) << ": temporary " << operand_name(op)
+           << " is not in the schedule's declared temporary list";
+        errors.push_back(os.str());
+      }
+      if (!st.slot[static_cast<int>(op)].defined) {
+        std::ostringstream os;
+        os << step_label(sched, i) << ": reads " << operand_name(op)
+           << " before any step defined it ('" << step_render(s)
+           << "'); a reordering overwrote or delayed the value it expects";
+        errors.push_back(os.str());
+      }
+    }
+    if (is_temp(s.dst) && !detail::temp_declared(sched, s.dst)) {
+      std::ostringstream os;
+      os << step_label(sched, i) << ": temporary " << operand_name(s.dst)
+         << " is not in the schedule's declared temporary list";
+      errors.push_back(os.str());
+    }
+    detail::sym_apply(s, st);
+  }
+  return st;
+}
+
+}  // namespace
+
+std::string bilinear_to_string(const Bilinear& b) {
+  std::ostringstream os;
+  bool any = false;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const int k = b.c[i][j];
+      if (k == 0) continue;
+      if (any) os << " ";
+      os << (k > 0 ? "+" : "-");
+      if (k != 1 && k != -1) os << (k > 0 ? k : -k) << "*";
+      os << operand_name(static_cast<Operand>(
+                static_cast<int>(Operand::kA11) + i))
+         << "."
+         << operand_name(static_cast<Operand>(
+                static_cast<int>(Operand::kB11) + j));
+      any = true;
+    }
+  }
+  if (!any) os << "0";
+  return os.str();
+}
+
+VerifyResult verify_schedule(const Schedule& sched) {
+  VerifyResult out;
+  if (sched.step_count <= 0 || sched.steps == nullptr) {
+    out.errors.push_back("schedule has no steps");
+    return out;
+  }
+  const SymState st = forward_diagnose(sched, out.errors);
+
+  {
+    Operand dead = Operand::kNone;
+    // Report every dead store, not just the first: re-scan from each index.
+    for (int from = 0; from < sched.step_count;) {
+      Schedule tail = sched;
+      tail.steps = sched.steps + from;
+      tail.step_count = sched.step_count - from;
+      const int i = detail::first_dead_store(tail, &dead);
+      if (i < 0) break;
+      const int abs_i = from + i;
+      std::ostringstream os;
+      os << step_label(sched, abs_i) << ": value written to "
+         << operand_name(dead)
+         << " is never read before being overwritten (dead store -- a later "
+            "step clobbers a value the schedule still owed a use)";
+      out.errors.push_back(os.str());
+      from = abs_i + 1;
+    }
+  }
+
+  for (Operand c :
+       {Operand::kC11, Operand::kC12, Operand::kC21, Operand::kC22}) {
+    const SymValue& v = st.slot[static_cast<int>(c)];
+    if (!v.defined) {
+      out.errors.push_back(std::string("output ") + operand_name(c) +
+                           " is never written");
+      continue;
+    }
+    const Bilinear want = c_target(c);
+    if (!(v.bil == want)) {
+      std::ostringstream os;
+      os << "product identity fails for " << operand_name(c) << ": computed "
+         << bilinear_to_string(v.bil) << ", expected "
+         << bilinear_to_string(want);
+      out.errors.push_back(os.str());
+    }
+  }
+
+  out.temp_peak = detail::live_temp_peak(sched);
+  if (out.temp_peak != sched.declared_temp_peak) {
+    std::ostringstream os;
+    os << "live-temporary peak is " << out.temp_peak
+       << " but the schedule declares " << sched.declared_temp_peak;
+    out.errors.push_back(os.str());
+  }
+
+  for (int i = 0; i < sched.step_count; ++i) {
+    if (is_product(sched.steps[i].kind)) {
+      ++out.products;
+      if (is_fused(sched.steps[i].kind)) ++out.fused_products;
+    } else {
+      ++out.linear_ops;
+    }
+  }
+  out.ok = out.errors.empty();
+  return out;
+}
+
+namespace {
+
+// Products of a schedule in execution order: (note, rendered step, bilinear
+// form each computes), by symbolic forward execution.
+struct ProductTerm {
+  int step;
+  std::string note;
+  std::string rendered;
+  Bilinear bil;
+};
+
+std::vector<ProductTerm> collect_products(const Schedule& sched) {
+  std::vector<ProductTerm> out;
+  SymState st = detail::initial_state();
+  for (int i = 0; i < sched.step_count; ++i) {
+    const Step& s = sched.steps[i];
+    Operand bad = Operand::kNone;
+    if (detail::step_shape_check(s, &bad) != Violation::kNone) continue;
+    detail::sym_apply(s, st);
+    if (is_product(s.kind))
+      out.push_back(ProductTerm{i, s.note, step_render(s),
+                                st.slot[static_cast<int>(s.dst)].bil});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> check_fused_products(const Schedule& fused,
+                                              const Schedule& reference) {
+  std::vector<std::string> errors;
+  const std::vector<ProductTerm> f = collect_products(fused);
+  const std::vector<ProductTerm> r = collect_products(reference);
+  for (const ProductTerm& p : f) {
+    bool found = false;
+    for (const ProductTerm& q : r) {
+      if (p.bil == q.bil) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::ostringstream os;
+      os << fused.name << " step " << p.step << " (" << p.note << "): product '"
+         << p.rendered << "' computes " << bilinear_to_string(p.bil)
+         << ", which no product of " << reference.name
+         << " computes -- the fused entry is not a re-association of a "
+            "materialized product";
+      errors.push_back(os.str());
+    }
+  }
+  return errors;
+}
+
+}  // namespace strassen::analysis

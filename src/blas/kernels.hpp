@@ -43,7 +43,7 @@ namespace kernels {
 // the engine types it is included by.
 void dispatch_gemm_leaf(int m, int n, int k, const double* A, int lda,
                         const double* B, int ldb, double* C, int ldc,
-                        LeafMode mode, double alpha);
+                        LeafMode mode, double alpha) noexcept;
 // True when the active kernel is a SIMD table (not scalar).  gemm_leaf only
 // crosses into the engine when this holds; with the scalar kernel active it
 // falls through to the caller's own gemm_leaf_generic instantiation instead,

@@ -274,7 +274,7 @@ constexpr LeafKernels kTable = {
 }  // namespace
 
 namespace detail {
-const LeafKernels* avx2_table() { return &kTable; }
+const LeafKernels* avx2_table() noexcept { return &kTable; }
 }  // namespace detail
 
 }  // namespace strassen::blas::kernels
@@ -284,7 +284,7 @@ const LeafKernels* avx2_table() { return &kTable; }
 namespace strassen::blas::kernels::detail {
 // This build's compiler flags could not enable AVX2+FMA for this TU; the
 // registry treats the kind as not compiled in.
-const LeafKernels* avx2_table() { return nullptr; }
+const LeafKernels* avx2_table() noexcept { return nullptr; }
 }  // namespace strassen::blas::kernels::detail
 
 #endif

@@ -223,7 +223,7 @@ constexpr LeafKernels kTable = {
 }  // namespace
 
 namespace detail {
-const LeafKernels* neon_table() { return &kTable; }
+const LeafKernels* neon_table() noexcept { return &kTable; }
 }  // namespace detail
 
 }  // namespace strassen::blas::kernels
@@ -233,7 +233,7 @@ const LeafKernels* neon_table() { return &kTable; }
 namespace strassen::blas::kernels::detail {
 // No double-precision Advanced SIMD on this target (or NEON disabled); the
 // registry treats the kind as not compiled in.
-const LeafKernels* neon_table() { return nullptr; }
+const LeafKernels* neon_table() noexcept { return nullptr; }
 }  // namespace strassen::blas::kernels::detail
 
 #endif

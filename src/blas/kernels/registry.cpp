@@ -78,7 +78,7 @@ State& state() {
 
 }  // namespace
 
-bool cpu_supports(Kind kind) {
+bool cpu_supports(Kind kind) noexcept {
   switch (kind) {
     case Kind::kAuto:
     case Kind::kScalar:
@@ -101,7 +101,7 @@ bool cpu_supports(Kind kind) {
   return false;
 }
 
-const LeafKernels* kernel_table(Kind kind) {
+const LeafKernels* kernel_table(Kind kind) noexcept {
   switch (kind) {
     case Kind::kScalar:
       return &detail::scalar_table();
@@ -115,7 +115,7 @@ const LeafKernels* kernel_table(Kind kind) {
   return nullptr;
 }
 
-bool is_available(Kind kind) {
+bool is_available(Kind kind) noexcept {
   return kind != Kind::kAuto && table_compiled(kind) && cpu_supports(kind);
 }
 
@@ -133,9 +133,11 @@ std::vector<Kind> available_kernels() {
   return out;
 }
 
-Kind active_kernel() { return state().active.load(std::memory_order_relaxed); }
+Kind active_kernel() noexcept {
+  return state().active.load(std::memory_order_relaxed);
+}
 
-void set_active_kernel(Kind kind) {
+void set_active_kernel(Kind kind) noexcept {
   if (kind == Kind::kAuto) {
     Avx2Variant variant = Avx2Variant::kAuto;
     const Kind def = detect_default(&variant);
@@ -147,20 +149,20 @@ void set_active_kernel(Kind kind) {
   state().active.store(kind, std::memory_order_relaxed);
 }
 
-Avx2Variant avx2_variant() {
+Avx2Variant avx2_variant() noexcept {
   return state().variant.load(std::memory_order_relaxed);
 }
 
-void set_avx2_variant(Avx2Variant v) {
+void set_avx2_variant(Avx2Variant v) noexcept {
   state().variant.store(v, std::memory_order_relaxed);
 }
 
-const LeafKernels& active() {
+const LeafKernels& active() noexcept {
   const LeafKernels* t = kernel_table(active_kernel());
   return t != nullptr ? *t : detail::scalar_table();
 }
 
-const char* kind_name(Kind kind) {
+const char* kind_name(Kind kind) noexcept {
   switch (kind) {
     case Kind::kAuto:
       return "auto";
@@ -174,7 +176,7 @@ const char* kind_name(Kind kind) {
   return "unknown";
 }
 
-const char* variant_name(Avx2Variant v) {
+const char* variant_name(Avx2Variant v) noexcept {
   switch (v) {
     case Avx2Variant::kAuto:
       return "auto";
@@ -199,25 +201,25 @@ bool simd_gemm_active() noexcept {
 
 void dispatch_gemm_leaf(int m, int n, int k, const double* A, int lda,
                         const double* B, int ldb, double* C, int ldc,
-                        LeafMode mode, double alpha) {
+                        LeafMode mode, double alpha) noexcept {
   active().gemm(m, n, k, A, lda, B, ldb, C, ldc, mode, alpha);
 }
 
 void dispatch_vadd(std::size_t n, double* dst, const double* a,
-                   const double* b) {
+                   const double* b) noexcept {
   active().vadd(n, dst, a, b);
 }
 
 void dispatch_vsub(std::size_t n, double* dst, const double* a,
-                   const double* b) {
+                   const double* b) noexcept {
   active().vsub(n, dst, a, b);
 }
 
-void dispatch_vadd_inplace(std::size_t n, double* dst, const double* a) {
+void dispatch_vadd_inplace(std::size_t n, double* dst, const double* a) noexcept {
   active().vadd_inplace(n, dst, a);
 }
 
-void dispatch_vsub_inplace(std::size_t n, double* dst, const double* a) {
+void dispatch_vsub_inplace(std::size_t n, double* dst, const double* a) noexcept {
   active().vsub_inplace(n, dst, a);
 }
 

@@ -95,7 +95,7 @@ struct LeafKernels {
 
 // True when the running CPU can execute `kind` (cpuid on x86, HWCAP on
 // 32-bit ARM; AArch64 implies NEON).  Independent of what was compiled in.
-bool cpu_supports(Kind kind);
+bool cpu_supports(Kind kind) noexcept;
 
 // Kinds whose kernel TU was compiled into this binary (scalar always is).
 std::vector<Kind> compiled_kernels();
@@ -104,7 +104,7 @@ std::vector<Kind> compiled_kernels();
 // run here.  Never empty (scalar is always present).
 std::vector<Kind> available_kernels();
 
-bool is_available(Kind kind);
+bool is_available(Kind kind) noexcept;
 
 // ---- active-kernel state --------------------------------------------------
 
@@ -112,27 +112,27 @@ bool is_available(Kind kind);
 // STRASSEN_KERNEL environment variable when set (unavailable or unknown
 // values degrade to scalar -- the portable guarantee), else from the probe
 // (best available).
-Kind active_kernel();
+Kind active_kernel() noexcept;
 
 // Sets the active kernel.  kAuto re-runs the environment/probe selection;
 // an unavailable kind degrades to kScalar.  This is process-global state:
 // concurrent calls racing different pins get an arbitrary winner, so servers
 // should pin once at startup (or per call via ModgemmOptions::kernel, which
 // is documented to have the same global effect).
-void set_active_kernel(Kind kind);
+void set_active_kernel(Kind kind) noexcept;
 
-Avx2Variant avx2_variant();
-void set_avx2_variant(Avx2Variant v);
+Avx2Variant avx2_variant() noexcept;
+void set_avx2_variant(Avx2Variant v) noexcept;
 
 // The active table (never null).
-const LeafKernels& active();
+const LeafKernels& active() noexcept;
 
 // Table for a specific compiled-in kind; nullptr when its TU was compiled
 // out (e.g. neon on an x86 build).
-const LeafKernels* kernel_table(Kind kind);
+const LeafKernels* kernel_table(Kind kind) noexcept;
 
-const char* kind_name(Kind kind);
-const char* variant_name(Avx2Variant v);
+const char* kind_name(Kind kind) noexcept;
+const char* variant_name(Avx2Variant v) noexcept;
 
 // RAII pin for tests and per-call overrides: saves the active kernel (and
 // AVX2 variant), sets the requested one, restores on destruction.
@@ -158,9 +158,9 @@ class ScopedKernel {
 namespace detail {
 // Per-ISA table accessors, one per kernel TU.  A TU whose ISA was not
 // enabled at compile time returns nullptr (see avx2.cpp / neon.cpp stubs).
-const LeafKernels& scalar_table();
-const LeafKernels* avx2_table();
-const LeafKernels* neon_table();
+const LeafKernels& scalar_table() noexcept;
+const LeafKernels* avx2_table() noexcept;
+const LeafKernels* neon_table() noexcept;
 }  // namespace detail
 
 }  // namespace strassen::blas::kernels

@@ -86,7 +86,7 @@ constexpr LeafKernels kTable = {
 }  // namespace
 
 namespace detail {
-const LeafKernels& scalar_table() { return kTable; }
+const LeafKernels& scalar_table() noexcept { return kTable; }
 }  // namespace detail
 
 }  // namespace strassen::blas::kernels

@@ -30,11 +30,11 @@ namespace kernels {
 // Implemented in kernels/registry.cpp: the active engine's element-wise
 // kernels (see kernels/registry.hpp).
 void dispatch_vadd(std::size_t n, double* dst, const double* a,
-                   const double* b);
+                   const double* b) noexcept;
 void dispatch_vsub(std::size_t n, double* dst, const double* a,
-                   const double* b);
-void dispatch_vadd_inplace(std::size_t n, double* dst, const double* a);
-void dispatch_vsub_inplace(std::size_t n, double* dst, const double* a);
+                   const double* b) noexcept;
+void dispatch_vadd_inplace(std::size_t n, double* dst, const double* a) noexcept;
+void dispatch_vsub_inplace(std::size_t n, double* dst, const double* a) noexcept;
 }  // namespace kernels
 
 // dst[i] = a[i] + b[i]

@@ -6,46 +6,169 @@
 // and all 15 quadrant additions of Winograd's variant are single contiguous
 // loops (paper S3.3).
 //
-// Schedule.  Using the paper's equations (S2) with the S/T/P naming,
-// reordered so that C's quadrants double as scratch and only three
-// temporaries (tS over A-quadrants, tT over B-quadrants, tP over
-// C-quadrants) are live per level:
+// The SCHEDULE -- which quadrant addition or recursive product runs when,
+// and which of the three temporaries (tS over A-quadrants, tT over
+// B-quadrants, tP over C-quadrants) holds what -- is data, not code:
+// analysis/schedule.hpp declares it as a constexpr step table
+// (analysis::kWinograd, 7 recursive products + 15 additions -- the minimum
+// for quadrant-based recursion, as the paper notes -- with C's quadrants
+// doubling as scratch so only three temporaries are live per level), and
+// the interpreter below executes the table step by step.  The verifier
+// (analysis/schedule_verify.hpp) symbolically proves every shipped table
+// correct at compile time: product identity, no use of clobbered values,
+// and the 3-temporary liveness peak.  See docs/ANALYSIS.md for the table
+// format and the exact guarantees.
 //
-//    tS = A11 - A21        (S3)   tT = B22 - B12        (T3)
-//    C21 = tS * tT         (P5 = S3.T3)
-//    tS = A21 + A22        (S1)   tT = B12 - B11        (T1)
-//    C22 = tS * tT         (P3 = S1.T1)
-//    tS = tS - A11         (S2)   tT = B22 - tT         (T2)
-//    C12 = tS * tT         (P4 = S2.T2)
-//    tS = A12 - tS         (S4)   tT = tT - B21         (-T4)
-//    tP  = A11 * B11       (P1)
-//    C12 += tP             (U2 = P1 + P4)
-//    C21 += C12            (U3 = U2 + P5)
-//    C12 += C22            (U6 = U2 + P3)
-//    C22 += C21            (C22 = U5 = U3 + P3)        [final C22]
-//    C11 = A22 * tT        (-P7 = A22 * (T2 - B21))
-//    C21 -= C11            (C21 = U4 = U3 + P7)        [final C21]
-//    C11 = tS * B22        (P6 = S4 * B22)
-//    C12 += C11            (C12 = U7 = U6 + P6)        [final C12]
-//    C11 = A12 * B21       (P2)
-//    C11 += tP             (C11 = U1 = P1 + P2)        [final C11]
-//
-// 7 recursive products, 15 additions -- the minimum for quadrant-based
-// recursion, as the paper notes.
+// At the last level before the leaves, the production engine can fuse the
+// operand combinations that feed exactly one product into the product
+// itself (S3/T3 into P5, -T4 into P7, S4 into P6), saving four full passes
+// over quadrant-sized temporaries per level-1 node; that variant is its own
+// verified table (analysis::kWinogradFusedL1).  The scalar table publishes
+// no fused entries, so STRASSEN_KERNEL=scalar (and every traced MemModel)
+// runs the materialized schedule with its exact rounding and address
+// stream -- bit-identical to the seed library.
 #pragma once
 
 #include <cstdint>
 
 #include <type_traits>
 
+#include "analysis/schedule.hpp"
 #include "blas/kernels.hpp"
 #include "blas/kernels/registry.hpp"
 #include "blas/level1.hpp"
 #include "common/arena.hpp"
+#include "common/check.hpp"
 #include "common/memmodel.hpp"
 #include "obs/collector.hpp"
 
 namespace strassen::core {
+
+template <class MM, class T>
+void winograd_recurse(MM& mm, T* C, const T* A, const T* B, int tm, int tk,
+                      int tn, int depth, Arena& arena);
+
+namespace detail {
+
+constexpr blas::kernels::FusedOp fused_op(analysis::Sign s) {
+  return s == analysis::Sign::kMinus ? blas::kernels::FusedOp::kSub
+                                     : blas::kernels::FusedOp::kAdd;
+}
+
+// Executes one schedule level over concrete quadrant/temporary storage.
+// Pointer tables are indexed by analysis::Operand; `wr` is null for the
+// read-only input quadrants, which the verified tables never write
+// (enforced again here for mutated tables reaching a debug build).
+template <class MM, class T>
+class ScheduleInterpreter {
+ public:
+  ScheduleInterpreter(MM& mm, int tm, int tk, int tn, int d1,
+                      const blas::kernels::LeafKernels* fused_tab)
+      : mm_(mm), tm_(tm), tk_(tk), tn_(tn), d1_(d1), fused_tab_(fused_tab) {
+    for (int i = 0; i < analysis::kOperandCount; ++i) {
+      rd_[i] = nullptr;
+      wr_[i] = nullptr;
+      len_[i] = 0;
+    }
+  }
+
+  void bind_input(analysis::Operand op, const T* p, std::size_t n) {
+    rd_[idx(op)] = p;
+    len_[idx(op)] = n;
+  }
+  void bind_output(analysis::Operand op, T* p, std::size_t n) {
+    rd_[idx(op)] = p;
+    wr_[idx(op)] = p;
+    len_[idx(op)] = n;
+  }
+
+  void run(const analysis::Schedule& sched, Arena& arena) {
+    using analysis::StepKind;
+    for (int i = 0; i < sched.step_count; ++i) {
+      const analysis::Step& s = sched.steps[i];
+      T* dst = wr_[idx(s.dst)];
+      STRASSEN_REQUIRE(dst != nullptr,
+                       "schedule step writes read-only operand "
+                           << analysis::operand_name(s.dst));
+      const std::size_t n = len_[idx(s.dst)];
+      switch (s.kind) {
+        case StepKind::kAdd:
+          blas::vadd(mm_, n, dst, rd_[idx(s.a0)], rd_[idx(s.a1)]);
+          break;
+        case StepKind::kSub:
+          blas::vsub(mm_, n, dst, rd_[idx(s.a0)], rd_[idx(s.a1)]);
+          break;
+        case StepKind::kAddInplace:
+          blas::vadd_inplace(mm_, n, dst, rd_[idx(s.a0)]);
+          break;
+        case StepKind::kSubInplace:
+          blas::vsub_inplace(mm_, n, dst, rd_[idx(s.a0)]);
+          break;
+        case StepKind::kMul:
+          winograd_recurse(mm_, dst, rd_[idx(s.a0)], rd_[idx(s.b0)], tm_, tk_,
+                           tn_, d1_, arena);
+          break;
+        case StepKind::kMulFusedA:
+        case StepKind::kMulFusedB:
+        case StepKind::kMulFusedAB:
+          run_fused(s, dst);
+          break;
+      }
+    }
+  }
+
+ private:
+  static constexpr int idx(analysis::Operand op) {
+    return static_cast<int>(op);
+  }
+
+  // Fused products only exist for the production (RawMem, double)
+  // instantiation at d1 == 0, where operands are single contiguous leaf
+  // tiles; the plain tables selected for every other model never contain
+  // these step kinds.
+  void run_fused(const analysis::Step& s, T* dst) {
+    if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
+      using analysis::StepKind;
+      STRASSEN_REQUIRE(fused_tab_ != nullptr && d1_ == 0,
+                       "fused schedule step outside a fused-capable level");
+      obs::LeafTimer lt(/*fused=*/true);
+      switch (s.kind) {
+        case StepKind::kMulFusedA:
+          fused_tab_->gemm_fused_a(tm_, tn_, tk_, rd_[idx(s.a0)],
+                                   rd_[idx(s.a1)], fused_op(s.asign), tm_,
+                                   rd_[idx(s.b0)], tk_, dst, tm_);
+          break;
+        case StepKind::kMulFusedB:
+          fused_tab_->gemm_fused_b(tm_, tn_, tk_, rd_[idx(s.a0)], tm_,
+                                   rd_[idx(s.b0)], rd_[idx(s.b1)],
+                                   fused_op(s.bsign), tk_, dst, tm_);
+          break;
+        case StepKind::kMulFusedAB:
+          fused_tab_->gemm_fused_ab(tm_, tn_, tk_, rd_[idx(s.a0)],
+                                    rd_[idx(s.a1)], fused_op(s.asign), tm_,
+                                    rd_[idx(s.b0)], rd_[idx(s.b1)],
+                                    fused_op(s.bsign), tk_, dst, tm_);
+          break;
+        default:
+          break;
+      }
+    } else {
+      (void)s;
+      (void)dst;
+      STRASSEN_REQUIRE(false,
+                       "fused schedule step in a non-production instantiation");
+    }
+  }
+
+  MM& mm_;
+  int tm_, tk_, tn_, d1_;
+  const blas::kernels::LeafKernels* fused_tab_;
+  const T* rd_[analysis::kOperandCount];
+  T* wr_[analysis::kOperandCount];
+  std::size_t len_[analysis::kOperandCount];
+};
+
+}  // namespace detail
 
 // C = A * B on Morton blocks.
 //   A: (tm<<depth) x (tk<<depth), leaf tiles tm x tk (column-major)
@@ -66,101 +189,54 @@ void winograd_recurse(MM& mm, T* C, const T* A, const T* B, int tm, int tk,
   const std::size_t qb = static_cast<std::size_t>(tk) * tn * scale;
   const std::size_t qc = static_cast<std::size_t>(tm) * tn * scale;
 
-  // Quadrants in memory order NW, NE, SW, SE == 11, 12, 21, 22.
-  const T* A11 = A;
-  const T* A12 = A + qa;
-  const T* A21 = A + 2 * qa;
-  const T* A22 = A + 3 * qa;
-  const T* B11 = B;
-  const T* B12 = B + qb;
-  const T* B21 = B + 2 * qb;
-  const T* B22 = B + 3 * qb;
-  T* C11 = C;
-  T* C12 = C + qc;
-  T* C21 = C + 2 * qc;
-  T* C22 = C + 3 * qc;
-
-  Arena::Frame frame(arena);
-  T* tS = arena.push<T>(qa);
-  T* tT = arena.push<T>(qb);
-  T* tP = arena.push<T>(qc);
-
-  auto mul = [&](T* dst, const T* a, const T* b) {
-    winograd_recurse(mm, dst, a, b, tm, tk, tn, d1, arena);
-  };
-
-  // At the last level before the leaves, the production engine can fuse the
-  // operand combinations that feed exactly one product into the product
-  // itself (S3/T3 into P5, -T4 into P7, S4 into P6), saving four full passes
-  // over quadrant-sized temporaries per level-1 node.  S1/T1/S2/T2 are still
-  // materialized because the schedule reuses them.  The scalar table
-  // publishes no fused entries, so STRASSEN_KERNEL=scalar (and every traced
-  // MemModel) runs the seed schedule below with its exact rounding and
-  // address stream.
+  // Table selection: the materialized schedule everywhere, except the last
+  // level before the leaves of the production instantiation when the active
+  // kernel table publishes the fused entries (scalar does not, by design:
+  // the materialized table is the seed-exact path).
+  const analysis::Schedule* sched = &analysis::kWinograd;
+  const blas::kernels::LeafKernels* fused_tab = nullptr;
   if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
     if (d1 == 0) {
-      namespace ker = blas::kernels;
-      const ker::LeafKernels& tab = ker::active();
+      const blas::kernels::LeafKernels& tab = blas::kernels::active();
       if (tab.gemm_fused_a != nullptr && tab.gemm_fused_b != nullptr &&
           tab.gemm_fused_ab != nullptr) {
-        using ker::FusedOp;
-        {
-          obs::LeafTimer lt(/*fused=*/true);
-          tab.gemm_fused_ab(tm, tn, tk, A11, A21, FusedOp::kSub, tm,  // P5 =
-                            B22, B12, FusedOp::kSub, tk, C21, tm);    //  S3.T3
-        }
-        blas::vadd(mm, qa, tS, A21, A22);     // S1
-        blas::vsub(mm, qb, tT, B12, B11);     // T1
-        mul(C22, tS, tT);                     // P3 = S1.T1
-        blas::vsub_inplace(mm, qa, tS, A11);  // S2 = S1 - A11
-        blas::vsub(mm, qb, tT, B22, tT);      // T2 = B22 - T1
-        mul(C12, tS, tT);                     // P4 = S2.T2
-        mul(tP, A11, B11);                    // P1
-        blas::vadd_inplace(mm, qc, C12, tP);   // U2 = P1 + P4
-        blas::vadd_inplace(mm, qc, C21, C12);  // U3 = U2 + P5
-        blas::vadd_inplace(mm, qc, C12, C22);  // U6 = U2 + P3
-        blas::vadd_inplace(mm, qc, C22, C21);  // final C22 = U3 + P3
-        {
-          obs::LeafTimer lt(/*fused=*/true);
-          tab.gemm_fused_b(tm, tn, tk, A22, tm, tT, B21,  // -P7 =
-                           FusedOp::kSub, tk, C11, tm);   //  A22.(T2 - B21)
-        }
-        blas::vsub_inplace(mm, qc, C21, C11);  // final C21 = U3 + P7
-        {
-          obs::LeafTimer lt(/*fused=*/true);
-          tab.gemm_fused_a(tm, tn, tk, A12, tS, FusedOp::kSub, tm,  // P6 =
-                           B22, tk, C11, tm);                       //  S4.B22
-        }
-        blas::vadd_inplace(mm, qc, C12, C11);  // final C12 = U6 + P6
-        mul(C11, A12, B21);                    // P2
-        blas::vadd_inplace(mm, qc, C11, tP);   // final C11 = P1 + P2
-        return;
+        sched = &analysis::kWinogradFusedL1;
+        fused_tab = &tab;
       }
     }
   }
 
-  blas::vsub(mm, qa, tS, A11, A21);   // S3
-  blas::vsub(mm, qb, tT, B22, B12);   // T3
-  mul(C21, tS, tT);                   // P5 = S3.T3
-  blas::vadd(mm, qa, tS, A21, A22);   // S1
-  blas::vsub(mm, qb, tT, B12, B11);   // T1
-  mul(C22, tS, tT);                   // P3 = S1.T1
-  blas::vsub_inplace(mm, qa, tS, A11);  // S2 = S1 - A11
-  blas::vsub(mm, qb, tT, B22, tT);      // T2 = B22 - T1
-  mul(C12, tS, tT);                     // P4 = S2.T2
-  blas::vsub(mm, qa, tS, A12, tS);      // S4 = A12 - S2
-  blas::vsub_inplace(mm, qb, tT, B21);  // -T4 = T2 - B21
-  mul(tP, A11, B11);                    // P1
-  blas::vadd_inplace(mm, qc, C12, tP);  // U2 = P1 + P4
-  blas::vadd_inplace(mm, qc, C21, C12); // U3 = U2 + P5
-  blas::vadd_inplace(mm, qc, C12, C22); // U6 = U2 + P3
-  blas::vadd_inplace(mm, qc, C22, C21); // final C22 = U3 + P3
-  mul(C11, A22, tT);                    // -P7 = A22.(T2 - B21)
-  blas::vsub_inplace(mm, qc, C21, C11); // final C21 = U3 + P7
-  mul(C11, tS, B22);                    // P6 = S4.B22
-  blas::vadd_inplace(mm, qc, C12, C11); // final C12 = U6 + P6
-  mul(C11, A12, B21);                   // P2
-  blas::vadd_inplace(mm, qc, C11, tP);  // final C11 = P1 + P2
+  detail::ScheduleInterpreter<MM, T> interp(mm, tm, tk, tn, d1, fused_tab);
+
+  // Quadrants in memory order NW, NE, SW, SE == 11, 12, 21, 22.
+  using analysis::Operand;
+  interp.bind_input(Operand::kA11, A, qa);
+  interp.bind_input(Operand::kA12, A + qa, qa);
+  interp.bind_input(Operand::kA21, A + 2 * qa, qa);
+  interp.bind_input(Operand::kA22, A + 3 * qa, qa);
+  interp.bind_input(Operand::kB11, B, qb);
+  interp.bind_input(Operand::kB12, B + qb, qb);
+  interp.bind_input(Operand::kB21, B + 2 * qb, qb);
+  interp.bind_input(Operand::kB22, B + 3 * qb, qb);
+  interp.bind_output(Operand::kC11, C, qc);
+  interp.bind_output(Operand::kC12, C + qc, qc);
+  interp.bind_output(Operand::kC21, C + 2 * qc, qc);
+  interp.bind_output(Operand::kC22, C + 3 * qc, qc);
+
+  // Temporaries in the schedule's declared allocation order (tS, tT, tP for
+  // the shipped tables -- the seed's exact arena layout and workspace peak;
+  // a future low-memory schedule simply declares fewer).
+  Arena::Frame frame(arena);
+  for (int i = 0; i < sched->temp_count; ++i) {
+    const Operand t = sched->temps[i];
+    const std::size_t n = analysis::shape_of(t) == analysis::Shape::kA ? qa
+                          : analysis::shape_of(t) == analysis::Shape::kB
+                              ? qb
+                              : qc;
+    interp.bind_output(t, arena.push<T>(n), n);
+  }
+
+  interp.run(*sched, arena);
 }
 
 }  // namespace strassen::core

@@ -1,0 +1,422 @@
+// Tests for the symbolic schedule verifier (src/analysis) and for the
+// bit-identity contract of the table-driven recursion (src/core/winograd.hpp).
+//
+// The negative suite mutates the shipped Winograd table one defect at a time
+// -- wrong sign, swapped operands, use of a clobbered value, a dead store, a
+// schedule needing a fourth temporary -- and asserts the verifier rejects
+// each with a step-precise diagnostic.  The bit-identity suite replays the
+// seed library's hard-coded call sequence (embedded below verbatim) and
+// compares every output element with == against the table interpreter, under
+// both the default kernel table (fused level-1 path) and the scalar pin
+// (materialized path).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/schedule.hpp"
+#include "analysis/schedule_verify.hpp"
+#include "blas/kernels.hpp"
+#include "blas/kernels/registry.hpp"
+#include "blas/level1.hpp"
+#include "common/arena.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/winograd.hpp"
+#include "core/workspace.hpp"
+#include "obs/collector.hpp"
+
+namespace strassen::analysis {
+namespace {
+
+using Op = Operand;
+inline constexpr Op A11 = Op::kA11, A12 = Op::kA12, A21 = Op::kA21,
+                    A22 = Op::kA22;
+inline constexpr Op B11 = Op::kB11, B21 = Op::kB21, B22 = Op::kB22;
+inline constexpr Op C11 = Op::kC11;
+inline constexpr Op tS = Op::kTS0, tT = Op::kTT0, tP = Op::kTP0,
+                    tP1 = Op::kTP1;
+
+// A mutable copy of a schedule whose step/temp storage the test owns.
+struct TestSchedule {
+  std::vector<Step> steps;
+  std::vector<Op> temps;
+  Schedule sched;
+
+  explicit TestSchedule(const Schedule& base)
+      : steps(base.steps, base.steps + base.step_count),
+        temps(base.temps, base.temps + base.temp_count),
+        sched(base) {
+    refresh();
+  }
+
+  // Re-point the Schedule at the (possibly resized) vectors.
+  void refresh() {
+    sched.steps = steps.data();
+    sched.step_count = static_cast<int>(steps.size());
+    sched.temps = temps.data();
+    sched.temp_count = static_cast<int>(temps.size());
+  }
+};
+
+std::string joined(const std::vector<std::string>& errors) {
+  std::string all;
+  for (const std::string& e : errors) all += e + "\n";
+  return all;
+}
+
+bool any_error_contains(const std::vector<std::string>& errors,
+                        const std::string& needle) {
+  for (const std::string& e : errors)
+    if (e.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+// ---- positive verification ------------------------------------------------
+
+TEST(ScheduleVerify, ShippedMaterializedTableVerifies) {
+  const VerifyResult r = verify_schedule(kWinograd);
+  EXPECT_TRUE(r.ok) << joined(r.errors);
+  EXPECT_EQ(r.temp_peak, 3);
+  EXPECT_EQ(r.products, 7);
+  EXPECT_EQ(r.fused_products, 0);
+  EXPECT_EQ(r.linear_ops, 15);
+}
+
+TEST(ScheduleVerify, ShippedFusedTableVerifies) {
+  const VerifyResult r = verify_schedule(kWinogradFusedL1);
+  EXPECT_TRUE(r.ok) << joined(r.errors);
+  EXPECT_EQ(r.temp_peak, 3);
+  EXPECT_EQ(r.products, 7);
+  EXPECT_EQ(r.fused_products, 3);
+  EXPECT_EQ(r.linear_ops, 11);
+}
+
+TEST(ScheduleVerify, FusedProductsAlgebraicallyMatchMaterialized) {
+  const std::vector<std::string> errors =
+      check_fused_products(kWinogradFusedL1, kWinograd);
+  EXPECT_TRUE(errors.empty()) << joined(errors);
+}
+
+TEST(ScheduleVerify, ConstexprCoreAgreesWithRuntimeLayer) {
+  // The library TU static_asserts these; re-check here so a test run alone
+  // (without rebuilding the library) still exercises the constexpr core.
+  static_assert(verify_core(kWinograd).violation == Violation::kNone);
+  static_assert(verify_core(kWinogradFusedL1).violation == Violation::kNone);
+  constexpr CoreResult c = verify_core(kWinograd);
+  const VerifyResult r = verify_schedule(kWinograd);
+  EXPECT_EQ(c.temp_peak, r.temp_peak);
+  EXPECT_EQ(c.products, r.products);
+  EXPECT_EQ(c.linear_ops, r.linear_ops);
+}
+
+// ---- negative suite: one defect per mutation ------------------------------
+
+TEST(ScheduleVerifyNegative, WrongSignRejected) {
+  // Flip T3 (step 1) from B22 - B12 to B22 + B12: P5 picks up the wrong
+  // bilinear form, so C21 and C22 miss their targets.
+  TestSchedule t(kWinograd);
+  ASSERT_STREQ(t.steps[1].note, "T3");
+  t.steps[1] = add(tT, B22, Op::kB12, "T3");
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(any_error_contains(r.errors, "C21")) << joined(r.errors);
+  EXPECT_TRUE(any_error_contains(r.errors, "C22")) << joined(r.errors);
+  EXPECT_EQ(verify_core(t.sched).violation, Violation::kProductIdentity);
+}
+
+TEST(ScheduleVerifyNegative, SwappedOperandsRejected) {
+  // Swap S3 (step 0) to A21 - A11: P5 flips sign and the U-chain breaks.
+  TestSchedule t(kWinograd);
+  ASSERT_STREQ(t.steps[0].note, "S3");
+  t.steps[0] = sub(tS, A21, A11, "S3");
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(any_error_contains(r.errors, "C21")) << joined(r.errors);
+  const CoreResult c = verify_core(t.sched);
+  EXPECT_EQ(c.violation, Violation::kProductIdentity);
+}
+
+TEST(ScheduleVerifyNegative, UseBeforeDefinitionRejected) {
+  // Swap P1 (step 11) with U2 (step 12): U2 now reads tP before any step
+  // defined it -- the classic use-after-reorder defect.
+  TestSchedule t(kWinograd);
+  ASSERT_STREQ(t.steps[11].note, "P1");
+  ASSERT_STREQ(t.steps[12].note, "U2");
+  std::swap(t.steps[11], t.steps[12]);
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(any_error_contains(r.errors, "step 11")) << joined(r.errors);
+  EXPECT_TRUE(any_error_contains(r.errors, "tP")) << joined(r.errors);
+  const CoreResult c = verify_core(t.sched);
+  EXPECT_EQ(c.violation, Violation::kReadUndefined);
+  EXPECT_EQ(c.step, 11);
+  EXPECT_EQ(c.operand, tP);
+}
+
+TEST(ScheduleVerifyNegative, ClobberedLiveValueRejectedAsDeadStore) {
+  // Insert a second write to tP right after P1 (step 11): the first P1 value
+  // is clobbered before U2 can read it, so the store at step 11 is dead.
+  TestSchedule t(kWinograd);
+  ASSERT_STREQ(t.steps[11].note, "P1");
+  t.steps.insert(t.steps.begin() + 12, mul(tP, A11, B11, "P1-clobber"));
+  t.refresh();
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(any_error_contains(r.errors, "step 11")) << joined(r.errors);
+  EXPECT_TRUE(any_error_contains(r.errors, "never read")) << joined(r.errors);
+  const CoreResult c = verify_core(t.sched);
+  EXPECT_EQ(c.violation, Violation::kDeadStore);
+  EXPECT_EQ(c.step, 11);
+  EXPECT_EQ(c.operand, tP);
+}
+
+// A 4-temporary variant: compute P2 up front into a second C-shaped
+// temporary and form C11 = P1 + P2 at the end, instead of reusing C11 as
+// scratch.  Algebraically correct -- but four temporaries are live at once.
+TestSchedule four_temp_variant() {
+  TestSchedule t(kWinograd);
+  EXPECT_EQ(t.steps.size(), 22u);
+  t.steps.insert(t.steps.begin(), mul(tP1, A12, B21, "P2"));
+  // Drop the tail that recomputed P2 into C11 (old steps 20/21); the new
+  // final step combines the two product temporaries.
+  t.steps.resize(21);  // new indices 0..20 == P2 + old steps 0..19
+  t.steps.push_back(add(C11, tP, tP1, "U1"));
+  t.temps = {tS, tT, tP, tP1};
+  t.refresh();
+  return t;
+}
+
+TEST(ScheduleVerifyNegative, UnderdeclaredTempPeakRejected) {
+  TestSchedule t = four_temp_variant();
+  t.sched.declared_temp_peak = 3;  // lie: the real peak is 4
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(any_error_contains(r.errors, "live-temporary peak is 4"))
+      << joined(r.errors);
+  EXPECT_EQ(verify_core(t.sched).violation, Violation::kTempPeakMismatch);
+}
+
+TEST(ScheduleVerifyNegative, FourTempScheduleVerifiesWithHonestBound) {
+  // The same table with an honest declaration passes: the verifier measures
+  // and reports the peak of any schedule, it does not hard-code 3.
+  TestSchedule t = four_temp_variant();
+  t.sched.declared_temp_peak = 4;
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_TRUE(r.ok) << joined(r.errors);
+  EXPECT_EQ(r.temp_peak, 4);
+  EXPECT_EQ(r.products, 7);
+}
+
+TEST(ScheduleVerifyNegative, WriteToInputRejected) {
+  TestSchedule t(kWinograd);
+  t.steps[0] = sub(A11, A11, A21, "S3");
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(any_error_contains(r.errors, "A11")) << joined(r.errors);
+  const CoreResult c = verify_core(t.sched);
+  EXPECT_EQ(c.violation, Violation::kWriteToInput);
+  EXPECT_EQ(c.step, 0);
+}
+
+TEST(ScheduleVerifyNegative, UndeclaredTemporaryRejected) {
+  TestSchedule t(kWinograd);
+  t.temps = {tS, tT};  // tP used by P1/U1 but no longer declared
+  t.refresh();
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(any_error_contains(r.errors, "tP")) << joined(r.errors);
+  EXPECT_EQ(verify_core(t.sched).violation, Violation::kUndeclaredTemp);
+}
+
+TEST(ScheduleVerifyNegative, FusedStepInPlainTableRejected) {
+  TestSchedule t(kWinogradFusedL1);
+  t.sched.uses_fused_kernels = false;
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(verify_core(t.sched).violation, Violation::kFusedInPlainTable);
+}
+
+TEST(ScheduleVerifyNegative, EmptyScheduleRejected) {
+  Schedule empty = kWinograd;
+  empty.steps = nullptr;
+  empty.step_count = 0;
+  const VerifyResult r = verify_schedule(empty);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(verify_core(empty).violation, Violation::kEmptySchedule);
+}
+
+TEST(ScheduleVerifyNegative, MutatedFusedProductCaughtAgainstReference) {
+  // Flip the B-side sign of the fused P5: the bilinear form no longer
+  // matches any materialized Winograd product.
+  TestSchedule t(kWinogradFusedL1);
+  ASSERT_STREQ(t.steps[0].note, "P5");
+  t.steps[0] = mul_fused_ab(Op::kC21, A11, Sign::kMinus, A21, B22,
+                            Sign::kPlus, Op::kB12, "P5");
+  const std::vector<std::string> errors =
+      check_fused_products(t.sched, kWinograd);
+  EXPECT_FALSE(errors.empty());
+  EXPECT_TRUE(any_error_contains(errors, "P5")) << joined(errors);
+}
+
+}  // namespace
+}  // namespace strassen::analysis
+
+// ---- bit-identity of the table interpreter vs the seed call sequence ------
+
+namespace strassen::core {
+namespace {
+
+// The seed library's hard-coded recursion, embedded verbatim (modulo the
+// function name).  The table interpreter must reproduce this sequence of
+// kernel calls -- and therefore every output bit -- exactly, on every kernel
+// table.
+template <class MM, class T>
+void seed_winograd_recurse(MM& mm, T* C, const T* A, const T* B, int tm,
+                           int tk, int tn, int depth, Arena& arena) {
+  if (depth == 0) {
+    blas::gemm_leaf(mm, tm, tn, tk, A, tm, B, tk, C, tm,
+                    blas::LeafMode::Overwrite);
+    return;
+  }
+  const int d1 = depth - 1;
+  const std::size_t scale = std::size_t{1} << (2 * d1);
+  const std::size_t qa = static_cast<std::size_t>(tm) * tk * scale;
+  const std::size_t qb = static_cast<std::size_t>(tk) * tn * scale;
+  const std::size_t qc = static_cast<std::size_t>(tm) * tn * scale;
+
+  const T* A11 = A;
+  const T* A12 = A + qa;
+  const T* A21 = A + 2 * qa;
+  const T* A22 = A + 3 * qa;
+  const T* B11 = B;
+  const T* B12 = B + qb;
+  const T* B21 = B + 2 * qb;
+  const T* B22 = B + 3 * qb;
+  T* C11 = C;
+  T* C12 = C + qc;
+  T* C21 = C + 2 * qc;
+  T* C22 = C + 3 * qc;
+
+  Arena::Frame frame(arena);
+  T* tS = arena.push<T>(qa);
+  T* tT = arena.push<T>(qb);
+  T* tP = arena.push<T>(qc);
+
+  auto mul = [&](T* dst, const T* a, const T* b) {
+    seed_winograd_recurse(mm, dst, a, b, tm, tk, tn, d1, arena);
+  };
+
+  if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
+    if (d1 == 0) {
+      namespace ker = blas::kernels;
+      const ker::LeafKernels& tab = ker::active();
+      if (tab.gemm_fused_a != nullptr && tab.gemm_fused_b != nullptr &&
+          tab.gemm_fused_ab != nullptr) {
+        using ker::FusedOp;
+        {
+          obs::LeafTimer lt(/*fused=*/true);
+          tab.gemm_fused_ab(tm, tn, tk, A11, A21, FusedOp::kSub, tm,  // P5 =
+                            B22, B12, FusedOp::kSub, tk, C21, tm);    //  S3.T3
+        }
+        blas::vadd(mm, qa, tS, A21, A22);     // S1
+        blas::vsub(mm, qb, tT, B12, B11);     // T1
+        mul(C22, tS, tT);                     // P3 = S1.T1
+        blas::vsub_inplace(mm, qa, tS, A11);  // S2 = S1 - A11
+        blas::vsub(mm, qb, tT, B22, tT);      // T2 = B22 - T1
+        mul(C12, tS, tT);                     // P4 = S2.T2
+        mul(tP, A11, B11);                    // P1
+        blas::vadd_inplace(mm, qc, C12, tP);   // U2 = P1 + P4
+        blas::vadd_inplace(mm, qc, C21, C12);  // U3 = U2 + P5
+        blas::vadd_inplace(mm, qc, C12, C22);  // U6 = U2 + P3
+        blas::vadd_inplace(mm, qc, C22, C21);  // final C22 = U3 + P3
+        {
+          obs::LeafTimer lt(/*fused=*/true);
+          tab.gemm_fused_b(tm, tn, tk, A22, tm, tT, B21,  // -P7 =
+                           FusedOp::kSub, tk, C11, tm);   //  A22.(T2 - B21)
+        }
+        blas::vsub_inplace(mm, qc, C21, C11);  // final C21 = U3 + P7
+        {
+          obs::LeafTimer lt(/*fused=*/true);
+          tab.gemm_fused_a(tm, tn, tk, A12, tS, FusedOp::kSub, tm,  // P6 =
+                           B22, tk, C11, tm);                       //  S4.B22
+        }
+        blas::vadd_inplace(mm, qc, C12, C11);  // final C12 = U6 + P6
+        mul(C11, A12, B21);                    // P2
+        blas::vadd_inplace(mm, qc, C11, tP);   // final C11 = P1 + P2
+        return;
+      }
+    }
+  }
+
+  blas::vsub(mm, qa, tS, A11, A21);   // S3
+  blas::vsub(mm, qb, tT, B22, B12);   // T3
+  mul(C21, tS, tT);                   // P5 = S3.T3
+  blas::vadd(mm, qa, tS, A21, A22);   // S1
+  blas::vsub(mm, qb, tT, B12, B11);   // T1
+  mul(C22, tS, tT);                   // P3 = S1.T1
+  blas::vsub_inplace(mm, qa, tS, A11);  // S2 = S1 - A11
+  blas::vsub(mm, qb, tT, B22, tT);      // T2 = B22 - T1
+  mul(C12, tS, tT);                     // P4 = S2.T2
+  blas::vsub(mm, qa, tS, A12, tS);      // S4 = A12 - S2
+  blas::vsub_inplace(mm, qb, tT, B21);  // -T4 = T2 - B21
+  mul(tP, A11, B11);                    // P1
+  blas::vadd_inplace(mm, qc, C12, tP);  // U2 = P1 + P4
+  blas::vadd_inplace(mm, qc, C21, C12); // U3 = U2 + P5
+  blas::vadd_inplace(mm, qc, C12, C22); // U6 = U2 + P3
+  blas::vadd_inplace(mm, qc, C22, C21); // final C22 = U3 + P3
+  mul(C11, A22, tT);                    // -P7 = A22.(T2 - B21)
+  blas::vsub_inplace(mm, qc, C21, C11); // final C21 = U3 + P7
+  mul(C11, tS, B22);                    // P6 = S4.B22
+  blas::vadd_inplace(mm, qc, C12, C11); // final C12 = U6 + P6
+  mul(C11, A12, B21);                   // P2
+  blas::vadd_inplace(mm, qc, C11, tP);  // final C11 = P1 + P2
+}
+
+// Real-valued (non-integer) operands so any reordering or re-association in
+// the interpreter would change rounding and break the == comparison.
+void expect_bit_identical(int tm, int tk, int tn, int depth,
+                          std::uint64_t seed) {
+  const int m = tm << depth, k = tk << depth, n = tn << depth;
+  Rng rng(seed);
+  std::vector<double> Am(static_cast<std::size_t>(m) * k);
+  std::vector<double> Bm(static_cast<std::size_t>(k) * n);
+  std::vector<double> Cseed(static_cast<std::size_t>(m) * n, -1.0);
+  std::vector<double> Ctable(static_cast<std::size_t>(m) * n, -2.0);
+  rng.fill_uniform(Am);
+  rng.fill_uniform(Bm);
+
+  RawMem mm;
+  {
+    Arena arena(winograd_workspace_bytes(tm, tk, tn, depth, sizeof(double)));
+    seed_winograd_recurse(mm, Cseed.data(), Am.data(), Bm.data(), tm, tk, tn,
+                          depth, arena);
+  }
+  {
+    Arena arena(winograd_workspace_bytes(tm, tk, tn, depth, sizeof(double)));
+    winograd_recurse(mm, Ctable.data(), Am.data(), Bm.data(), tm, tk, tn,
+                     depth, arena);
+  }
+  EXPECT_EQ(std::memcmp(Cseed.data(), Ctable.data(),
+                        Cseed.size() * sizeof(double)),
+            0)
+      << "tm=" << tm << " tk=" << tk << " tn=" << tn << " depth=" << depth
+      << " kernel=" << blas::kernels::kind_name(blas::kernels::active_kernel());
+}
+
+TEST(ScheduleBitIdentity, TableMatchesSeedSequenceDefaultKernel) {
+  expect_bit_identical(4, 4, 4, 1, 11);
+  expect_bit_identical(3, 5, 7, 2, 12);
+  expect_bit_identical(8, 6, 4, 3, 13);
+}
+
+TEST(ScheduleBitIdentity, TableMatchesSeedSequenceScalarPin) {
+  blas::kernels::ScopedKernel pin(blas::kernels::Kind::kScalar);
+  expect_bit_identical(4, 4, 4, 1, 21);
+  expect_bit_identical(3, 5, 7, 2, 22);
+  expect_bit_identical(8, 6, 4, 3, 23);
+}
+
+}  // namespace
+}  // namespace strassen::core

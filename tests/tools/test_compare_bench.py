@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Tests for tools/compare_bench.py (stdlib only, registered with ctest).
+
+Builds synthetic baseline/current BENCH_kernels.json pairs and checks the
+exit-code contract: 0 when every normalized ratio is within tolerance, 1 on
+a >tolerance regression, 2 when the baseline has no comparable points.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = pathlib.Path(__file__).resolve().parents[2] / "tools" / "compare_bench.py"
+
+
+def bench_json(points):
+    """points: iterable of (kernel, tile, gflops)."""
+    return {"results": [{"kernel": k, "tile": t, "gflops": g}
+                        for k, t, g in points]}
+
+
+class CompareBenchTest(unittest.TestCase):
+    def run_tool(self, baseline, current, extra=()):
+        with tempfile.TemporaryDirectory() as d:
+            bpath = pathlib.Path(d) / "baseline.json"
+            cpath = pathlib.Path(d) / "current.json"
+            bpath.write_text(json.dumps(baseline))
+            cpath.write_text(json.dumps(current))
+            proc = subprocess.run(
+                [sys.executable, str(TOOL), "--baseline", str(bpath),
+                 "--current", str(cpath), *extra],
+                capture_output=True, text=True)
+        return proc
+
+    def test_identical_runs_pass(self):
+        data = bench_json([("scalar", 8, 2.0), ("avx2", 8, 8.0),
+                           ("scalar", 32, 3.0), ("avx2", 32, 15.0)])
+        proc = self.run_tool(data, data)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("within tolerance", proc.stdout)
+
+    def test_small_drop_within_tolerance_passes(self):
+        baseline = bench_json([("scalar", 8, 2.0), ("avx2", 8, 8.0)])
+        # Ratio drops from 4.0x to 3.6x: a 10% regression, under the 15%
+        # default tolerance.
+        current = bench_json([("scalar", 8, 2.0), ("avx2", 8, 7.2)])
+        proc = self.run_tool(baseline, current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_large_regression_fails(self):
+        baseline = bench_json([("scalar", 8, 2.0), ("avx2", 8, 8.0)])
+        # Ratio drops from 4.0x to 3.0x: a 25% regression.
+        current = bench_json([("scalar", 8, 2.0), ("avx2", 8, 6.0)])
+        proc = self.run_tool(baseline, current)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_machine_speed_is_normalized_away(self):
+        # The current "machine" is 3x faster across the board: every raw
+        # number changed, every ratio is identical, so the gate passes.
+        baseline = bench_json([("scalar", 8, 2.0), ("avx2", 8, 8.0)])
+        current = bench_json([("scalar", 8, 6.0), ("avx2", 8, 24.0)])
+        proc = self.run_tool(baseline, current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_missing_point_is_skipped_not_failed(self):
+        baseline = bench_json([("scalar", 8, 2.0), ("avx2", 8, 8.0),
+                               ("neon", 8, 6.0)])
+        current = bench_json([("scalar", 8, 2.0), ("avx2", 8, 8.0)])
+        proc = self.run_tool(baseline, current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("skipped", proc.stdout)
+
+    def test_empty_baseline_is_usage_error(self):
+        baseline = bench_json([("scalar", 8, 2.0)])  # nothing to normalize
+        current = bench_json([("scalar", 8, 2.0), ("avx2", 8, 8.0)])
+        proc = self.run_tool(baseline, current)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_custom_tolerance(self):
+        baseline = bench_json([("scalar", 8, 2.0), ("avx2", 8, 8.0)])
+        current = bench_json([("scalar", 8, 2.0), ("avx2", 8, 7.2)])  # -10%
+        proc = self.run_tool(baseline, current, extra=("--tolerance", "0.05"))
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Tests for tools/validate_report_schema.py (stdlib only, ctest-registered).
+
+Feeds the validator a conforming strassen.gemm_report.v2 report and a series
+of malformed ones (missing key, extra key, retyped value, wrong enum, bool
+masquerading as int) and checks the exit-code contract: 0 for conforming
+input, 1 for invalid reports, 2 for usage errors.
+"""
+
+import copy
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = (pathlib.Path(__file__).resolve().parents[2] / "tools"
+        / "validate_report_schema.py")
+
+
+def valid_report():
+    return {
+        "schema": "strassen.gemm_report.v2",
+        "call": {"entry": "modgemm", "m": 256, "n": 256, "k": 256},
+        "phases": {"wall_s": 0.01, "convert_in_s": 0.001, "compute_s": 0.008,
+                   "leaf_s": 0.006, "convert_out_s": 0.001,
+                   "conversion_fraction": 0.2},
+        "plan": {"direct": False, "split": False, "products": 7,
+                 "planned_depth": 1, "depth": 1, "tile_m": 128, "tile_k": 128,
+                 "tile_n": 128, "padded_m": 256, "padded_k": 256,
+                 "padded_n": 256, "pad_elems": 0},
+        "workspace": {"requested_bytes": 1 << 20, "peak_bytes": 1 << 20,
+                      "allocations": 3, "fallback": "none"},
+        "kernels": {"active": "avx2", "variant": "kernel8x4",
+                    "leaf_calls": 7, "fused_calls": 3,
+                    "elementwise_calls": 11},
+        "parallel": {"used": False, "threads": 1, "spawn_levels": 0,
+                     "tasks": 0, "steals": 0, "task_busy_s": 0.0,
+                     "utilization": 0.0, "per_thread_tasks": [0]},
+    }
+
+
+class ValidateReportSchemaTest(unittest.TestCase):
+    def run_tool(self, *reports, raw=None):
+        with tempfile.TemporaryDirectory() as d:
+            path = pathlib.Path(d) / "report.jsonl"
+            if raw is not None:
+                path.write_text(raw)
+            else:
+                path.write_text(
+                    "".join(json.dumps(r) + "\n" for r in reports))
+            proc = subprocess.run([sys.executable, str(TOOL), str(path)],
+                                  capture_output=True, text=True)
+        return proc
+
+    def test_valid_report_passes(self):
+        proc = self.run_tool(valid_report())
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("OK", proc.stdout)
+
+    def test_multiple_valid_jsonl_lines_pass(self):
+        proc = self.run_tool(valid_report(), valid_report())
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("2 report(s)", proc.stdout)
+
+    def test_missing_key_fails(self):
+        report = valid_report()
+        del report["parallel"]["steals"]
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("parallel", proc.stdout)
+
+    def test_extra_key_fails(self):
+        report = valid_report()
+        report["kernels"]["surprise"] = 1
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+
+    def test_retyped_value_fails(self):
+        report = valid_report()
+        report["plan"]["depth"] = "1"  # string where int is required
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("plan.depth", proc.stdout)
+
+    def test_bool_is_not_an_int(self):
+        report = valid_report()
+        report["call"]["m"] = True  # bool passes isinstance(int) in Python
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+
+    def test_unknown_enum_value_fails(self):
+        report = valid_report()
+        report["workspace"]["fallback"] = "wing-it"
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+
+    def test_wrong_schema_id_fails(self):
+        report = valid_report()
+        report["schema"] = "strassen.gemm_report.v1"
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+
+    def test_one_bad_line_fails_file_with_count(self):
+        good, bad = valid_report(), copy.deepcopy(valid_report())
+        del bad["phases"]["wall_s"]
+        proc = self.run_tool(good, bad)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("1 invalid of 2", proc.stdout)
+
+    def test_truncated_json_fails(self):
+        proc = self.run_tool(raw='{"schema": "strassen.gemm_report.v2", ')
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+
+    def test_no_arguments_is_usage_error(self):
+        proc = subprocess.run([sys.executable, str(TOOL)],
+                              capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
