@@ -201,7 +201,61 @@ struct Schedule {
   // publishes the fused entries, and only verifiable against a materialized
   // reference.
   bool uses_fused_kernels;
+  // True when the table overwrites A/B quadrant slots (the Boyer-Dumas-
+  // Pernet-Zhou in-place family).  Only executable on operand copies the
+  // caller owns -- the Morton-staged quadrants -- never on user matrices,
+  // and only at the TOP level of a recursion: a child running this table
+  // would clobber parent operands that are still live.
+  bool overwrites_inputs = false;
+  // True when the table computes C += A.B instead of C = A.B: the C
+  // quadrants' initial values are inputs the verifier must prove survive
+  // into the result (and nowhere else).
+  bool accumulates_c = false;
+  // Optional arena-buffer sharing: temp_buffer[i] is the dense buffer id
+  // backing temps[i].  Temps mapped to one id share a single allocation
+  // sized for the larger shape; the verifier proves their live ranges are
+  // disjoint.  nullptr = identity mapping (each temp gets its own buffer).
+  const std::int8_t* temp_buffer = nullptr;
 };
+
+// Buffer id backing temps[i]: the declared mapping, or i itself.
+constexpr int temp_buffer_id(const Schedule& s, int i) {
+  return s.temp_buffer != nullptr ? s.temp_buffer[i] : i;
+}
+
+// Number of distinct arena buffers the schedule's temporaries occupy.
+constexpr int temp_buffer_count(const Schedule& s) {
+  int max_id = -1;
+  for (int i = 0; i < s.temp_count; ++i)
+    if (temp_buffer_id(s, i) > max_id) max_id = temp_buffer_id(s, i);
+  return max_id + 1;
+}
+
+// ---- schedule families ----------------------------------------------------
+
+// Planner-facing grouping of the shipped tables.  The family -- not an
+// individual table -- is what ModgemmOptions::schedule / STRASSEN_SCHEDULE
+// pin and what the degradation ladder swaps between: within a family the
+// recursion still picks per level (e.g. the fused level-1 table inside
+// kWinograd).  kAuto defers the choice to the planner, which prefers the
+// default family and degrades to the smaller-footprint ones only when
+// max_workspace_bytes forces it.
+enum class ScheduleFamily : std::uint8_t {
+  kAuto = 0,
+  kWinograd,  // 3-temp paper schedule (+ fused L1): the bit-exact default
+  kLowMem,    // 2-buffer Boyer-Dumas-Pernet-Zhou variant (tS/tP share)
+  kInPlace,   // top level overwrites the Morton A/B copies; 1 temp
+};
+
+constexpr const char* family_name(ScheduleFamily f) {
+  switch (f) {
+    case ScheduleFamily::kAuto: return "auto";
+    case ScheduleFamily::kWinograd: return "winograd";
+    case ScheduleFamily::kLowMem: return "winograd-lowmem";
+    case ScheduleFamily::kInPlace: return "winograd-inplace";
+  }
+  return "unknown";
+}
 
 namespace detail {
 
@@ -278,6 +332,126 @@ inline constexpr Step kWinogradFusedL1Steps[] = {
 // table-driven recursion reproduces the seed's exact workspace layout.
 inline constexpr Operand kWinogradTemps[] = {tS, tT, tP};
 
+// ---- low-memory family (Boyer-Dumas-Pernet-Zhou) --------------------------
+//
+// The 2-buffer schedule.  BDPZ's literal 2-temp table reuses one temporary
+// across shapes (their X starts A-shaped and ends C-shaped), which this
+// engine's shape typing forbids; the same memory bound is reached instead by
+// declaring tS and tP but mapping both onto ONE arena buffer (temp_buffer
+// {0, 1, 0}, sized max of the two shapes) -- legal because their live ranges
+// are disjoint: tS dies at P6 (step 11) before tP is born at P1 (step 12),
+// which the verifier proves.  Products are ordered so every P lands either
+// directly in its C quadrant or in C11-as-scratch; per level this needs
+// max(qa, qc) + qb temporary elements instead of qa + qb + qc.
+inline constexpr Step kWinogradLowMemSteps[] = {
+    sub(tS, A11, A21, "S3"),        // tS  = A11 - A21
+    sub(tT, B22, B12, "T3"),        // tT  = B22 - B12
+    mul(C21, tS, tT, "P5"),         // C21 = S3 . T3
+    add(tS, A21, A22, "S1"),        // tS  = A21 + A22
+    sub(tT, B12, B11, "T1"),        // tT  = B12 - B11
+    mul(C22, tS, tT, "P3"),         // C22 = S1 . T1
+    sub_ip(tS, A11, "S2"),          // tS  = S1 - A11
+    sub(tT, B22, tT, "T2"),         // tT  = B22 - T1
+    mul(C12, tS, tT, "P4"),         // C12 = S2 . T2
+    sub(tS, A12, tS, "S4"),         // tS  = A12 - S2
+    mul(C11, tS, B22, "P6"),        // C11 = S4 . B22   [tS dies here]
+    mul(tP, A11, B11, "P1"),        // tP  = A11 . B11  [reuses tS's buffer]
+    add_ip(C12, tP, "U2"),          // C12 = P1 + P4
+    add_ip(C21, C12, "U3"),         // C21 = U2 + P5
+    add_ip(C12, C22, "U6"),         // C12 = U2 + P3
+    add_ip(C22, C21, "U5"),         // C22 = U3 + P3       [final C22]
+    add_ip(C12, C11, "U7"),         // C12 = U6 + P6       [final C12]
+    sub_ip(tT, B21, "-T4"),         // tT  = T2 - B21
+    mul(C11, A22, tT, "-P7"),       // C11 = A22 . (T2 - B21)
+    sub_ip(C21, C11, "U4"),         // C21 = U3 + P7       [final C21]
+    mul(C11, A12, B21, "P2"),       // C11 = A12 . B21
+    add_ip(C11, tP, "U1"),          // C11 = P1 + P2       [final C11]
+};
+
+// tS and tP share arena buffer 0 (sized for the larger of the A/C shapes);
+// tT owns buffer 1.
+inline constexpr std::int8_t kWinogradLowMemBuffers[] = {0, 1, 0};
+
+// The in-place schedule: the S/T operand sums overwrite the A/B quadrant
+// slots themselves, leaving a single C-shaped temporary (tP).  Every
+// element-wise write aliases its source slot EXACTLY (the level-1 alias
+// contract), and two algebraic identities eliminate the reads the paper's
+// ordering would need after a clobber:
+//
+//   S3 = A11 - A21 = A22 - S2        (since S2 = A21 + A22 - A11)
+//   T3 = B22 - B12 = T2 - B11        (since T2 = B22 - B12 + B11)
+//
+// so S3/T3 are formed FROM the clobbered slots.  A22 and B22 are never
+// overwritten (they are read last).  Per level this needs qc temporary
+// elements -- but only at the TOP of a recursion: a child running this
+// table would destroy parent operands that are still live, so children run
+// kWinogradLowMem (core/winograd.hpp enforces this).
+inline constexpr Step kWinogradInPlaceSteps[] = {
+    mul(tP, A11, B11, "P1"),        // tP  = A11 . B11
+    mul(C11, A12, B21, "P2"),       // C11 = A12 . B21
+    add_ip(C11, tP, "U1"),          // C11 = P1 + P2       [final C11]
+    add(A21, A21, A22, "S1"),       // A21 <- S1 = A21 + A22
+    sub(A11, A21, A11, "S2"),       // A11 <- S2 = S1 - A11
+    sub(B12, B12, B11, "T1"),       // B12 <- T1 = B12 - B11
+    mul(C22, A21, B12, "P3"),       // C22 = S1 . T1
+    sub(B12, B22, B12, "T2"),       // B12 <- T2 = B22 - T1
+    mul(C12, A11, B12, "P4"),       // C12 = S2 . T2
+    add_ip(C12, tP, "U2"),          // C12 = P1 + P4       [tP dies here]
+    sub(A12, A12, A11, "S4"),       // A12 <- S4 = A12 - S2
+    sub(A11, A22, A11, "S3"),       // A11 <- S3 = A22 - S2
+    sub(B11, B12, B11, "T3"),       // B11 <- T3 = T2 - B11
+    mul(C21, A11, B11, "P5"),       // C21 = S3 . T3
+    add_ip(C21, C12, "U3"),         // C21 = U2 + P5
+    add_ip(C12, C22, "U6"),         // C12 = U2 + P3
+    add_ip(C22, C21, "U5"),         // C22 = U3 + P3       [final C22]
+    sub(B21, B12, B21, "-T4"),      // B21 <- T2 - B21
+    mul(tP, A22, B21, "-P7"),       // tP  = A22 . (T2 - B21)
+    sub_ip(C21, tP, "U4"),          // C21 = U3 + P7       [final C21]
+    mul(tP, A12, B22, "P6"),        // tP  = S4 . B22
+    add_ip(C12, tP, "U7"),          // C12 = U6 + P6       [final C12]
+};
+
+inline constexpr Operand kWinogradInPlaceTemps[] = {tP};
+
+// The accumulating schedule: C += A . B with the C quadrants' INITIAL
+// values live throughout (the split path's k-chunk chains use this to skip
+// the separate beta pass and the per-chunk C buffer).  Every product lands
+// in tP and is combined into its targets with in-place adds, so no C
+// quadrant is ever overwritten -- only accumulated into.  Same three
+// temporaries as the default schedule (the saving is the C pass and the
+// extra Morton C buffer, not the per-level temporaries).
+inline constexpr Step kWinogradAccumSteps[] = {
+    sub(tS, A11, A21, "S3"),        // tS  = A11 - A21
+    sub(tT, B22, B12, "T3"),        // tT  = B22 - B12
+    mul(tP, tS, tT, "P5"),          // tP  = S3 . T3
+    add_ip(C21, tP, "C21+=P5"),
+    add_ip(C22, tP, "C22+=P5"),
+    add(tS, A21, A22, "S1"),        // tS  = A21 + A22
+    sub(tT, B12, B11, "T1"),        // tT  = B12 - B11
+    mul(tP, tS, tT, "P3"),          // tP  = S1 . T1
+    add_ip(C22, tP, "C22+=P3"),
+    add_ip(C12, tP, "C12+=P3"),
+    sub_ip(tS, A11, "S2"),          // tS  = S1 - A11
+    sub(tT, B22, tT, "T2"),         // tT  = B22 - T1
+    mul(tP, tS, tT, "P4"),          // tP  = S2 . T2
+    add_ip(C12, tP, "C12+=P4"),
+    add_ip(C21, tP, "C21+=P4"),
+    add_ip(C22, tP, "C22+=P4"),
+    sub(tS, A12, tS, "S4"),         // tS  = A12 - S2
+    mul(tP, tS, B22, "P6"),         // tP  = S4 . B22
+    add_ip(C12, tP, "C12+=P6"),
+    sub_ip(tT, B21, "-T4"),         // tT  = T2 - B21
+    mul(tP, A22, tT, "-P7"),        // tP  = A22 . (T2 - B21)
+    sub_ip(C21, tP, "C21-=P7"),
+    mul(tP, A11, B11, "P1"),        // tP  = A11 . B11
+    add_ip(C11, tP, "C11+=P1"),
+    add_ip(C12, tP, "C12+=P1"),
+    add_ip(C21, tP, "C21+=P1"),
+    add_ip(C22, tP, "C22+=P1"),
+    mul(tP, A12, B21, "P2"),        // tP  = A12 . B21
+    add_ip(C11, tP, "C11+=P2"),     //                      [final C11]
+};
+
 }  // namespace detail
 
 // The production Winograd schedule (every level; sole schedule for the
@@ -304,9 +478,51 @@ inline constexpr Schedule kWinogradFusedL1{
     /*uses_fused_kernels=*/true,
 };
 
+// The 2-buffer low-memory schedule (ScheduleFamily::kLowMem): tS and tP
+// share one arena buffer, proved disjoint-liveness by the verifier.
+inline constexpr Schedule kWinogradLowMem{
+    "winograd-lowmem",
+    detail::kWinogradLowMemSteps,
+    static_cast<int>(sizeof(detail::kWinogradLowMemSteps) / sizeof(Step)),
+    detail::kWinogradTemps,
+    static_cast<int>(sizeof(detail::kWinogradTemps) / sizeof(Operand)),
+    /*declared_temp_peak=*/2,
+    /*uses_fused_kernels=*/false,
+    /*overwrites_inputs=*/false,
+    /*accumulates_c=*/false,
+    detail::kWinogradLowMemBuffers,
+};
+
+// The in-place schedule (ScheduleFamily::kInPlace, top level only):
+// overwrites the Morton A/B copies, one C-shaped temporary.
+inline constexpr Schedule kWinogradInPlace{
+    "winograd-inplace",
+    detail::kWinogradInPlaceSteps,
+    static_cast<int>(sizeof(detail::kWinogradInPlaceSteps) / sizeof(Step)),
+    detail::kWinogradInPlaceTemps,
+    static_cast<int>(sizeof(detail::kWinogradInPlaceTemps) / sizeof(Operand)),
+    /*declared_temp_peak=*/1,
+    /*uses_fused_kernels=*/false,
+    /*overwrites_inputs=*/true,
+};
+
+// The accumulating schedule (C += A.B; split-path k-chunk fusion).
+inline constexpr Schedule kWinogradAccum{
+    "winograd-accum",
+    detail::kWinogradAccumSteps,
+    static_cast<int>(sizeof(detail::kWinogradAccumSteps) / sizeof(Step)),
+    detail::kWinogradTemps,
+    static_cast<int>(sizeof(detail::kWinogradTemps) / sizeof(Operand)),
+    /*declared_temp_peak=*/3,
+    /*uses_fused_kernels=*/false,
+    /*overwrites_inputs=*/false,
+    /*accumulates_c=*/true,
+};
+
 // All shipped schedules, for the verifier CLI and tests.
-inline constexpr const Schedule* kShippedSchedules[] = {&kWinograd,
-                                                        &kWinogradFusedL1};
-inline constexpr int kShippedScheduleCount = 2;
+inline constexpr const Schedule* kShippedSchedules[] = {
+    &kWinograd, &kWinogradFusedL1, &kWinogradLowMem, &kWinogradInPlace,
+    &kWinogradAccum};
+inline constexpr int kShippedScheduleCount = 5;
 
 }  // namespace strassen::analysis

@@ -27,6 +27,30 @@ static_assert(verify_core(kWinogradFusedL1).temp_peak == 3 &&
                   verify_core(kWinogradFusedL1).linear_ops == 11,
               "shipped fused level-1 schedule must be 7 products (3 fused) "
               "+ 11 additions with a 3-temporary peak");
+static_assert(verify_core(kWinogradLowMem).violation == Violation::kNone,
+              "shipped low-memory schedule failed symbolic verification");
+static_assert(verify_core(kWinogradLowMem).temp_peak == 2 &&
+                  verify_core(kWinogradLowMem).products == 7 &&
+                  verify_core(kWinogradLowMem).linear_ops == 15,
+              "shipped low-memory schedule must be 7 products + 15 additions "
+              "with a 2-temporary peak (Boyer-Dumas-Pernet-Zhou bound)");
+static_assert(temp_buffer_count(kWinogradLowMem) == 2,
+              "shipped low-memory schedule must occupy exactly 2 arena "
+              "buffers (tS/tP share one)");
+static_assert(verify_core(kWinogradInPlace).violation == Violation::kNone,
+              "shipped in-place schedule failed symbolic verification");
+static_assert(verify_core(kWinogradInPlace).temp_peak == 1 &&
+                  verify_core(kWinogradInPlace).products == 7 &&
+                  verify_core(kWinogradInPlace).linear_ops == 15,
+              "shipped in-place schedule must be 7 products + 15 additions "
+              "with a single C-shaped temporary");
+static_assert(verify_core(kWinogradAccum).violation == Violation::kNone,
+              "shipped accumulating schedule failed symbolic verification");
+static_assert(verify_core(kWinogradAccum).temp_peak == 3 &&
+                  verify_core(kWinogradAccum).products == 7 &&
+                  verify_core(kWinogradAccum).linear_ops == 22,
+              "shipped accumulating schedule must be 7 products + 22 "
+              "additions with a 3-temporary peak");
 
 namespace {
 
@@ -85,8 +109,10 @@ std::string step_render(const Step& s) {
 // read contributes zero coefficients, a skipped malformed step leaves its
 // destination untouched.
 SymState forward_diagnose(const Schedule& sched,
-                          std::vector<std::string>& errors) {
-  SymState st = detail::initial_state();
+                          std::vector<std::string>& errors,
+                          int last_writer[kOperandCount]) {
+  SymState st = detail::initial_state(sched.accumulates_c);
+  for (int i = 0; i < kOperandCount; ++i) last_writer[i] = -1;
   for (int i = 0; i < sched.step_count; ++i) {
     const Step& s = sched.steps[i];
     Operand bad = Operand::kNone;
@@ -99,11 +125,12 @@ SymState forward_diagnose(const Schedule& sched,
       errors.push_back(os.str());
       continue;  // malformed: cannot execute symbolically
     }
-    if (is_input(s.dst)) {
+    if (is_input(s.dst) && !sched.overwrites_inputs) {
       std::ostringstream os;
       os << step_label(sched, i) << ": writes input quadrant "
          << operand_name(s.dst) << " ('" << step_render(s)
-         << "'); A/B quadrants are read-only";
+         << "'); A/B quadrants are read-only in a table not marked "
+            "overwrites_inputs";
       errors.push_back(os.str());
       continue;
     }
@@ -149,8 +176,28 @@ SymState forward_diagnose(const Schedule& sched,
       errors.push_back(os.str());
     }
     detail::sym_apply(s, st);
+    last_writer[static_cast<int>(s.dst)] = i;
   }
   return st;
+}
+
+// Renders a C-shaped slot's initial-C contribution, e.g. "+C11(initial)".
+std::string cin_to_string(const Lin& l) {
+  std::ostringstream os;
+  bool any = false;
+  for (int i = 0; i < 4; ++i) {
+    const int k = l.c[i];
+    if (k == 0) continue;
+    if (any) os << " ";
+    os << (k > 0 ? "+" : "-");
+    if (k != 1 && k != -1) os << (k > 0 ? k : -k) << "*";
+    os << operand_name(
+              static_cast<Operand>(static_cast<int>(Operand::kC11) + i))
+       << "(initial)";
+    any = true;
+  }
+  if (!any) os << "0";
+  return os.str();
 }
 
 }  // namespace
@@ -183,7 +230,8 @@ VerifyResult verify_schedule(const Schedule& sched) {
     out.errors.push_back("schedule has no steps");
     return out;
   }
-  const SymState st = forward_diagnose(sched, out.errors);
+  int last_writer[kOperandCount];
+  const SymState st = forward_diagnose(sched, out.errors, last_writer);
 
   {
     Operand dead = Operand::kNone;
@@ -214,21 +262,57 @@ VerifyResult verify_schedule(const Schedule& sched) {
       continue;
     }
     const Bilinear want = c_target(c);
+    const int w = last_writer[static_cast<int>(c)];
     if (!(v.bil == want)) {
       std::ostringstream os;
-      os << "product identity fails for " << operand_name(c) << ": computed "
+      os << "product identity fails for " << operand_name(c)
+         << " (last written at " << step_label(sched, w) << "): computed "
          << bilinear_to_string(v.bil) << ", expected "
          << bilinear_to_string(want);
       out.errors.push_back(os.str());
     }
+    Lin want_cin{};
+    if (sched.accumulates_c)
+      want_cin.c[static_cast<int>(c) - static_cast<int>(Operand::kC11)] = 1;
+    if (!(v.cin == want_cin)) {
+      std::ostringstream os;
+      os << "initial-value identity fails for " << operand_name(c)
+         << " (last written at " << step_label(sched, w) << "): carries "
+         << cin_to_string(v.cin) << ", expected " << cin_to_string(want_cin)
+         << (sched.accumulates_c
+                 ? " -- an accumulating table must add onto every C "
+                   "quadrant's initial value exactly once"
+                 : " -- an overwriting table must not leak initial C values");
+      out.errors.push_back(os.str());
+    }
   }
 
-  out.temp_peak = detail::live_temp_peak(sched);
+  int peak_step = -1;
+  out.temp_peak = detail::live_temp_peak(sched, &peak_step);
   if (out.temp_peak != sched.declared_temp_peak) {
     std::ostringstream os;
-    os << "live-temporary peak is " << out.temp_peak
-       << " but the schedule declares " << sched.declared_temp_peak;
+    os << "live-temporary peak is " << out.temp_peak << " (first reached at "
+       << step_label(sched, peak_step) << ") but the schedule declares "
+       << sched.declared_temp_peak;
     out.errors.push_back(os.str());
+  }
+
+  {
+    int bstep = -1;
+    Operand bop = Operand::kNone;
+    const Violation bv = detail::check_temp_buffers(sched, &bstep, &bop);
+    if (bv == Violation::kBadTempBuffer) {
+      std::ostringstream os;
+      os << "temp_buffer maps " << operand_name(bop)
+         << " to a buffer id outside [0, " << sched.temp_count << ")";
+      out.errors.push_back(os.str());
+    } else if (bv == Violation::kSharedTempOverlap) {
+      std::ostringstream os;
+      os << step_label(sched, bstep) << ": temporary " << operand_name(bop)
+         << " shares an arena buffer with another temporary that is still "
+            "live here -- shared-buffer temps must have disjoint live ranges";
+      out.errors.push_back(os.str());
+    }
   }
 
   for (int i = 0; i < sched.step_count; ++i) {

@@ -55,11 +55,17 @@ struct Bilinear {
   constexpr bool operator==(const Bilinear&) const = default;
 };
 
-// One slot's symbolic value; `defined` gates every read.
+// One slot's symbolic value; `defined` gates every read.  C-shaped slots
+// additionally carry `cin`: a linear combination over the INITIAL values of
+// the four C quadrants (index 0..3 = C11,C12,C21,C22), which is how the
+// verifier proves accumulating schedules -- a final C quadrant must carry
+// exactly its own initial value (unit cin) in accumulating tables and none
+// at all in overwriting ones.
 struct SymValue {
   bool defined = false;
   Lin lin{};       // meaningful for A-/B-shaped slots
   Bilinear bil{};  // meaningful for C-shaped slots
+  Lin cin{};       // initial-C contribution; meaningful for C-shaped slots
 };
 
 struct SymState {
@@ -96,6 +102,10 @@ enum class Violation : std::uint8_t {
   kProductIdentity,    // final C quadrant differs from its target
   kOutputUndefined,    // a C quadrant is never written
   kTempPeakMismatch,   // live-temporary peak != declared_temp_peak
+  kBadTempBuffer,      // temp_buffer id out of range [0, temp_count)
+  kSharedTempOverlap,  // temps sharing one arena buffer simultaneously live
+  kAccumClobber,       // accumulating table loses a C quadrant's initial
+                       // value (or a plain table leaks one in)
 };
 
 constexpr const char* violation_name(Violation v) {
@@ -113,6 +123,9 @@ constexpr const char* violation_name(Violation v) {
     case Violation::kProductIdentity: return "product-identity";
     case Violation::kOutputUndefined: return "output-undefined";
     case Violation::kTempPeakMismatch: return "temp-peak-mismatch";
+    case Violation::kBadTempBuffer: return "bad-temp-buffer";
+    case Violation::kSharedTempOverlap: return "shared-temp-overlap";
+    case Violation::kAccumClobber: return "accum-clobber";
   }
   return "unknown";
 }
@@ -125,6 +138,7 @@ struct CoreResult {
   int step = -1;
   Operand operand = Operand::kNone;
   int temp_peak = 0;    // live-temporary peak (valid when no violation)
+  int temp_peak_step = -1;  // first step whose entry point carries the peak
   int products = 0;     // product steps (7 for one Winograd level)
   int fused_products = 0;
   int linear_ops = 0;   // element-wise steps (15 materialized / 11 fused)
@@ -241,6 +255,7 @@ constexpr void sym_apply(const Step& s, SymState& st) {
   const int d = static_cast<int>(s.dst);
   auto lin_of = [&st](Operand op) { return st.slot[static_cast<int>(op)].lin; };
   auto bil_of = [&st](Operand op) { return st.slot[static_cast<int>(op)].bil; };
+  auto cin_of = [&st](Operand op) { return st.slot[static_cast<int>(op)].cin; };
   auto fused_lin = [&lin_of](Operand x0, Operand x1, Sign sign) {
     Lin l = lin_of(x0);
     if (x1 != Operand::kNone) {
@@ -261,6 +276,10 @@ constexpr void sym_apply(const Step& s, SymState& st) {
         for (int i = 0; i < 4; ++i)
           for (int j = 0; j < 4; ++j) out.c[i][j] = x.c[i][j] + sign * y.c[i][j];
         st.slot[d].bil = out;
+        const Lin cx = cin_of(s.a0), cy = cin_of(s.a1);
+        Lin cout{};
+        for (int i = 0; i < 4; ++i) cout.c[i] = cx.c[i] + sign * cy.c[i];
+        st.slot[d].cin = cout;
       } else {
         const Lin x = lin_of(s.a0), y = lin_of(s.a1);
         Lin out{};
@@ -276,6 +295,8 @@ constexpr void sym_apply(const Step& s, SymState& st) {
         const Bilinear x = bil_of(s.a0);
         for (int i = 0; i < 4; ++i)
           for (int j = 0; j < 4; ++j) st.slot[d].bil.c[i][j] += sign * x.c[i][j];
+        const Lin cx = cin_of(s.a0);
+        for (int i = 0; i < 4; ++i) st.slot[d].cin.c[i] += sign * cx.c[i];
       } else {
         const Lin x = lin_of(s.a0);
         for (int i = 0; i < 4; ++i) st.slot[d].lin.c[i] += sign * x.c[i];
@@ -302,6 +323,7 @@ constexpr void sym_apply(const Step& s, SymState& st) {
       for (int i = 0; i < 4; ++i)
         for (int j = 0; j < 4; ++j) out.c[i][j] = a.c[i] * b.c[j];
       st.slot[d].bil = out;
+      st.slot[d].cin = Lin{};  // a product overwrites any initial-C content
       break;
     }
   }
@@ -309,13 +331,19 @@ constexpr void sym_apply(const Step& s, SymState& st) {
 }
 
 // Initial symbolic state: inputs hold their own unit linear combination.
-constexpr SymState initial_state() {
+// For accumulating tables the C quadrants are inputs too: each starts
+// defined, holding its own unit initial-C term and an empty bilinear form.
+constexpr SymState initial_state(bool accumulates = false) {
   SymState st{};
   for (int i = 0; i < 4; ++i) {
     st.slot[static_cast<int>(Operand::kA11) + i].defined = true;
     st.slot[static_cast<int>(Operand::kA11) + i].lin.c[i] = 1;
     st.slot[static_cast<int>(Operand::kB11) + i].defined = true;
     st.slot[static_cast<int>(Operand::kB11) + i].lin.c[i] = 1;
+    if (accumulates) {
+      st.slot[static_cast<int>(Operand::kC11) + i].defined = true;
+      st.slot[static_cast<int>(Operand::kC11) + i].cin.c[i] = 1;
+    }
   }
   return st;
 }
@@ -330,7 +358,7 @@ constexpr bool temp_declared(const Schedule& s, Operand op) {
 // fills `r` (step/operand) and returns false; otherwise `st` holds the final
 // symbolic state.
 constexpr bool sym_execute(const Schedule& sched, SymState& st, CoreResult& r) {
-  st = initial_state();
+  st = initial_state(sched.accumulates_c);
   for (int i = 0; i < sched.step_count; ++i) {
     const Step& s = sched.steps[i];
     r.step = i;
@@ -341,7 +369,12 @@ constexpr bool sym_execute(const Schedule& sched, SymState& st, CoreResult& r) {
       r.operand = bad;
       return false;
     }
-    if (is_input(s.dst)) {
+    // Tables marked overwrites_inputs may write A/B quadrant SLOTS: shape
+    // rules already confine such writes to element-wise steps (a product's
+    // destination must be C-shaped), so every one is an exact-alias
+    // vadd/vsub on an operand copy the caller staged.  Misreads of a
+    // clobbered original surface as a product-identity failure.
+    if (is_input(s.dst) && !sched.overwrites_inputs) {
       r.violation = Violation::kWriteToInput;
       r.operand = s.dst;
       return false;
@@ -414,9 +447,12 @@ constexpr int first_dead_store(const Schedule& sched, Operand* op) {
 // Backward liveness over the declared temporaries: peak number of
 // simultaneously live temporaries across all program points.  A temporary is
 // live at a point when some later step reads it before it is overwritten.
-constexpr int live_temp_peak(const Schedule& sched) {
+// `at_step` (optional) receives the FIRST step in program order whose entry
+// point carries the peak -- the step a diagnostic should name.
+constexpr int live_temp_peak(const Schedule& sched, int* at_step = nullptr) {
   bool live[kOperandCount] = {};
   int peak = 0;
+  int first = -1;
   for (int i = sched.step_count - 1; i >= 0; --i) {
     const Step& s = sched.steps[i];
     // Program point is BEFORE step i: kill the definition, then add reads.
@@ -429,8 +465,55 @@ constexpr int live_temp_peak(const Schedule& sched) {
     for (int o = 0; o < kOperandCount; ++o)
       if (live[o] && is_temp(static_cast<Operand>(o))) ++count;
     if (count > peak) peak = count;
+    if (count == peak && peak > 0) first = i;  // loop runs backward: the
+                                               // last update is the earliest
   }
+  if (at_step != nullptr) *at_step = first;
   return peak;
+}
+
+// True when `op` is live at the program point BEFORE step `point`: some step
+// j >= point reads it before any step overwrites it.  (Reads of step j are
+// checked before its write, so an in-place or exact-alias definition counts
+// as a read of the previous value.)
+constexpr bool live_at(const Schedule& sched, Operand op, int point) {
+  for (int j = point; j < sched.step_count; ++j) {
+    const ReadSet reads = step_reads(sched.steps[j]);
+    for (int k = 0; k < reads.count; ++k)
+      if (reads.ops[k] == op) return true;
+    if (sched.steps[j].dst == op) return false;
+  }
+  return false;
+}
+
+// Shared-buffer safety.  Validates the temp_buffer mapping (ids in
+// [0, temp_count)) and proves that no two temporaries mapped onto one arena
+// buffer are ever simultaneously live.  Returns kNone, or the violation with
+// the first offending step (`*step`) and one involved temp (`*op`).
+constexpr Violation check_temp_buffers(const Schedule& sched, int* step,
+                                       Operand* op) {
+  if (sched.temp_buffer == nullptr) return Violation::kNone;
+  for (int i = 0; i < sched.temp_count; ++i) {
+    if (sched.temp_buffer[i] < 0 || sched.temp_buffer[i] >= sched.temp_count) {
+      *step = -1;
+      *op = sched.temps[i];
+      return Violation::kBadTempBuffer;
+    }
+  }
+  for (int i = 0; i < sched.temp_count; ++i) {
+    for (int j = i + 1; j < sched.temp_count; ++j) {
+      if (sched.temp_buffer[i] != sched.temp_buffer[j]) continue;
+      for (int p = 0; p < sched.step_count; ++p) {
+        if (live_at(sched, sched.temps[i], p) &&
+            live_at(sched, sched.temps[j], p)) {
+          *step = p;
+          *op = sched.temps[j];
+          return Violation::kSharedTempOverlap;
+        }
+      }
+    }
+  }
+  return Violation::kNone;
 }
 
 }  // namespace detail
@@ -472,12 +555,36 @@ constexpr CoreResult verify_core(const Schedule& sched) {
       r.operand = c;
       return r;
     }
+    // Initial-C term: an accumulating table must deliver C += A.B -- each
+    // quadrant carries exactly its own initial value -- and an overwriting
+    // table must deliver none (trivially zero when C starts undefined, but
+    // checked so a mislabelled table cannot pass).
+    Lin want{};
+    if (sched.accumulates_c)
+      want.c[static_cast<int>(c) - static_cast<int>(Operand::kC11)] = 1;
+    if (!(v.cin == want)) {
+      r.violation = Violation::kAccumClobber;
+      r.operand = c;
+      return r;
+    }
   }
-  r.temp_peak = detail::live_temp_peak(sched);
+  r.temp_peak = detail::live_temp_peak(sched, &r.temp_peak_step);
   if (r.temp_peak != sched.declared_temp_peak) {
     r.violation = Violation::kTempPeakMismatch;
+    r.step = r.temp_peak_step;
     r.operand = Operand::kNone;
     return r;
+  }
+  {
+    int bstep = -1;
+    Operand bop = Operand::kNone;
+    const Violation bv = detail::check_temp_buffers(sched, &bstep, &bop);
+    if (bv != Violation::kNone) {
+      r.violation = bv;
+      r.step = bstep;
+      r.operand = bop;
+      return r;
+    }
   }
   for (int i = 0; i < sched.step_count; ++i) {
     if (is_product(sched.steps[i].kind)) {

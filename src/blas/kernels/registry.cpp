@@ -16,6 +16,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/check.hpp"
+
 #if defined(__linux__) && defined(__arm__)
 #include <sys/auxv.h>
 #endif
@@ -38,9 +40,12 @@ struct State {
 
 bool table_compiled(Kind kind) { return kernel_table(kind) != nullptr; }
 
-// Parses STRASSEN_KERNEL.  Returns kAuto for unset/empty, kScalar for any
-// value that names nothing runnable (unknown strings included: an operator
-// typo must not silently re-enable SIMD).  May also pin the AVX2 variant.
+// Parses STRASSEN_KERNEL for the NOEXCEPT dispatch chain.  Returns kAuto for
+// unset/empty, kScalar for any value that names nothing runnable (unknown
+// strings included: an operator typo must not silently re-enable SIMD).  The
+// loud rejection of unknown values lives in require_valid_kernel_env(),
+// which the gemm entry points call from a throwing context.  May also pin
+// the AVX2 variant.
 Kind parse_env(Avx2Variant* variant) {
   const char* e = std::getenv("STRASSEN_KERNEL");
   if (e == nullptr || *e == '\0') return Kind::kAuto;
@@ -160,6 +165,35 @@ void set_avx2_variant(Avx2Variant v) noexcept {
 const LeafKernels& active() noexcept {
   const LeafKernels* t = kernel_table(active_kernel());
   return t != nullptr ? *t : detail::scalar_table();
+}
+
+Kind parse_kernel_name(const char* value, Avx2Variant* variant) {
+  STRASSEN_REQUIRE(value != nullptr, "STRASSEN_KERNEL: null value");
+  if (*value == '\0' || std::strcmp(value, "auto") == 0) return Kind::kAuto;
+  if (std::strcmp(value, "scalar") == 0) return Kind::kScalar;
+  if (std::strcmp(value, "avx2") == 0) return Kind::kAvx2;
+  if (std::strcmp(value, "avx2-8x6") == 0) {
+    if (variant != nullptr) *variant = Avx2Variant::k8x6;
+    return Kind::kAvx2;
+  }
+  if (std::strcmp(value, "avx2-4x8") == 0) {
+    if (variant != nullptr) *variant = Avx2Variant::k4x8;
+    return Kind::kAvx2;
+  }
+  if (std::strcmp(value, "neon") == 0) return Kind::kNeon;
+  STRASSEN_REQUIRE(false, "STRASSEN_KERNEL: unknown kernel \""
+                              << value
+                              << "\" (expected scalar, avx2, avx2-8x6, "
+                                 "avx2-4x8 or neon)");
+  return Kind::kAuto;  // unreachable
+}
+
+void require_valid_kernel_env() {
+  // Re-read on every call (getenv is cheap against the O(n^3) work that
+  // follows, and tests flip the variable mid-process): no gemm entry runs
+  // under a typo'd override.
+  const char* e = std::getenv("STRASSEN_KERNEL");
+  if (e != nullptr) (void)parse_kernel_name(e, nullptr);
 }
 
 const char* kind_name(Kind kind) noexcept {

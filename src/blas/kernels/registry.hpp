@@ -127,6 +127,21 @@ void set_avx2_variant(Avx2Variant v) noexcept;
 // The active table (never null).
 const LeafKernels& active() noexcept;
 
+// Parses a STRASSEN_KERNEL-style value: "scalar", "avx2", "avx2-8x6",
+// "avx2-4x8" or "neon" ("" and "auto" mean kAuto).  Any other string throws
+// std::invalid_argument naming the offending value -- this is the loud
+// counterpart of the noexcept dispatch chain's degrade-to-scalar guarantee.
+// Writes the pinned AVX2 variant (if the value names one) through `variant`
+// when non-null.
+Kind parse_kernel_name(const char* value, Avx2Variant* variant = nullptr);
+
+// Validates the STRASSEN_KERNEL environment variable, throwing (once per
+// offending value; cached) like parse_kernel_name on a malformed one.
+// Called by the gemm entry points before any work, so a typo'd override
+// fails the call loudly instead of silently running the scalar table.
+// Unset/empty is valid (the probe decides).
+void require_valid_kernel_env();
+
 // Table for a specific compiled-in kind; nullptr when its TU was compiled
 // out (e.g. neon on an x86 build).
 const LeafKernels* kernel_table(Kind kind) noexcept;

@@ -1,8 +1,41 @@
 #include "core/modgemm.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "obs/scope.hpp"
 
 namespace strassen::core {
+
+namespace detail {
+
+analysis::ScheduleFamily parse_schedule_family(const char* value) {
+  using analysis::ScheduleFamily;
+  STRASSEN_REQUIRE(value != nullptr, "STRASSEN_SCHEDULE: null value");
+  if (std::strcmp(value, "auto") == 0) return ScheduleFamily::kAuto;
+  if (std::strcmp(value, "winograd") == 0) return ScheduleFamily::kWinograd;
+  if (std::strcmp(value, "winograd-lowmem") == 0)
+    return ScheduleFamily::kLowMem;
+  if (std::strcmp(value, "winograd-inplace") == 0)
+    return ScheduleFamily::kInPlace;
+  STRASSEN_REQUIRE(false, "STRASSEN_SCHEDULE: unknown schedule family \""
+                              << value
+                              << "\" (expected auto, winograd, "
+                                 "winograd-lowmem or winograd-inplace)");
+  return ScheduleFamily::kAuto;  // unreachable
+}
+
+analysis::ScheduleFamily env_schedule_family() {
+  // Re-read on every call (getenv is cheap against the O(n^3) work that
+  // follows, and tests flip the variable mid-process).  A malformed value
+  // throws, so every modgemm under a bad environment fails loudly rather
+  // than silently running some default.
+  const char* env = std::getenv("STRASSEN_SCHEDULE");
+  if (env == nullptr || *env == '\0') return analysis::ScheduleFamily::kAuto;
+  return parse_schedule_family(env);
+}
+
+}  // namespace detail
 
 // The production wrappers open an obs::CallScope: it resolves the report
 // target (explicit pointer, ModgemmOptions::report, or a scope-local report

@@ -77,6 +77,14 @@ struct ModgemmOptions {
   // always run the scalar path.
   blas::kernels::Kind kernel = blas::kernels::Kind::kAuto;
   blas::kernels::Avx2Variant avx2_variant = blas::kernels::Avx2Variant::kAuto;
+  // Schedule-family pin for this call (analysis/schedule.hpp).  kAuto (the
+  // default) defers to the STRASSEN_SCHEDULE environment override and then
+  // to the planner, which runs the seed-exact 3-temporary family and swaps
+  // to the low-memory families only when max_workspace_bytes forces it
+  // (recorded as FallbackReason::kScheduleSwap).  Pinning kLowMem/kInPlace
+  // runs that family unconditionally; pinning kWinograd disables the
+  // schedule-swap rung (the ladder then degrades by depth as before).
+  analysis::ScheduleFamily schedule = analysis::ScheduleFamily::kAuto;
   // Per-call observability: when non-null, the call fills *report with phase
   // timers, plan/padding data, workspace accounting, kernel telemetry and
   // (for pmodgemm) parallel stats -- see obs/report.hpp.  Null (the default)
@@ -116,10 +124,11 @@ inline void require_gemm_args(Op opa, Op opb, int m, int n, int k, int lda,
 }
 
 // Peak temporary bytes modgemm needs for one product under this plan: the
-// three Morton buffers plus the Winograd recursion arena, including the
-// per-allocation 64-byte rounding.  Direct plans need none (gemm_blocked
-// streams from the operands).  Overflow-checked; public so embedders can
-// size ModgemmOptions::max_workspace_bytes.
+// three Morton buffers plus the Winograd recursion arena (sized for the
+// plan's schedule family), including the per-allocation 64-byte rounding.
+// Direct plans need none (gemm_blocked streams from the operands).
+// Overflow-checked; public so embedders can size
+// ModgemmOptions::max_workspace_bytes.
 inline std::size_t modgemm_workspace_bytes(const layout::GemmPlan& plan,
                                            std::size_t elem_size) {
   if (plan.direct || !plan.feasible) return 0;
@@ -133,10 +142,28 @@ inline std::size_t modgemm_workspace_bytes(const layout::GemmPlan& plan,
   return checked_add(total,
                      winograd_workspace_bytes(plan.m.tile, plan.k.tile,
                                               plan.n.tile, plan.depth,
-                                              elem_size));
+                                              elem_size, plan.schedule));
 }
 
 namespace detail {
+
+// Parses a STRASSEN_SCHEDULE value ("auto", "winograd", "winograd-lowmem",
+// "winograd-inplace"); throws via STRASSEN_REQUIRE naming the offending
+// value on anything else.  Implemented in modgemm.cpp.
+analysis::ScheduleFamily parse_schedule_family(const char* value);
+
+// The STRASSEN_SCHEDULE environment override, re-read per call (value
+// grammar follows the STRASSEN_KERNEL idiom).  Unset or "auto" -> kAuto;
+// malformed values throw.
+analysis::ScheduleFamily env_schedule_family();
+
+// The schedule family this call runs: the per-call pin wins, then the
+// environment override, then kAuto (planner's choice).
+inline analysis::ScheduleFamily resolve_schedule_family(
+    const ModgemmOptions& opt) {
+  if (opt.schedule != analysis::ScheduleFamily::kAuto) return opt.schedule;
+  return env_schedule_family();
+}
 
 // Escalates the recorded fallback to the worse of the two (split calls run
 // several products; the report keeps the most severe degradation).
@@ -145,34 +172,70 @@ inline void record_fallback(ModgemmReport* report, FallbackReason r) {
     report->fallback_reason = r;
 }
 
-// Degrades a feasible plan until its workspace fits opt.max_workspace_bytes:
-// first by re-planning at shallower recursion depths (each level removed
-// drops that level's three quadrant temporaries -- Boyer et al.'s
-// space/depth trade), then, if no Strassen depth fits, by dropping to the
-// workspace-free conventional path.
-inline layout::GemmPlan apply_workspace_budget(layout::GemmPlan plan, int m,
-                                               int k, int n,
-                                               const ModgemmOptions& opt,
-                                               std::size_t elem_size,
-                                               ModgemmReport* report) {
+// Degrades a feasible plan until its workspace fits opt.max_workspace_bytes.
+// The ladder, from least to most severe:
+//   1. schedule swap -- keep the planned depth but run a lower-footprint
+//      schedule family (kLowMem saves ~1/3 of each level's temporaries,
+//      kInPlace additionally drops the top level to a single C-shaped
+//      buffer).  Recorded as kScheduleSwap.  Skipped when `resolved` pins a
+//      family (the pinned family was already priced in).
+//   2. depth reduction -- re-plan at shallower recursion depths (each level
+//      removed drops that level's quadrant temporaries -- Boyer et al.'s
+//      space/depth trade), trying the family candidates at each depth.
+//      Recorded as kDepthReduced.
+//   3. direct -- no Strassen depth fits; the workspace-free conventional
+//      path.  Recorded as kBudgetDirect.
+// `resolved` != kAuto pins plan.schedule to that family throughout.
+inline layout::GemmPlan apply_workspace_budget(
+    layout::GemmPlan plan, int m, int k, int n, const ModgemmOptions& opt,
+    std::size_t elem_size, ModgemmReport* report,
+    analysis::ScheduleFamily resolved = analysis::ScheduleFamily::kAuto) {
+  using analysis::ScheduleFamily;
+  if (resolved != ScheduleFamily::kAuto) plan.schedule = resolved;
   if (opt.max_workspace_bytes == 0 || plan.direct || !plan.feasible)
     return plan;
   if (modgemm_workspace_bytes(plan, elem_size) <= opt.max_workspace_bytes)
     return plan;
+  // Family candidates in decreasing footprint order.  Pinned calls get only
+  // the pinned family (already checked above at full depth -> only the depth
+  // loop below can save them).
+  const ScheduleFamily ladder[] = {ScheduleFamily::kWinograd,
+                                   ScheduleFamily::kLowMem,
+                                   ScheduleFamily::kInPlace};
+  const ScheduleFamily pinned[] = {plan.schedule};
+  const ScheduleFamily* fams = resolved == ScheduleFamily::kAuto ? ladder
+                                                                 : pinned;
+  const int nfams = resolved == ScheduleFamily::kAuto ? 3 : 1;
+  // Rung 1: full planned depth, lower-footprint family.
+  for (int f = 0; f < nfams; ++f) {
+    if (fams[f] == plan.schedule) continue;  // priced already
+    layout::GemmPlan cand = plan;
+    cand.schedule = fams[f];
+    if (modgemm_workspace_bytes(cand, elem_size) <= opt.max_workspace_bytes) {
+      record_fallback(report, FallbackReason::kScheduleSwap);
+      return cand;
+    }
+  }
+  // Rung 2: shallower depths, cheapest-first over the family candidates so
+  // each depth is exhausted before giving up another recursion level.
   for (int d = plan.depth - 1; d >= 1; --d) {
     const layout::DimPlan dm = layout::choose_dim_at_depth(m, d, opt.tiles);
     const layout::DimPlan dk = layout::choose_dim_at_depth(k, d, opt.tiles);
     const layout::DimPlan dn = layout::choose_dim_at_depth(n, d, opt.tiles);
     if (dm.tile == 0 || dk.tile == 0 || dn.tile == 0) continue;
-    layout::GemmPlan cand;
-    cand.depth = d;
-    cand.m = dm;
-    cand.k = dk;
-    cand.n = dn;
-    cand.feasible = true;
-    if (modgemm_workspace_bytes(cand, elem_size) <= opt.max_workspace_bytes) {
-      record_fallback(report, FallbackReason::kDepthReduced);
-      return cand;
+    for (int f = 0; f < nfams; ++f) {
+      layout::GemmPlan cand;
+      cand.depth = d;
+      cand.m = dm;
+      cand.k = dk;
+      cand.n = dn;
+      cand.feasible = true;
+      cand.schedule = fams[f];
+      if (modgemm_workspace_bytes(cand, elem_size) <=
+          opt.max_workspace_bytes) {
+        record_fallback(report, FallbackReason::kDepthReduced);
+        return cand;
+      }
     }
   }
   layout::GemmPlan direct;
@@ -221,8 +284,16 @@ void modgemm_strassen(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
   const double t_in = t.seconds();
 
   t.restart();
-  winograd_recurse(mm, Cm, Am, Bm, plan.m.tile, plan.k.tile, plan.n.tile,
-                   plan.depth, arena);
+  if (plan.schedule == analysis::ScheduleFamily::kInPlace) {
+    // The in-place table overwrites its operands -- safe here because Am/Bm
+    // are this call's own Morton staging copies, consumed by nothing after
+    // the recursion.
+    winograd_recurse_inplace(mm, Cm, Am, Bm, plan.m.tile, plan.k.tile,
+                             plan.n.tile, plan.depth, arena);
+  } else {
+    winograd_recurse(mm, Cm, Am, Bm, plan.m.tile, plan.k.tile, plan.n.tile,
+                     plan.depth, arena, plan.schedule);
+  }
   const double t_mul = t.seconds();
 
   t.restart();
@@ -234,6 +305,22 @@ void modgemm_strassen(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
     report->compute_seconds += t_mul;
     report->convert_out_seconds += t_out;
     report->plan = plan;
+    // kAuto means the planner kept the default family: report what ran.
+    report->schedule = analysis::family_name(
+        plan.schedule == analysis::ScheduleFamily::kAuto
+            ? analysis::ScheduleFamily::kWinograd
+            : plan.schedule);
+    if (plan.schedule != analysis::ScheduleFamily::kWinograd &&
+        plan.schedule != analysis::ScheduleFamily::kAuto) {
+      // Arena bytes the default 3-temporary family would have needed minus
+      // what this family's recursion actually reserved.
+      const std::size_t def = winograd_workspace_bytes(
+          plan.m.tile, plan.k.tile, plan.n.tile, plan.depth, sizeof(T));
+      const std::size_t got = winograd_workspace_bytes(
+          plan.m.tile, plan.k.tile, plan.n.tile, plan.depth, sizeof(T),
+          plan.schedule);
+      if (def > got) report->workspace_saved_bytes += def - got;
+    }
     ++report->products;
     report->workspace_requested_bytes += workspace_bytes;
     ++report->workspace_allocations;
@@ -296,6 +383,152 @@ void modgemm_single(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
                  report);
 }
 
+// Fused evaluation of one C block of a split product using the accumulating
+// schedule: all k-chunks share a single Morton C buffer -- chunk 0 runs the
+// overwriting recursion, later chunks run winograd_recurse_acc on top of it,
+// and ONE from_morton applies alpha/beta at the end.  Compared to the
+// per-chunk loop this removes n_k - 1 round trips of C through from_morton /
+// to-column-major accumulation.  Only attempted for the low-memory families
+// (the default family stays bit-identical to the per-chunk path).  Returns
+// false -- with C untouched -- when the chunk geometries disagree, the fused
+// workspace exceeds the budget, or allocation fails; the caller then runs
+// the per-chunk loop.
+template <class MM, class T>
+bool modgemm_split_block_fused(MM& mm, Op opa, Op opb, const layout::Chunk& cm,
+                               const layout::Chunk& cn,
+                               const std::vector<layout::Chunk>& k_chunks,
+                               T alpha, const T* A, int lda, const T* B,
+                               int ldb, T beta, T* C, int ldc,
+                               const ModgemmOptions& opt,
+                               analysis::ScheduleFamily resolved,
+                               ModgemmReport* report) {
+  using analysis::ScheduleFamily;
+  if (resolved != ScheduleFamily::kLowMem &&
+      resolved != ScheduleFamily::kInPlace)
+    return false;
+  const int nk = static_cast<int>(k_chunks.size());
+  if (nk < 2) return false;
+  // Every k-chunk sub-plan must be a feasible Strassen plan agreeing on the
+  // C-facing geometry (m/n tiles and depth) so the chunks can share one
+  // Morton C buffer.
+  std::vector<layout::GemmPlan> subs;
+  subs.reserve(static_cast<std::size_t>(nk));
+  for (const auto& ck : k_chunks) {
+    layout::GemmPlan sub =
+        layout::plan_gemm(cm.size, ck.size, cn.size, opt.tiles);
+    sub = apply_workspace_budget(sub, cm.size, ck.size, cn.size, opt,
+                                 sizeof(T), report, resolved);
+    if (sub.direct || !sub.feasible) return false;
+    if (!subs.empty() &&
+        (sub.m.tile != subs[0].m.tile || sub.n.tile != subs[0].n.tile ||
+         sub.depth != subs[0].depth))
+      return false;
+    subs.push_back(sub);
+  }
+  const int depth = subs[0].depth;
+  const layout::MortonLayout lc{cm.size, cn.size, subs[0].m.tile,
+                                subs[0].n.tile, depth};
+  auto r64 = [](std::size_t b) { return checked_add(b, 63) / 64 * 64; };
+  // Accumulating chunks recurse their sub-products with the low-mem table
+  // (the in-place table runs only where the recursion owns the operands,
+  // i.e. chunk 0's top level).
+  const ScheduleFamily acc_fam = resolved == ScheduleFamily::kInPlace
+                                     ? ScheduleFamily::kLowMem
+                                     : resolved;
+  std::size_t total = r64(layout::buffer_bytes(lc, sizeof(T)));
+  std::size_t chunk_peak = 0;
+  std::size_t saved = 0;
+  for (int i = 0; i < nk; ++i) {
+    const layout::GemmPlan& sub = subs[i];
+    const layout::MortonLayout la{cm.size, k_chunks[i].size, sub.m.tile,
+                                  sub.k.tile, depth};
+    const layout::MortonLayout lb{k_chunks[i].size, cn.size, sub.k.tile,
+                                  sub.n.tile, depth};
+    const std::size_t ov = winograd_workspace_bytes(
+        sub.m.tile, sub.k.tile, sub.n.tile, depth, sizeof(T), resolved);
+    const std::size_t ac = winograd_accum_workspace_bytes(
+        sub.m.tile, sub.k.tile, sub.n.tile, depth, sizeof(T), acc_fam);
+    const std::size_t w = checked_add(
+        checked_add(r64(layout::buffer_bytes(la, sizeof(T))),
+                    r64(layout::buffer_bytes(lb, sizeof(T)))),
+        std::max(ov, ac));
+    chunk_peak = std::max(chunk_peak, w);
+    const std::size_t def = winograd_workspace_bytes(
+        sub.m.tile, sub.k.tile, sub.n.tile, depth, sizeof(T));
+    if (def > ov) saved += def - ov;
+  }
+  total = checked_add(total, chunk_peak);
+  // The budget bounds the call's live temporary set; the fused block holds
+  // Cm across all chunks, so its peak must fit as a whole.
+  if (opt.max_workspace_bytes != 0 && total > opt.max_workspace_bytes)
+    return false;
+  try {
+    Arena arena(total);
+    T* Cm = arena.push<T>(static_cast<std::size_t>(lc.elems()));
+    WallTimer t;
+    double t_in = 0;
+    double t_mul = 0;
+    for (int i = 0; i < nk; ++i) {
+      const auto& ck = k_chunks[i];
+      const layout::GemmPlan& sub = subs[i];
+      const T* Ablk =
+          opa == Op::NoTrans
+              ? A + static_cast<std::size_t>(ck.offset) * lda + cm.offset
+              : A + static_cast<std::size_t>(cm.offset) * lda + ck.offset;
+      const T* Bblk =
+          opb == Op::NoTrans
+              ? B + static_cast<std::size_t>(cn.offset) * ldb + ck.offset
+              : B + static_cast<std::size_t>(ck.offset) * ldb + cn.offset;
+      const layout::MortonLayout la{cm.size, ck.size, sub.m.tile, sub.k.tile,
+                                    depth};
+      const layout::MortonLayout lb{ck.size, cn.size, sub.k.tile, sub.n.tile,
+                                    depth};
+      Arena::Frame frame(arena);
+      T* Am = arena.push<T>(static_cast<std::size_t>(la.elems()));
+      T* Bm = arena.push<T>(static_cast<std::size_t>(lb.elems()));
+      t.restart();
+      layout::to_morton(mm, la, Am, opa, Ablk, lda);
+      layout::to_morton(mm, lb, Bm, opb, Bblk, ldb);
+      t_in += t.seconds();
+      t.restart();
+      if (i == 0) {
+        if (resolved == ScheduleFamily::kInPlace)
+          winograd_recurse_inplace(mm, Cm, Am, Bm, sub.m.tile, sub.k.tile,
+                                   sub.n.tile, depth, arena);
+        else
+          winograd_recurse(mm, Cm, Am, Bm, sub.m.tile, sub.k.tile, sub.n.tile,
+                           depth, arena, resolved);
+      } else {
+        winograd_recurse_acc(mm, Cm, Am, Bm, sub.m.tile, sub.k.tile,
+                             sub.n.tile, depth, arena, acc_fam);
+      }
+      t_mul += t.seconds();
+    }
+    t.restart();
+    T* Cblk = C + static_cast<std::size_t>(cn.offset) * ldc + cm.offset;
+    layout::from_morton(mm, lc, Cm, alpha, Cblk, ldc, beta);
+    const double t_out = t.seconds();
+    if (report) {
+      report->convert_in_seconds += t_in;
+      report->compute_seconds += t_mul;
+      report->convert_out_seconds += t_out;
+      report->plan = subs[0];
+      report->schedule = analysis::family_name(resolved);
+      report->workspace_saved_bytes += saved;
+      report->products += nk;
+      report->workspace_requested_bytes += total;
+      ++report->workspace_allocations;
+      report->workspace_peak_bytes =
+          std::max(report->workspace_peak_bytes, arena.peak());
+    }
+    return true;
+  } catch (const std::bad_alloc&) {
+    // All allocation happens before the single from_morton write-back, so C
+    // is untouched; the per-chunk ladder takes over.
+    return false;
+  }
+}
+
 }  // namespace detail
 
 // The full MODGEMM entry point, templated on the memory model so complete
@@ -307,6 +540,10 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
                 int ldc, const ModgemmOptions& opt = {},
                 ModgemmReport* report = nullptr) {
   require_gemm_args(opa, opb, m, n, k, lda, ldb, ldc);
+  // A typo'd STRASSEN_KERNEL fails the call here, loudly, instead of
+  // silently dispatching the scalar table (the noexcept registry chain's
+  // degrade-to-scalar remains as the crash-free backstop).
+  blas::kernels::require_valid_kernel_env();
   std::optional<blas::kernels::ScopedKernel> kernel_pin;
   if (opt.kernel != blas::kernels::Kind::kAuto)
     kernel_pin.emplace(opt.kernel, opt.avx2_variant);
@@ -333,6 +570,12 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
     return;
   }
 
+  // Resolve the schedule family once per call (pin, then STRASSEN_SCHEDULE,
+  // then auto).  A malformed environment value throws here, before any write
+  // to C.
+  const analysis::ScheduleFamily resolved =
+      detail::resolve_schedule_family(opt);
+
   if (opt.fixed_tile > 0) {
     // Ablation: static padding with a fixed truncation point.  The three
     // dimensions must then share a depth naturally, which holds for the
@@ -356,6 +599,7 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
     lift(plan.n);
     plan.feasible = true;
     plan.direct = plan.depth == 0;
+    if (resolved != analysis::ScheduleFamily::kAuto) plan.schedule = resolved;
     detail::modgemm_single(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta,
                            C, ldc, plan, report);
     return;
@@ -365,7 +609,7 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
   if (report) report->planned_depth = planned.depth;
   if (planned.direct || planned.feasible) {
     const layout::GemmPlan plan = detail::apply_workspace_budget(
-        planned, m, k, n, opt, sizeof(T), report);
+        planned, m, k, n, opt, sizeof(T), report, resolved);
     detail::modgemm_single(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta,
                            C, ldc, plan, report);
     return;
@@ -377,6 +621,13 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
   if (report) report->split_used = true;
   for (const auto& cm : split.m_chunks) {
     for (const auto& cn : split.n_chunks) {
+      // Low-memory families first try the fused accumulating evaluation of
+      // this block (one shared Morton C, a single alpha/beta write-back).
+      if (detail::modgemm_split_block_fused(mm, opa, opb, cm, cn,
+                                            split.k_chunks, alpha, A, lda, B,
+                                            ldb, beta, C, ldc, opt, resolved,
+                                            report))
+        continue;
       bool first = true;
       for (const auto& ck : split.k_chunks) {
         // Locate the stored sub-blocks of op(A) and op(B).
@@ -395,7 +646,7 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
         // The budget bounds the workspace of each sub-product (they run
         // sequentially, so the per-product peak is the call's peak).
         sub = detail::apply_workspace_budget(sub, cm.size, ck.size, cn.size,
-                                             opt, sizeof(T), report);
+                                             opt, sizeof(T), report, resolved);
         detail::modgemm_single(mm, opa, opb, cm.size, cn.size, ck.size, alpha,
                                Ablk, lda, Bblk, ldb, first ? beta : T{1}, Cblk,
                                ldc, sub, report);

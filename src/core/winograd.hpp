@@ -45,8 +45,10 @@
 namespace strassen::core {
 
 template <class MM, class T>
-void winograd_recurse(MM& mm, T* C, const T* A, const T* B, int tm, int tk,
-                      int tn, int depth, Arena& arena);
+void winograd_recurse(
+    MM& mm, T* C, const T* A, const T* B, int tm, int tk, int tn, int depth,
+    Arena& arena,
+    analysis::ScheduleFamily family = analysis::ScheduleFamily::kWinograd);
 
 namespace detail {
 
@@ -63,8 +65,16 @@ template <class MM, class T>
 class ScheduleInterpreter {
  public:
   ScheduleInterpreter(MM& mm, int tm, int tk, int tn, int d1,
-                      const blas::kernels::LeafKernels* fused_tab)
-      : mm_(mm), tm_(tm), tk_(tk), tn_(tn), d1_(d1), fused_tab_(fused_tab) {
+                      const blas::kernels::LeafKernels* fused_tab,
+                      analysis::ScheduleFamily family =
+                          analysis::ScheduleFamily::kWinograd)
+      : mm_(mm),
+        tm_(tm),
+        tk_(tk),
+        tn_(tn),
+        d1_(d1),
+        fused_tab_(fused_tab),
+        family_(family) {
     for (int i = 0; i < analysis::kOperandCount; ++i) {
       rd_[i] = nullptr;
       wr_[i] = nullptr;
@@ -80,6 +90,12 @@ class ScheduleInterpreter {
     rd_[idx(op)] = p;
     wr_[idx(op)] = p;
     len_[idx(op)] = n;
+  }
+  // Writable A/B operand slot of an in-place table (overwrites_inputs): the
+  // interpreter may overwrite it with operand sums.  Identical binding to
+  // bind_output; the distinct name keeps call sites auditable.
+  void bind_inout(analysis::Operand op, T* p, std::size_t n) {
+    bind_output(op, p, n);
   }
 
   void run(const analysis::Schedule& sched, Arena& arena) {
@@ -106,7 +122,7 @@ class ScheduleInterpreter {
           break;
         case StepKind::kMul:
           winograd_recurse(mm_, dst, rd_[idx(s.a0)], rd_[idx(s.b0)], tm_, tk_,
-                           tn_, d1_, arena);
+                           tn_, d1_, arena, family_);
           break;
         case StepKind::kMulFusedA:
         case StepKind::kMulFusedB:
@@ -163,10 +179,45 @@ class ScheduleInterpreter {
   MM& mm_;
   int tm_, tk_, tn_, d1_;
   const blas::kernels::LeafKernels* fused_tab_;
+  analysis::ScheduleFamily family_;
   const T* rd_[analysis::kOperandCount];
   T* wr_[analysis::kOperandCount];
   std::size_t len_[analysis::kOperandCount];
 };
+
+// Pushes the schedule's temporaries onto the arena -- one allocation per
+// DISTINCT buffer id, sized for the largest shape mapped onto it -- and
+// binds each temporary.  For identity mappings (the default family) this is
+// byte-for-byte the seed's push order and sizes (tS, tT, tP = qa, qb, qc);
+// the low-mem table maps tS and tP onto one buffer sized max(qa, qc), which
+// the verifier proved safe (disjoint live ranges).
+template <class MM, class T>
+void push_and_bind_temps(ScheduleInterpreter<MM, T>& interp,
+                         const analysis::Schedule& sched, Arena& arena,
+                         std::size_t qa, std::size_t qb, std::size_t qc) {
+  using analysis::Operand;
+  auto elems = [&](Operand t) {
+    return analysis::shape_of(t) == analysis::Shape::kA   ? qa
+           : analysis::shape_of(t) == analysis::Shape::kB ? qb
+                                                          : qc;
+  };
+  constexpr int kMaxTemps = 6;  // kTS0..kTP1
+  STRASSEN_REQUIRE(sched.temp_count <= kMaxTemps,
+                   "schedule declares more temporaries than slots exist");
+  std::size_t buf_elems[kMaxTemps] = {};
+  T* bufs[kMaxTemps] = {};
+  const int nbuf = analysis::temp_buffer_count(sched);
+  for (int i = 0; i < sched.temp_count; ++i) {
+    const int b = analysis::temp_buffer_id(sched, i);
+    const std::size_t n = elems(sched.temps[i]);
+    if (n > buf_elems[b]) buf_elems[b] = n;
+  }
+  for (int b = 0; b < nbuf; ++b) bufs[b] = arena.push<T>(buf_elems[b]);
+  for (int i = 0; i < sched.temp_count; ++i) {
+    const Operand t = sched.temps[i];
+    interp.bind_output(t, bufs[analysis::temp_buffer_id(sched, i)], elems(t));
+  }
+}
 
 }  // namespace detail
 
@@ -174,10 +225,16 @@ class ScheduleInterpreter {
 //   A: (tm<<depth) x (tk<<depth), leaf tiles tm x tk (column-major)
 //   B: (tk<<depth) x (tn<<depth), leaf tiles tk x tn
 //   C: (tm<<depth) x (tn<<depth), leaf tiles tm x tn
-// `arena` must have winograd_workspace_bytes(tm,tk,tn,depth,...) available.
+// `arena` must have winograd_workspace_bytes(tm,tk,tn,depth,...,family)
+// available.  `family` selects the schedule family per level: kWinograd is
+// the seed-exact default (3 temporaries, fused level-1 when the kernel
+// table publishes the entries), kLowMem the 2-buffer BDPZ tables.  kInPlace
+// here runs its DEEPER levels (the in-place top level is
+// winograd_recurse_inplace, which needs writable operands).
 template <class MM, class T>
 void winograd_recurse(MM& mm, T* C, const T* A, const T* B, int tm, int tk,
-                      int tn, int depth, Arena& arena) {
+                      int tn, int depth, Arena& arena,
+                      analysis::ScheduleFamily family) {
   if (depth == 0) {
     blas::gemm_leaf(mm, tm, tn, tk, A, tm, B, tk, C, tm,
                     blas::LeafMode::Overwrite);
@@ -189,14 +246,20 @@ void winograd_recurse(MM& mm, T* C, const T* A, const T* B, int tm, int tk,
   const std::size_t qb = static_cast<std::size_t>(tk) * tn * scale;
   const std::size_t qc = static_cast<std::size_t>(tm) * tn * scale;
 
-  // Table selection: the materialized schedule everywhere, except the last
-  // level before the leaves of the production instantiation when the active
-  // kernel table publishes the fused entries (scalar does not, by design:
-  // the materialized table is the seed-exact path).
-  const analysis::Schedule* sched = &analysis::kWinograd;
+  // Table selection.  Default family: the materialized schedule everywhere,
+  // except the last level before the leaves of the production instantiation
+  // when the active kernel table publishes the fused entries (scalar does
+  // not, by design: the materialized table is the seed-exact path).  The
+  // low-mem family (and the sub-levels of the in-place family) run the
+  // 2-buffer table at every level -- the fused-L1 table needs all three
+  // temporaries live at once, which the shared buffer forbids.
+  const bool low_mem = family == analysis::ScheduleFamily::kLowMem ||
+                       family == analysis::ScheduleFamily::kInPlace;
+  const analysis::Schedule* sched =
+      low_mem ? &analysis::kWinogradLowMem : &analysis::kWinograd;
   const blas::kernels::LeafKernels* fused_tab = nullptr;
   if constexpr (std::is_same_v<MM, RawMem> && std::is_same_v<T, double>) {
-    if (d1 == 0) {
+    if (d1 == 0 && !low_mem) {
       const blas::kernels::LeafKernels& tab = blas::kernels::active();
       if (tab.gemm_fused_a != nullptr && tab.gemm_fused_b != nullptr &&
           tab.gemm_fused_ab != nullptr) {
@@ -206,7 +269,8 @@ void winograd_recurse(MM& mm, T* C, const T* A, const T* B, int tm, int tk,
     }
   }
 
-  detail::ScheduleInterpreter<MM, T> interp(mm, tm, tk, tn, d1, fused_tab);
+  detail::ScheduleInterpreter<MM, T> interp(mm, tm, tk, tn, d1, fused_tab,
+                                            family);
 
   // Quadrants in memory order NW, NE, SW, SE == 11, 12, 21, 22.
   using analysis::Operand;
@@ -223,20 +287,98 @@ void winograd_recurse(MM& mm, T* C, const T* A, const T* B, int tm, int tk,
   interp.bind_output(Operand::kC21, C + 2 * qc, qc);
   interp.bind_output(Operand::kC22, C + 3 * qc, qc);
 
-  // Temporaries in the schedule's declared allocation order (tS, tT, tP for
-  // the shipped tables -- the seed's exact arena layout and workspace peak;
-  // a future low-memory schedule simply declares fewer).
   Arena::Frame frame(arena);
-  for (int i = 0; i < sched->temp_count; ++i) {
-    const Operand t = sched->temps[i];
-    const std::size_t n = analysis::shape_of(t) == analysis::Shape::kA ? qa
-                          : analysis::shape_of(t) == analysis::Shape::kB
-                              ? qb
-                              : qc;
-    interp.bind_output(t, arena.push<T>(n), n);
-  }
+  detail::push_and_bind_temps(interp, *sched, arena, qa, qb, qc);
 
   interp.run(*sched, arena);
+}
+
+// C = A * B with the TOP level running the in-place table: the Winograd
+// operand sums overwrite A's and B's quadrants, leaving a single C-shaped
+// temporary.  A and B must be operand COPIES the caller owns (the
+// Morton-staged workspace buffers of core/modgemm.hpp) -- their contents
+// are destroyed.  Deeper levels run the low-mem table: a child executing
+// in-place would clobber parent operands that are still live.
+template <class MM, class T>
+void winograd_recurse_inplace(MM& mm, T* C, T* A, T* B, int tm, int tk,
+                              int tn, int depth, Arena& arena) {
+  if (depth == 0) {
+    blas::gemm_leaf(mm, tm, tn, tk, A, tm, B, tk, C, tm,
+                    blas::LeafMode::Overwrite);
+    return;
+  }
+  const int d1 = depth - 1;
+  const std::size_t scale = std::size_t{1} << (2 * d1);
+  const std::size_t qa = static_cast<std::size_t>(tm) * tk * scale;
+  const std::size_t qb = static_cast<std::size_t>(tk) * tn * scale;
+  const std::size_t qc = static_cast<std::size_t>(tm) * tn * scale;
+
+  const analysis::Schedule& sched = analysis::kWinogradInPlace;
+  detail::ScheduleInterpreter<MM, T> interp(
+      mm, tm, tk, tn, d1, nullptr, analysis::ScheduleFamily::kInPlace);
+
+  using analysis::Operand;
+  interp.bind_inout(Operand::kA11, A, qa);
+  interp.bind_inout(Operand::kA12, A + qa, qa);
+  interp.bind_inout(Operand::kA21, A + 2 * qa, qa);
+  interp.bind_inout(Operand::kA22, A + 3 * qa, qa);
+  interp.bind_inout(Operand::kB11, B, qb);
+  interp.bind_inout(Operand::kB12, B + qb, qb);
+  interp.bind_inout(Operand::kB21, B + 2 * qb, qb);
+  interp.bind_inout(Operand::kB22, B + 3 * qb, qb);
+  interp.bind_output(Operand::kC11, C, qc);
+  interp.bind_output(Operand::kC12, C + qc, qc);
+  interp.bind_output(Operand::kC21, C + 2 * qc, qc);
+  interp.bind_output(Operand::kC22, C + 3 * qc, qc);
+
+  Arena::Frame frame(arena);
+  detail::push_and_bind_temps(interp, sched, arena, qa, qb, qc);
+
+  interp.run(sched, arena);
+}
+
+// C += A * B: the top level runs the accumulating table (C's quadrants are
+// inputs whose values survive into the result -- the split path's k-chunk
+// chains use this to skip the per-chunk C buffer and beta pass), and the
+// seven sub-products recurse with `family` tables.  depth == 0 accumulates
+// directly at the leaf.
+template <class MM, class T>
+void winograd_recurse_acc(MM& mm, T* C, const T* A, const T* B, int tm,
+                          int tk, int tn, int depth, Arena& arena,
+                          analysis::ScheduleFamily family) {
+  if (depth == 0) {
+    blas::gemm_leaf(mm, tm, tn, tk, A, tm, B, tk, C, tm,
+                    blas::LeafMode::Accumulate);
+    return;
+  }
+  const int d1 = depth - 1;
+  const std::size_t scale = std::size_t{1} << (2 * d1);
+  const std::size_t qa = static_cast<std::size_t>(tm) * tk * scale;
+  const std::size_t qb = static_cast<std::size_t>(tk) * tn * scale;
+  const std::size_t qc = static_cast<std::size_t>(tm) * tn * scale;
+
+  const analysis::Schedule& sched = analysis::kWinogradAccum;
+  detail::ScheduleInterpreter<MM, T> interp(mm, tm, tk, tn, d1, nullptr,
+                                            family);
+
+  using analysis::Operand;
+  interp.bind_input(Operand::kA11, A, qa);
+  interp.bind_input(Operand::kA12, A + qa, qa);
+  interp.bind_input(Operand::kA21, A + 2 * qa, qa);
+  interp.bind_input(Operand::kA22, A + 3 * qa, qa);
+  interp.bind_input(Operand::kB11, B, qb);
+  interp.bind_input(Operand::kB12, B + qb, qb);
+  interp.bind_input(Operand::kB21, B + 2 * qb, qb);
+  interp.bind_input(Operand::kB22, B + 3 * qb, qb);
+  interp.bind_output(Operand::kC11, C, qc);
+  interp.bind_output(Operand::kC12, C + qc, qc);
+  interp.bind_output(Operand::kC21, C + 2 * qc, qc);
+  interp.bind_output(Operand::kC22, C + 3 * qc, qc);
+
+  Arena::Frame frame(arena);
+  detail::push_and_bind_temps(interp, sched, arena, qa, qb, qc);
+
+  interp.run(sched, arena);
 }
 
 }  // namespace strassen::core

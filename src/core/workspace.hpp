@@ -1,21 +1,42 @@
 // workspace.hpp -- exact arena sizing for the Winograd recursion.
 //
-// Each recursion level allocates three quadrant-sized temporaries (an S-temp
-// over A's quadrant shape, a T-temp over B's, and a P-temp over C's) and
-// releases them before returning, so the live set is a stack.  Sizing the
-// arena to the exact peak lets the whole multiply run with a single
-// allocation; the paper's implementations were likewise careful to bound
-// temporary storage (S5.1).
+// Each recursion level allocates quadrant-sized temporaries and releases
+// them before returning, so the live set is a stack.  Sizing the arena to
+// the exact peak lets the whole multiply run with a single allocation; the
+// paper's implementations were likewise careful to bound temporary storage
+// (S5.1).  How many temporaries a level needs depends on the SCHEDULE
+// FAMILY (analysis/schedule.hpp):
+//
+//   kWinograd   3 buffers per level: qa + qb + qc        (the paper's bound)
+//   kLowMem     2 buffers per level: max(qa, qc) + qb    (tS/tP share)
+//   kInPlace    top level 1 buffer (qc, operand sums overwrite the Morton
+//               A/B copies); deeper levels run the low-mem table
+//
+// where qa/qb/qc are the A-/B-/C-shaped quadrant sizes of that level.
 #pragma once
 
 #include <cstddef>
+
+#include "analysis/schedule.hpp"
 
 namespace strassen::core {
 
 // Peak bytes of recursion temporaries for a product of Morton blocks with
 // leaf tiles (tm x tk) * (tk x tn) and `depth` recursion levels, including
-// the arena's per-allocation 64-byte rounding.
+// the arena's per-allocation 64-byte rounding.  The two-argument form is the
+// default family (kWinograd); kAuto sizes as kWinograd (the planner's
+// largest candidate).
 std::size_t winograd_workspace_bytes(int tm, int tk, int tn, int depth,
                                      std::size_t elem_size);
+std::size_t winograd_workspace_bytes(int tm, int tk, int tn, int depth,
+                                     std::size_t elem_size,
+                                     analysis::ScheduleFamily family);
+
+// Peak bytes for the accumulating top level (core::winograd_recurse_acc):
+// the top level runs the 3-temporary kWinogradAccum table and its seven
+// sub-products recurse with `family` tables.
+std::size_t winograd_accum_workspace_bytes(int tm, int tk, int tn, int depth,
+                                           std::size_t elem_size,
+                                           analysis::ScheduleFamily family);
 
 }  // namespace strassen::core

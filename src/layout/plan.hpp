@@ -16,6 +16,8 @@
 
 #include <vector>
 
+#include "analysis/schedule.hpp"
+
 namespace strassen::layout {
 
 // Tuning knobs for the planner.  Defaults are the paper's values.
@@ -109,6 +111,12 @@ struct GemmPlan {
   bool direct = false;  // true: skip Strassen, use conventional gemm
   bool feasible = true; // false: dimensions too disparate; caller must split
   int depth = 0;
+  // Schedule family the recursion executes (analysis/schedule.hpp).  The
+  // planner default is the 3-temporary paper schedule; the degradation
+  // ladder (core/modgemm.hpp) swaps to the low-memory families before
+  // reducing depth when max_workspace_bytes bites, and
+  // ModgemmOptions::schedule / STRASSEN_SCHEDULE pin one explicitly.
+  analysis::ScheduleFamily schedule = analysis::ScheduleFamily::kWinograd;
   DimPlan m, k, n;
   // Total padded elements across the three operands (planner's objective).
   long long padded_elems() const;

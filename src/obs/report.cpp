@@ -10,6 +10,8 @@ const char* fallback_reason_name(FallbackReason r) {
   switch (r) {
     case FallbackReason::kNone:
       return "none";
+    case FallbackReason::kScheduleSwap:
+      return "schedule-swap";
     case FallbackReason::kDepthReduced:
       return "depth-reduced";
     case FallbackReason::kBudgetDirect:
@@ -55,11 +57,13 @@ void put_string(std::ostream& os, const char* s) {
 
 }  // namespace
 
-// One line, stable key set and order: schema strassen.gemm_report.v2.
+// One line, stable key set and order: schema strassen.gemm_report.v3.
 // Adding a key is a schema version bump (see docs/OBSERVABILITY.md); v2
-// added parallel.steals when the work-stealing scheduler landed.
+// added parallel.steals when the work-stealing scheduler landed; v3 added
+// plan.schedule and workspace.saved_bytes with the low-memory schedule
+// family.
 void write_json(std::ostream& os, const GemmReport& r) {
-  os << "{\"schema\": \"strassen.gemm_report.v2\", ";
+  os << "{\"schema\": \"strassen.gemm_report.v3\", ";
 
   os << "\"call\": {\"entry\": ";
   put_string(os, r.entry[0] != '\0' ? r.entry : "modgemm");
@@ -83,8 +87,9 @@ void write_json(std::ostream& os, const GemmReport& r) {
   os << "\"plan\": {\"direct\": " << (r.plan.direct ? "true" : "false")
      << ", \"split\": " << (r.split_used ? "true" : "false")
      << ", \"products\": " << r.products
-     << ", \"planned_depth\": " << r.planned_depth
-     << ", \"depth\": " << r.plan.depth << ", \"tile_m\": " << r.plan.m.tile
+     << ", \"planned_depth\": " << r.planned_depth << ", \"schedule\": ";
+  put_string(os, r.schedule[0] != '\0' ? r.schedule : "none");
+  os << ", \"depth\": " << r.plan.depth << ", \"tile_m\": " << r.plan.m.tile
      << ", \"tile_k\": " << r.plan.k.tile << ", \"tile_n\": " << r.plan.n.tile
      << ", \"padded_m\": " << r.plan.m.padded
      << ", \"padded_k\": " << r.plan.k.padded
@@ -93,6 +98,7 @@ void write_json(std::ostream& os, const GemmReport& r) {
 
   os << "\"workspace\": {\"requested_bytes\": " << r.workspace_requested_bytes
      << ", \"peak_bytes\": " << r.workspace_peak_bytes
+     << ", \"saved_bytes\": " << r.workspace_saved_bytes
      << ", \"allocations\": " << r.workspace_allocations << ", \"fallback\": ";
   put_string(os, fallback_reason_name(r.fallback_reason));
   os << "}, ";

@@ -46,6 +46,9 @@ namespace strassen::obs {
 // rung taken.  (Moved here from core/modgemm.hpp; core aliases it.)
 enum class FallbackReason {
   kNone = 0,        // planned path ran unmodified
+  kScheduleSwap,    // workspace budget: planned depth kept, but a
+                    // lower-footprint schedule family ran instead of the
+                    // default 3-temporary table
   kDepthReduced,    // workspace budget: shallower recursion chosen
   kBudgetDirect,    // workspace budget: no depth fit; conventional gemm
   kAllocDirect,     // an allocation failed mid-call; conventional retry
@@ -57,7 +60,7 @@ const char* fallback_reason_name(FallbackReason r);
 
 // Everything the library can tell you about one gemm call.  Field semantics
 // are specified in docs/OBSERVABILITY.md together with the JSON schema
-// (strassen.gemm_report.v2) that to_json() emits.
+// (strassen.gemm_report.v3) that to_json() emits.
 struct GemmReport {
   // --- call identity -------------------------------------------------------
   const char* entry = "";  // "modgemm" | "pmodgemm" (static strings)
@@ -75,12 +78,20 @@ struct GemmReport {
   bool split_used = false;  // highly-rectangular decomposition taken
   int products = 0;         // sub-products executed (1 if no split)
   int planned_depth = 0;    // depth the planner wanted before any budget
+  // Schedule family the (last) Strassen product executed
+  // (analysis::family_name); "" until a Strassen path runs (direct-only
+  // calls never set it).
+  const char* schedule = "";
 
   // --- resilience / workspace ----------------------------------------------
   FallbackReason fallback_reason = FallbackReason::kNone;  // worst rung taken
   std::size_t workspace_requested_bytes = 0;  // arenas + Morton buffers sized
   std::size_t workspace_peak_bytes = 0;       // high-water mark reached
   int workspace_allocations = 0;              // arenas/buffers created
+  // Recursion-arena bytes a low-memory schedule family avoided relative to
+  // the default 3-temporary family (summed across products; 0 when the
+  // default family ran).
+  std::size_t workspace_saved_bytes = 0;
 
   // --- kernel telemetry (production double-precision path) -----------------
   const char* kernel = "";          // active engine kernel at call time
@@ -154,7 +165,7 @@ class WallStamp {
 };
 
 // Serializes `r` as one line of schema-stable JSON (schema id
-// "strassen.gemm_report.v2"; see docs/OBSERVABILITY.md for the contract).
+// "strassen.gemm_report.v3"; see docs/OBSERVABILITY.md for the contract).
 // Key set and nesting never change within a schema version -- consumers may
 // index fields unconditionally.
 std::string to_json(const GemmReport& r);

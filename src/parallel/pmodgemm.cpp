@@ -70,15 +70,18 @@ int effective_spawn_levels(const SpawnPolicy& policy, int explicit_levels,
 }
 
 // The parallel recursion.  Below the spawn cutoff this is exactly
-// core::winograd_recurse, so results are bit-identical to the serial code.
+// core::winograd_recurse, so results are bit-identical to the serial code
+// (when `family` is the default; the low-memory families trade that identity
+// for a smaller per-task arena within the numeric bounds).
 void recurse(ThreadPool* pool, const SpawnPolicy& policy, int spawn, double* C,
              const double* A, const double* B, int tm, int tk, int tn,
-             int depth) {
+             int depth, analysis::ScheduleFamily family) {
   if (!should_fork(policy, spawn, tm, tk, tn, depth)) {
-    ScratchArena scratch(
-        core::winograd_workspace_bytes(tm, tk, tn, depth, sizeof(double)));
+    ScratchArena scratch(core::winograd_workspace_bytes(
+        tm, tk, tn, depth, sizeof(double), family));
     RawMem mm;
-    core::winograd_recurse(mm, C, A, B, tm, tk, tn, depth, scratch.arena());
+    core::winograd_recurse(mm, C, A, B, tm, tk, tn, depth, scratch.arena(),
+                           family);
     return;
   }
   const int d1 = depth - 1;
@@ -150,7 +153,7 @@ void recurse(ThreadPool* pool, const SpawnPolicy& policy, int spawn, double* C,
     const int child_spawn = policy.auto_mode ? 0 : spawn - 1;
     auto fork = [&](double* dst, const double* a, const double* b) {
       group.run([=, &policy] {
-        recurse(pool, policy, child_spawn, dst, a, b, tm, tk, tn, d1);
+        recurse(pool, policy, child_spawn, dst, a, b, tm, tk, tn, d1, family);
       });
     };
     fork(M1, A11, B11);
@@ -188,6 +191,8 @@ void merge_sub_report(obs::GemmReport* rep, const obs::GemmReport& sub) {
   rep->workspace_allocations += sub.workspace_allocations;
   rep->workspace_peak_bytes =
       std::max(rep->workspace_peak_bytes, sub.workspace_peak_bytes);
+  rep->workspace_saved_bytes += sub.workspace_saved_bytes;
+  if (sub.schedule[0] != '\0') rep->schedule = sub.schedule;
   core::detail::record_fallback(rep, sub.fallback_reason);
   // Like the serial splitter, the call-level plan reflects the last
   // sub-product executed.
@@ -223,6 +228,7 @@ void split_parallel(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
 
   core::ModgemmOptions serial;
   serial.tiles = opt.tiles;
+  serial.schedule = opt.schedule;
   const auto run_block = [&](std::size_t index, const layout::Chunk& cm,
                              const layout::Chunk& cn) {
     obs::GemmReport* local = locals.empty() ? nullptr : &locals[index];
@@ -280,19 +286,32 @@ void split_parallel(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
 std::size_t pmodgemm_workspace_bytes(int tm, int tk, int tn, int depth,
                                      int spawn_levels,
                                      std::size_t elem_size) {
+  return pmodgemm_workspace_bytes(tm, tk, tn, depth, spawn_levels, elem_size,
+                                  analysis::ScheduleFamily::kWinograd);
+}
+
+std::size_t pmodgemm_workspace_bytes(int tm, int tk, int tn, int depth,
+                                     int spawn_levels, std::size_t elem_size,
+                                     analysis::ScheduleFamily family) {
   STRASSEN_REQUIRE(tm >= 1 && tk >= 1 && tn >= 1 && depth >= 0 &&
                        spawn_levels >= 0,
                    "bad workspace request");
+  // The driver runs kInPlace subtrees as kLowMem (no owned operand copies to
+  // overwrite below a spawn level); size what actually executes.
+  if (family == analysis::ScheduleFamily::kInPlace)
+    family = analysis::ScheduleFamily::kLowMem;
   if (spawn_levels == 0 || depth == 0)
-    return core::winograd_workspace_bytes(tm, tk, tn, depth, elem_size);
+    return core::winograd_workspace_bytes(tm, tk, tn, depth, elem_size,
+                                          family);
   const std::size_t scale = std::size_t{1} << (2 * (depth - 1));
   const std::size_t qa = static_cast<std::size_t>(tm) * tk * scale;
   const std::size_t qb = static_cast<std::size_t>(tk) * tn * scale;
   const std::size_t qc = static_cast<std::size_t>(tm) * tn * scale;
-  // All 7 child arenas can be live at once.
+  // All 7 child arenas can be live at once.  A spawn level's own 15
+  // temporaries are family-independent.
   return spawn_level_bytes(qa, qb, qc, elem_size) +
          7 * pmodgemm_workspace_bytes(tm, tk, tn, depth - 1, spawn_levels - 1,
-                                      elem_size);
+                                      elem_size, family);
 }
 
 void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
@@ -300,6 +319,7 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
               double beta, double* C, int ldc, const ParallelOptions& opt) {
   // Reject bad inputs identically to the serial entry point.
   core::require_gemm_args(opa, opb, m, n, k, lda, ldb, ldc);
+  blas::kernels::require_valid_kernel_env();
   STRASSEN_REQUIRE(opt.spawn_levels >= kSpawnAuto,
                    "bad spawn_levels: " << opt.spawn_levels);
   STRASSEN_REQUIRE(opt.min_task_flops >= 1,
@@ -322,7 +342,19 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
     blas::scale_view(mm, m, n, C, ldc, beta);
     return;
   }
-  const layout::GemmPlan plan = layout::plan_gemm(m, k, n, opt.tiles);
+  // Resolve the schedule family once per call (pin, then STRASSEN_SCHEDULE).
+  // The parallel recursion never owns throwaway operand copies below a spawn
+  // level, so the in-place family degenerates to the low-mem one here.
+  analysis::ScheduleFamily family =
+      opt.schedule != analysis::ScheduleFamily::kAuto
+          ? opt.schedule
+          : core::detail::env_schedule_family();
+  if (family == analysis::ScheduleFamily::kAuto)
+    family = analysis::ScheduleFamily::kWinograd;
+  if (family == analysis::ScheduleFamily::kInPlace)
+    family = analysis::ScheduleFamily::kLowMem;
+  layout::GemmPlan plan = layout::plan_gemm(m, k, n, opt.tiles);
+  plan.schedule = family;
   if (rep) rep->planned_depth = plan.depth;
   if (plan.direct) {
     // Thin shapes: one conventional product; nothing to fan out.  The
@@ -330,6 +362,7 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
     // execution while entry stays "pmodgemm".
     core::ModgemmOptions serial;
     serial.tiles = opt.tiles;
+    serial.schedule = opt.schedule;
     core::modgemm(opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc,
                   serial, rep);
     return;
@@ -365,6 +398,7 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
       rep->spawn_levels = effective_spawn_levels(
           policy, spawn, plan.m.tile, plan.k.tile, plan.n.tile, plan.depth);
       rep->plan = plan;
+      rep->schedule = analysis::family_name(family);
       ++rep->products;
       rep->workspace_requested_bytes += abytes + bbytes + cbytes;
       rep->workspace_allocations += 3;
@@ -390,7 +424,7 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
 
     t.restart();
     recurse(pool, policy, spawn, Cm, Am, Bm, plan.m.tile, plan.k.tile,
-            plan.n.tile, plan.depth);
+            plan.n.tile, plan.depth, family);
     if (rep) rep->compute_seconds += t.seconds();
 
     t.restart();
@@ -451,6 +485,7 @@ void pmodgemm(ThreadPool* pool, Op opa, Op opb, int m, int n, int k,
     purge_thread_arena_cache();
     core::ModgemmOptions serial;
     serial.tiles = opt.tiles;
+    serial.schedule = opt.schedule;
     core::modgemm(opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc,
                   serial, rep);
   }

@@ -61,6 +61,14 @@ struct ParallelOptions {
   // (2^21 ~ 2M, a ~128^3 product, a few hundred microseconds of leaf work)
   // keeps task overhead well under 1%.  Ignored when spawn_levels >= 0.
   std::int64_t min_task_flops = std::int64_t{1} << 21;
+  // Schedule family for the serial subtrees below the spawn cutoff
+  // (analysis/schedule.hpp): kAuto defers to STRASSEN_SCHEDULE, then the
+  // default 3-temporary family.  Spawn levels always keep their 15 dedicated
+  // temporaries (the space-for-parallelism trade is the point of forking);
+  // the low-memory families shrink each task's serial arena.  kInPlace runs
+  // as kLowMem here -- the parallel recursion never owns throwaway operand
+  // copies for a subtree to overwrite.
+  analysis::ScheduleFamily schedule = analysis::ScheduleFamily::kAuto;
   // Per-call observability (obs/report.hpp): phase timers, workspace
   // accounting, kernel telemetry plus the parallel section (tasks executed,
   // per-thread distribution, steal count, pool utilization).  Null =
@@ -71,9 +79,15 @@ struct ParallelOptions {
 // Bytes of spawn-level temporaries + per-task arenas pmodgemm needs beyond
 // the Morton buffers themselves (informational; allocation is internal).
 // Takes an explicit spawn_levels >= 0; for the auto policy, pass the
-// effective depth reported in GemmReport::spawn_levels.
+// effective depth reported in GemmReport::spawn_levels.  The six-argument
+// form assumes the default serial family; the seven-argument form sizes the
+// below-cutoff serial arenas for `family` (spawn levels are family-
+// independent: always 15 temporaries).
 std::size_t pmodgemm_workspace_bytes(int tm, int tk, int tn, int depth,
                                      int spawn_levels, std::size_t elem_size);
+std::size_t pmodgemm_workspace_bytes(int tm, int tk, int tn, int depth,
+                                     int spawn_levels, std::size_t elem_size,
+                                     analysis::ScheduleFamily family);
 
 // C <- alpha * op(A).op(B) + beta * C, using `pool` for parallelism.
 // pool == nullptr runs the whole pipeline inline (useful for tests).

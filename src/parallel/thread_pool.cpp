@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -119,11 +120,25 @@ void run_observed(const std::function<void()>& task, obs::Collector* col) {
 
 int ThreadPool::current_worker_index() noexcept { return tl_worker_index; }
 
-int ThreadPool::default_thread_count() noexcept {
+int ThreadPool::parse_thread_count(const char* value) {
+  STRASSEN_REQUIRE(value != nullptr && *value != '\0',
+                   "STRASSEN_THREADS: empty value");
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(value, &end, 10);
+  STRASSEN_REQUIRE(end != value && *end == '\0',
+                   "STRASSEN_THREADS: not an integer: \"" << value << "\"");
+  STRASSEN_REQUIRE(errno != ERANGE && v >= 1 && v <= 4096,
+                   "STRASSEN_THREADS: out of range [1, 4096]: \"" << value
+                                                                  << "\"");
+  return static_cast<int>(v);
+}
+
+int ThreadPool::default_thread_count() {
   if (const char* env = std::getenv("STRASSEN_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v > 0 && v <= 4096) return static_cast<int>(v);
+    // Set but malformed is a loud error: a typo'd width must not silently
+    // run at hardware concurrency.  Empty means unset.
+    if (*env != '\0') return parse_thread_count(env);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;

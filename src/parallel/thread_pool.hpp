@@ -64,8 +64,16 @@ class ThreadPool {
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
   // Pool width used when the constructor argument is <= 0: STRASSEN_THREADS
-  // when set to a positive integer, otherwise hardware_concurrency (min 1).
-  static int default_thread_count() noexcept;
+  // when set, otherwise hardware_concurrency (min 1).  A malformed
+  // STRASSEN_THREADS value throws via parse_thread_count below -- it does
+  // NOT silently fall back to hardware concurrency.
+  static int default_thread_count();
+
+  // Parses a STRASSEN_THREADS-style value: a decimal integer in [1, 4096]
+  // with no trailing junk.  Anything else (negative, zero, non-numeric,
+  // "8abc", out of range) throws std::invalid_argument naming the offending
+  // value.
+  static int parse_thread_count(const char* value);
 
   // Index of the pool worker running the current thread, or -1 when called
   // from outside any pool (observability maps -1 to per-thread slot 0).

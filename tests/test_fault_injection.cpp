@@ -243,6 +243,10 @@ TEST(WorkspaceBudget, DepthReductionStaysUnderBudgetAndExact) {
 
   ModgemmOptions opt;
   opt.max_workspace_bytes = budget;
+  // Pin the default family: with the schedule ladder enabled (kAuto), this
+  // budget is instead satisfied at FULL depth by a low-memory schedule --
+  // that path is covered in test_ladder_invariants.cpp.
+  opt.schedule = analysis::ScheduleFamily::kWinograd;
   ModgemmReport report;
   core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n, B.data(),
                 n, 0.0, C.data(), n, opt, &report);

@@ -260,6 +260,138 @@ TEST(ScheduleVerifyNegative, MutatedFusedProductCaughtAgainstReference) {
   EXPECT_TRUE(any_error_contains(errors, "P5")) << joined(errors);
 }
 
+// ---- the low-memory schedule family ---------------------------------------
+
+TEST(ScheduleVerifyFamily, ShippedLowMemTableVerifies) {
+  const VerifyResult r = verify_schedule(kWinogradLowMem);
+  EXPECT_TRUE(r.ok) << joined(r.errors);
+  EXPECT_EQ(r.temp_peak, 2);
+  EXPECT_EQ(r.products, 7);
+  EXPECT_EQ(r.linear_ops, 15);
+  EXPECT_EQ(temp_buffer_count(kWinogradLowMem), 2);
+}
+
+TEST(ScheduleVerifyFamily, ShippedInPlaceTableVerifies) {
+  const VerifyResult r = verify_schedule(kWinogradInPlace);
+  EXPECT_TRUE(r.ok) << joined(r.errors);
+  EXPECT_EQ(r.temp_peak, 1);
+  EXPECT_EQ(r.products, 7);
+  EXPECT_EQ(r.linear_ops, 15);
+}
+
+TEST(ScheduleVerifyFamily, ShippedAccumTableVerifies) {
+  const VerifyResult r = verify_schedule(kWinogradAccum);
+  EXPECT_TRUE(r.ok) << joined(r.errors);
+  EXPECT_EQ(r.temp_peak, 3);
+  EXPECT_EQ(r.products, 7);
+  EXPECT_EQ(r.linear_ops, 22);
+}
+
+TEST(ScheduleVerifyFamily, ConstexprCoreProvesFamilyTables) {
+  static_assert(verify_core(kWinogradLowMem).violation == Violation::kNone);
+  static_assert(verify_core(kWinogradInPlace).violation == Violation::kNone);
+  static_assert(verify_core(kWinogradAccum).violation == Violation::kNone);
+}
+
+TEST(ScheduleVerifyNegative, InPlaceReadAfterClobberRejected) {
+  // Move S3 (A11 <- A22 - S2, step 11) before P4 (step 8, which still needs
+  // A11 to hold S2): the in-place family's whole safety argument is step
+  // ordering around the quadrant clobbers, and the verifier must see the
+  // products that now read the wrong value.  C11 = P1 + P2 is formed before
+  // the clobbers and stays correct; C12 (via P4 and P6) is the first
+  // quadrant whose identity breaks.
+  TestSchedule t(kWinogradInPlace);
+  ASSERT_STREQ(t.steps[11].note, "S3");
+  ASSERT_STREQ(t.steps[8].note, "P4");
+  const Step s3 = t.steps[11];
+  t.steps.erase(t.steps.begin() + 11);
+  t.steps.insert(t.steps.begin() + 8, s3);
+  t.refresh();
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(any_error_contains(r.errors, "C12")) << joined(r.errors);
+  const CoreResult c = verify_core(t.sched);
+  EXPECT_EQ(c.violation, Violation::kProductIdentity);
+  EXPECT_EQ(c.operand, Op::kC12);
+}
+
+TEST(ScheduleVerifyNegative, InPlaceTableWithoutFlagRejected) {
+  // The same steps without the overwrites_inputs declaration: the first
+  // quadrant clobber (S1 into A21, step 3) is a write-to-input violation.
+  TestSchedule t(kWinogradInPlace);
+  t.sched.overwrites_inputs = false;
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(any_error_contains(r.errors, "A21")) << joined(r.errors);
+  const CoreResult c = verify_core(t.sched);
+  EXPECT_EQ(c.violation, Violation::kWriteToInput);
+  EXPECT_EQ(c.step, 3);
+  EXPECT_EQ(c.operand, A21);
+}
+
+TEST(ScheduleVerifyNegative, SharedBufferOverlapRejected) {
+  // Move P1 (step 11) before S4 (step 9): algebraically nothing changes --
+  // tS and tP are distinct slots -- but tP is now born while tS is still
+  // live, and the low-mem table maps both onto ONE arena buffer.  With an
+  // honest 3-temporary declaration the stale buffer mapping is the lie the
+  // verifier must catch.
+  TestSchedule t(kWinogradLowMem);
+  ASSERT_STREQ(t.steps[11].note, "P1");
+  ASSERT_STREQ(t.steps[9].note, "S4");
+  const Step p1 = t.steps[11];
+  t.steps.erase(t.steps.begin() + 11);
+  t.steps.insert(t.steps.begin() + 9, p1);
+  t.refresh();
+  t.sched.declared_temp_peak = 3;  // honest: the reorder raised the peak
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(any_error_contains(r.errors, "shares an arena buffer"))
+      << joined(r.errors);
+  const CoreResult c = verify_core(t.sched);
+  EXPECT_EQ(c.violation, Violation::kSharedTempOverlap);
+  EXPECT_EQ(c.step, 10);  // first point with both tS and tP live
+  EXPECT_EQ(c.operand, tP);
+}
+
+TEST(ScheduleVerifyNegative, BadTempBufferIdRejected) {
+  TestSchedule t(kWinogradLowMem);
+  static constexpr std::int8_t kBad[] = {0, 1, 3};  // id 3 out of range
+  t.sched.temp_buffer = kBad;
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(verify_core(t.sched).violation, Violation::kBadTempBuffer);
+}
+
+TEST(ScheduleVerifyNegative, AccumTempPeakUndercountRejected) {
+  // The accumulating table really needs 3 temporaries; declaring the
+  // low-mem bound instead must be rejected with the measured peak.
+  TestSchedule t(kWinogradAccum);
+  t.sched.declared_temp_peak = 2;
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(any_error_contains(r.errors, "live-temporary peak is 3"))
+      << joined(r.errors);
+  EXPECT_EQ(verify_core(t.sched).violation, Violation::kTempPeakMismatch);
+}
+
+TEST(ScheduleVerifyNegative, AccumInitialValueClobberRejected) {
+  // Turn C11 += P1 (step 23) into a direct product C11 = P1: the final
+  // bilinear form still reaches its target (P2 is added afterwards) but the
+  // caller's initial C11 no longer survives into the result -- exactly the
+  // defect the accumulating contract exists to exclude, invisible to every
+  // overwrite-table check.
+  TestSchedule t(kWinogradAccum);
+  ASSERT_STREQ(t.steps[23].note, "C11+=P1");
+  t.steps[23] = mul(C11, A11, B11, "P1");
+  t.refresh();
+  const VerifyResult r = verify_schedule(t.sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(any_error_contains(r.errors, "C11")) << joined(r.errors);
+  const CoreResult c = verify_core(t.sched);
+  EXPECT_EQ(c.violation, Violation::kAccumClobber);
+  EXPECT_EQ(c.operand, C11);
+}
+
 }  // namespace
 }  // namespace strassen::analysis
 
@@ -416,6 +548,68 @@ TEST(ScheduleBitIdentity, TableMatchesSeedSequenceScalarPin) {
   expect_bit_identical(4, 4, 4, 1, 21);
   expect_bit_identical(3, 5, 7, 2, 22);
   expect_bit_identical(8, 6, 4, 3, 23);
+}
+
+// ---- the family entry points against the seed recursion -------------------
+
+// The low-memory families reorder the products, so they are NOT bit-pinned
+// against the seed in general -- but on small-integer data every
+// intermediate is exactly representable, so all orders must agree exactly.
+void expect_family_exact(int tm, int tk, int tn, int depth,
+                         std::uint64_t seed) {
+  using analysis::ScheduleFamily;
+  const int m = tm << depth, k = tk << depth, n = tn << depth;
+  Rng rng(seed);
+  std::vector<double> Am(static_cast<std::size_t>(m) * k);
+  std::vector<double> Bm(static_cast<std::size_t>(k) * n);
+  rng.fill_int(Am, -3, 3);
+  rng.fill_int(Bm, -3, 3);
+  std::vector<double> Cref(static_cast<std::size_t>(m) * n, 0.0);
+  RawMem mm;
+  {
+    Arena arena(winograd_workspace_bytes(tm, tk, tn, depth, sizeof(double)));
+    seed_winograd_recurse(mm, Cref.data(), Am.data(), Bm.data(), tm, tk, tn,
+                          depth, arena);
+  }
+  {
+    // kLowMem: the 2-buffer table at every level.
+    std::vector<double> C(Cref.size(), -1.0);
+    Arena arena(winograd_workspace_bytes(tm, tk, tn, depth, sizeof(double),
+                                         ScheduleFamily::kLowMem));
+    winograd_recurse(mm, C.data(), Am.data(), Bm.data(), tm, tk, tn, depth,
+                     arena, ScheduleFamily::kLowMem);
+    for (std::size_t i = 0; i < C.size(); ++i)
+      ASSERT_EQ(C[i], Cref[i]) << "lowmem differs at " << i;
+  }
+  {
+    // kInPlace: the top level destroys the operand copies it is given.
+    std::vector<double> C(Cref.size(), -1.0), Ac = Am, Bc = Bm;
+    Arena arena(winograd_workspace_bytes(tm, tk, tn, depth, sizeof(double),
+                                         ScheduleFamily::kInPlace));
+    winograd_recurse_inplace(mm, C.data(), Ac.data(), Bc.data(), tm, tk, tn,
+                             depth, arena);
+    for (std::size_t i = 0; i < C.size(); ++i)
+      ASSERT_EQ(C[i], Cref[i]) << "inplace differs at " << i;
+  }
+  {
+    // Accumulating top level: C starts at X and must end at X + A.B.
+    std::vector<double> C(Cref.size());
+    rng.fill_int(C, -3, 3);
+    std::vector<double> want = Cref;
+    for (std::size_t i = 0; i < want.size(); ++i) want[i] += C[i];
+    Arena arena(winograd_accum_workspace_bytes(
+        tm, tk, tn, depth, sizeof(double), ScheduleFamily::kLowMem));
+    winograd_recurse_acc(mm, C.data(), Am.data(), Bm.data(), tm, tk, tn,
+                         depth, arena, ScheduleFamily::kLowMem);
+    for (std::size_t i = 0; i < C.size(); ++i)
+      ASSERT_EQ(C[i], want[i]) << "accum differs at " << i;
+  }
+}
+
+TEST(ScheduleFamilies, FamilyEntryPointsExactOnIntegers) {
+  expect_family_exact(4, 4, 4, 1, 41);
+  expect_family_exact(3, 5, 7, 2, 42);
+  expect_family_exact(8, 6, 4, 3, 43);
 }
 
 }  // namespace

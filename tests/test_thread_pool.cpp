@@ -317,10 +317,14 @@ TEST(ThreadPoolEnv, StrassenThreadsControlsDefaultWidth) {
     ThreadPool pool(0);
     EXPECT_EQ(pool.thread_count(), 3);
   }
-  // Unparseable or out-of-range values fall back to hardware concurrency.
+  // Unparseable or out-of-range values are rejected loudly -- a typo'd
+  // width must not silently run at hardware concurrency.
   ASSERT_EQ(setenv("STRASSEN_THREADS", "not-a-number", 1), 0);
-  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+  EXPECT_THROW(ThreadPool::default_thread_count(), std::invalid_argument);
   ASSERT_EQ(setenv("STRASSEN_THREADS", "-2", 1), 0);
+  EXPECT_THROW(ThreadPool::default_thread_count(), std::invalid_argument);
+  // Empty means unset.
+  ASSERT_EQ(setenv("STRASSEN_THREADS", "", 1), 0);
   EXPECT_GE(ThreadPool::default_thread_count(), 1);
   unsetenv("STRASSEN_THREADS");
 }

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""Validates strassen.gemm_report.v2 JSON lines (stdlib only).
+"""Validates strassen.gemm_report.v3 JSON lines (stdlib only).
 
 Input: one or more files of JSONL as emitted by STRASSEN_OBS=json:PATH, a
 single-report .json file, or a bench --json file
 (``{"bench": ..., "rows": [{"label": ..., "report": {...}}]}``).  Every
-report must carry the exact v2 key set with the documented types -- the
+report must carry the exact v3 key set with the documented types -- the
 schema is a compatibility contract (docs/OBSERVABILITY.md): consumers index
 fields unconditionally, so a missing, extra or retyped key is an error, not
 a warning.  Exits nonzero with the offending path on the first failure per
@@ -16,15 +16,18 @@ Usage: python3 tools/validate_report_schema.py report.jsonl [...]
 import json
 import sys
 
-SCHEMA_ID = "strassen.gemm_report.v2"
+SCHEMA_ID = "strassen.gemm_report.v3"
 
 BOOL = bool
 INT = int
 NUM = (int, float)  # JSON has one number type; integers satisfy "number"
 STR = str
 
-# section -> {key: expected type}; the full v2 key set, nothing optional.
-# v2 added parallel.steals (work-steal migrations) to the v1 layout.
+# section -> {key: expected type}; the full v3 key set, nothing optional.
+# v2 added parallel.steals (work-steal migrations) to the v1 layout; v3 added
+# plan.schedule (the executed schedule family), workspace.saved_bytes (bytes
+# a schedule swap saved vs the default family) and the "schedule-swap"
+# fallback rung.
 SECTIONS = {
     "call": {"entry": STR, "m": INT, "n": INT, "k": INT},
     "phases": {
@@ -40,6 +43,7 @@ SECTIONS = {
         "split": BOOL,
         "products": INT,
         "planned_depth": INT,
+        "schedule": STR,
         "depth": INT,
         "tile_m": INT,
         "tile_k": INT,
@@ -52,6 +56,7 @@ SECTIONS = {
     "workspace": {
         "requested_bytes": INT,
         "peak_bytes": INT,
+        "saved_bytes": INT,
         "allocations": INT,
         "fallback": STR,
     },
@@ -74,8 +79,10 @@ SECTIONS = {
     },
 }
 
-FALLBACKS = {"none", "depth-reduced", "budget-direct", "alloc-direct",
-             "alloc-strided"}
+FALLBACKS = {"none", "schedule-swap", "depth-reduced", "budget-direct",
+             "alloc-direct", "alloc-strided"}
+# "none" = direct (no Strassen plan ran, so no schedule family applies).
+SCHEDULES = {"none", "winograd", "winograd-lowmem", "winograd-inplace"}
 ENTRIES = {"modgemm", "pmodgemm"}
 
 
@@ -112,6 +119,9 @@ def validate_report(report, where):
     check(report["workspace"]["fallback"] in FALLBACKS,
           f"{where}.workspace.fallback",
           f"{report['workspace']['fallback']!r} not in {sorted(FALLBACKS)}")
+    check(report["plan"]["schedule"] in SCHEDULES,
+          f"{where}.plan.schedule",
+          f"{report['plan']['schedule']!r} not in {sorted(SCHEDULES)}")
     for i, t in enumerate(report["parallel"]["per_thread_tasks"]):
         check(isinstance(t, int) and not isinstance(t, bool),
               f"{where}.parallel.per_thread_tasks[{i}]", f"{t!r} is not int")

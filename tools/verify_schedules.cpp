@@ -24,11 +24,16 @@ int main() {
   for (int i = 0; i < kShippedScheduleCount; ++i) {
     const Schedule& sched = *kShippedSchedules[i];
     const VerifyResult r = verify_schedule(sched);
+    std::string attrs;
+    if (temp_buffer_count(sched) < sched.temp_count)
+      attrs += " shared-buffers=" + std::to_string(temp_buffer_count(sched));
+    if (sched.overwrites_inputs) attrs += " overwrites-inputs";
+    if (sched.accumulates_c) attrs += " accumulates-c";
     std::printf("schedule %-20s steps=%2d products=%d (fused %d) "
-                "additions=%2d temp-peak=%d (declared %d)  %s\n",
+                "additions=%2d temp-peak=%d (declared %d)%s  %s\n",
                 sched.name, sched.step_count, r.products, r.fused_products,
                 r.linear_ops, r.temp_peak, sched.declared_temp_peak,
-                r.ok ? "OK" : "FAIL");
+                attrs.c_str(), r.ok ? "OK" : "FAIL");
     for (const std::string& e : r.errors)
       std::printf("  error: %s\n", e.c_str());
     if (!r.ok) all_ok = false;
