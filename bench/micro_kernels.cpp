@@ -259,6 +259,39 @@ int run_kernel_sweep(const std::string& json_path, double check_speedup) {
     }
   }
 
+  // ---- execution-strategy sweep: MODGEMM end-to-end per strategy ---------
+  // Effective GFLOP/s of the full product through the public API with the
+  // execution strategy pinned; the "tile" key of these rows is the problem
+  // size.  The packfused/morton ratio measured in the same run is machine-
+  // stable, so compare_bench.py gates it exactly like the SIMD/scalar
+  // leaf-kernel ratios.
+  std::map<std::string, std::map<int, double>> strategy_results;
+  for (int n : {256, 513}) {
+    Rng rng(static_cast<std::uint64_t>(n) * 13 + 1);
+    Matrix<double> A(n, n), B(n, n), C(n, n);
+    rng.fill_uniform(A.storage());
+    rng.fill_uniform(B.storage());
+    const double flops = static_cast<double>(gemm_flops(n, n, n));
+    MeasureOptions mopt;
+    mopt.outer_reps = 3;
+    mopt.inner_reps = n < 500 ? 3 : 1;
+    mopt.warmup = 1;
+    for (layout::ExecStrategy strat :
+         {layout::ExecStrategy::kMorton, layout::ExecStrategy::kPackFused}) {
+      core::ModgemmOptions mo;
+      mo.strategy = strat;
+      const double secs = measure(
+          [&] {
+            core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(),
+                          A.ld(), B.data(), B.ld(), 0.0, C.data(), C.ld(),
+                          mo);
+          },
+          mopt);
+      strategy_results[std::string("modgemm-") +
+                       layout::strategy_name(strat)][n] = flops / secs * 1e-9;
+    }
+  }
+
   std::ofstream os(json_path);
   if (!os) {
     std::cerr << "micro_kernels: cannot write " << json_path << "\n";
@@ -281,6 +314,13 @@ int run_kernel_sweep(const std::string& json_path, double check_speedup) {
     for (const auto& [t, gflops] : per_tile) {
       os << (first_row ? "" : ",\n") << "    {\"kernel\": \"" << name
          << "\", \"tile\": " << t << ", \"gflops\": " << gflops << "}";
+      first_row = false;
+    }
+  }
+  for (const auto& [name, per_size] : strategy_results) {
+    for (const auto& [n, gflops] : per_size) {
+      os << (first_row ? "" : ",\n") << "    {\"kernel\": \"" << name
+         << "\", \"tile\": " << n << ", \"gflops\": " << gflops << "}";
       first_row = false;
     }
   }
@@ -325,6 +365,12 @@ int run_kernel_sweep(const std::string& json_path, double check_speedup) {
     std::cout << "  " << name << ":";
     for (const auto& [t, gflops] : per_tile)
       std::cout << "  T=" << t << " " << gflops << " GF/s";
+    std::cout << "\n";
+  }
+  for (const auto& [name, per_size] : strategy_results) {
+    std::cout << "  " << name << ":";
+    for (const auto& [n, gflops] : per_size)
+      std::cout << "  n=" << n << " " << gflops << " GF/s";
     std::cout << "\n";
   }
   if (check_speedup > 0.0 && results.size() == 1)

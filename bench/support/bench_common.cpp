@@ -100,6 +100,16 @@ GemmFn modgemm_fn() {
   };
 }
 
+GemmFn modgemm_packfused_fn() {
+  return [](int m, int n, int k, const double* A, int lda, const double* B,
+            int ldb, double* C, int ldc) {
+    core::ModgemmOptions opt;
+    opt.strategy = layout::ExecStrategy::kPackFused;
+    core::modgemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A, lda, B, ldb, 0.0,
+                  C, ldc, opt);
+  };
+}
+
 GemmFn dgefmm_fn() {
   return [](int m, int n, int k, const double* A, int lda, const double* B,
             int ldb, double* C, int ldc) {

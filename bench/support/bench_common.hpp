@@ -45,7 +45,7 @@ struct BenchArgs {
 // as DIR/BENCH_<name>.json:
 //
 //   {"bench": "<name>",
-//    "rows": [{"label": "...", "report": <strassen.gemm_report.v3>}, ...]}
+//    "rows": [{"label": "...", "report": <strassen.gemm_report.v4>}, ...]}
 //
 // Inert (enabled() == false, add() drops) without --json, so benches can
 // call it unconditionally.
@@ -84,6 +84,9 @@ using GemmFn = std::function<void(int m, int n, int k, const double* A,
                                   int lda, const double* B, int ldb, double* C,
                                   int ldc)>;
 GemmFn modgemm_fn();
+// MODGEMM through the public API with the pack-fused (no-conversion)
+// execution strategy pinned (ModgemmOptions::strategy).
+GemmFn modgemm_packfused_fn();
 GemmFn dgefmm_fn();
 GemmFn dgemmw_fn();
 GemmFn conventional_fn();

@@ -67,6 +67,10 @@ class Arena {
   std::size_t alignment() const { return buffer_.alignment(); }
   // High-water mark over the lifetime of the arena (for workspace tests).
   std::size_t peak() const { return peak_; }
+  // Restarts the high-water measurement at the current top.  The arena pool
+  // calls this when it hands a cached arena to a new acquisition, so peak()
+  // reflects the acquiring call rather than the buffer's whole history.
+  void reset_peak() { peak_ = top_; }
 
   // RAII frame: releases everything pushed during its lifetime.
   class Frame {

@@ -35,6 +35,26 @@ analysis::ScheduleFamily env_schedule_family() {
   return parse_schedule_family(env);
 }
 
+layout::ExecStrategy parse_exec_strategy(const char* value) {
+  using layout::ExecStrategy;
+  STRASSEN_REQUIRE(value != nullptr, "STRASSEN_STRATEGY: null value");
+  if (std::strcmp(value, "auto") == 0) return ExecStrategy::kAuto;
+  if (std::strcmp(value, "morton") == 0) return ExecStrategy::kMorton;
+  if (std::strcmp(value, "packfused") == 0) return ExecStrategy::kPackFused;
+  STRASSEN_REQUIRE(false, "STRASSEN_STRATEGY: unknown execution strategy \""
+                              << value
+                              << "\" (expected auto, morton or packfused)");
+  return ExecStrategy::kAuto;  // unreachable
+}
+
+layout::ExecStrategy env_exec_strategy() {
+  // Same discipline as STRASSEN_SCHEDULE: re-read per call, loud rejection
+  // of malformed values before any write to C.
+  const char* env = std::getenv("STRASSEN_STRATEGY");
+  if (env == nullptr || *env == '\0') return layout::ExecStrategy::kAuto;
+  return parse_exec_strategy(env);
+}
+
 }  // namespace detail
 
 // The production wrappers open an obs::CallScope: it resolves the report

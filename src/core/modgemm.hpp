@@ -37,6 +37,7 @@
 #include "common/memmodel.hpp"
 #include "common/status.hpp"
 #include "common/timer.hpp"
+#include "core/packfused.hpp"
 #include "core/winograd.hpp"
 #include "core/workspace.hpp"
 #include "layout/convert.hpp"
@@ -85,6 +86,15 @@ struct ModgemmOptions {
   // runs that family unconditionally; pinning kWinograd disables the
   // schedule-swap rung (the ladder then degrades by depth as before).
   analysis::ScheduleFamily schedule = analysis::ScheduleFamily::kAuto;
+  // Execution-strategy pin for this call (layout/plan.hpp).  kAuto (the
+  // default) defers to the STRASSEN_STRATEGY environment override and then
+  // to the planner heuristic (layout::choose_exec_strategy): pack-fused for
+  // one-shot / rectangular / shallow-recursion shapes, Morton for deep
+  // square recursions.  Pinning kMorton or kPackFused runs that strategy for
+  // every Strassen product of the call regardless of the environment.  Both
+  // strategies are bit-identical for all alpha/beta; non-Strassen (direct)
+  // products and traced/non-RawMem instantiations always execute kMorton.
+  layout::ExecStrategy strategy = layout::ExecStrategy::kAuto;
   // Per-call observability: when non-null, the call fills *report with phase
   // timers, plan/padding data, workspace accounting, kernel telemetry and
   // (for pmodgemm) parallel stats -- see obs/report.hpp.  Null (the default)
@@ -132,14 +142,7 @@ inline void require_gemm_args(Op opa, Op opb, int m, int n, int k, int lda,
 inline std::size_t modgemm_workspace_bytes(const layout::GemmPlan& plan,
                                            std::size_t elem_size) {
   if (plan.direct || !plan.feasible) return 0;
-  auto buf = [&](int rows_tile, int cols_tile) {
-    const layout::MortonLayout l{0, 0, rows_tile, cols_tile, plan.depth};
-    return checked_add(layout::buffer_bytes(l, elem_size), 63) / 64 * 64;
-  };
-  std::size_t total = buf(plan.m.tile, plan.k.tile);
-  total = checked_add(total, buf(plan.k.tile, plan.n.tile));
-  total = checked_add(total, buf(plan.m.tile, plan.n.tile));
-  return checked_add(total,
+  return checked_add(modgemm_conversion_bytes(plan, elem_size),
                      winograd_workspace_bytes(plan.m.tile, plan.k.tile,
                                               plan.n.tile, plan.depth,
                                               elem_size, plan.schedule));
@@ -163,6 +166,38 @@ inline analysis::ScheduleFamily resolve_schedule_family(
     const ModgemmOptions& opt) {
   if (opt.schedule != analysis::ScheduleFamily::kAuto) return opt.schedule;
   return env_schedule_family();
+}
+
+// Parses a STRASSEN_STRATEGY value ("auto", "morton", "packfused"); throws
+// via STRASSEN_REQUIRE naming the offending value on anything else.
+// Implemented in modgemm.cpp.
+layout::ExecStrategy parse_exec_strategy(const char* value);
+
+// The STRASSEN_STRATEGY environment override, re-read per call (same
+// grammar discipline as STRASSEN_SCHEDULE).  Unset or "auto" -> kAuto;
+// malformed values throw.
+layout::ExecStrategy env_exec_strategy();
+
+// The strategy this call resolved from its pin and environment (the per-call
+// pin wins, so tests pinning kMorton hold even under a forced
+// STRASSEN_STRATEGY).  kAuto defers the final choice to the per-plan
+// heuristic below.
+inline layout::ExecStrategy resolve_exec_strategy(const ModgemmOptions& opt) {
+  if (opt.strategy != layout::ExecStrategy::kAuto) return opt.strategy;
+  return env_exec_strategy();
+}
+
+// The strategy one PLANNED product executes: non-Strassen plans always run
+// kMorton (there is nothing to fuse), an explicit pin/env choice sticks, and
+// kAuto consults the planner heuristic.
+inline layout::ExecStrategy plan_exec_strategy(layout::ExecStrategy resolved,
+                                               const layout::GemmPlan& plan,
+                                               int m, int k, int n,
+                                               const layout::TileOptions& tiles) {
+  if (plan.direct || !plan.feasible || plan.depth < 1)
+    return layout::ExecStrategy::kMorton;
+  if (resolved != layout::ExecStrategy::kAuto) return resolved;
+  return layout::choose_exec_strategy(plan, m, k, n, tiles);
 }
 
 // Escalates the recorded fallback to the worse of the two (split calls run
@@ -305,6 +340,8 @@ void modgemm_strassen(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
     report->compute_seconds += t_mul;
     report->convert_out_seconds += t_out;
     report->plan = plan;
+    report->plan.strategy = layout::ExecStrategy::kMorton;
+    report->strategy = layout::strategy_name(layout::ExecStrategy::kMorton);
     // kAuto means the planner kept the default family: report what ran.
     report->schedule = analysis::family_name(
         plan.schedule == analysis::ScheduleFamily::kAuto
@@ -355,10 +392,13 @@ void modgemm_direct(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
 
 // One planned product: C(m x n) {<-,+=} alpha * op(A).op(B) + beta * C.
 // Requires plan.feasible or plan.direct.  Degradation ladder: planned
-// Strassen depth -> conventional blocked gemm (if workspace allocation
-// fails) -> allocation-free strided gemm (if even staging fails).  Every
-// rung computes the same correct product, so a valid call never leaves C
-// partially updated.
+// Strassen execution (Morton or pack-fused per plan.strategy) ->
+// conventional blocked gemm (if workspace allocation fails) ->
+// allocation-free strided gemm (if even staging fails).  Every rung computes
+// the same correct product, so a valid call never leaves C partially
+// updated.  A failed pack-fused acquisition degrades straight to the
+// conventional path -- the Morton strategy needs strictly MORE memory, so
+// retrying it could only fail again.
 template <class MM, class T>
 void modgemm_single(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
                     const T* A, int lda, const T* B, int ldb, T beta, T* C,
@@ -368,15 +408,32 @@ void modgemm_single(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
   // report->plan.direct is accurate even when no Strassen path runs.
   if (report) report->plan = plan;
   if (!plan.direct) {
-    try {
-      modgemm_strassen(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C,
-                       ldc, plan, report);
-      return;
-    } catch (const std::bad_alloc&) {
-      // Workspace allocation failed under real memory pressure (or a fault
-      // injector).  C is untouched (see modgemm_strassen); degrade to the
-      // conventional path, which needs no recursion workspace.
-      record_fallback(report, FallbackReason::kAllocDirect);
+    bool try_morton = true;
+    if constexpr (std::is_same_v<MM, RawMem>) {
+      if (plan.strategy == layout::ExecStrategy::kPackFused) {
+        try_morton = false;
+        try {
+          modgemm_packfused(opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C,
+                            ldc, plan, report);
+          return;
+        } catch (const std::bad_alloc&) {
+          // The single up-front arena acquisition failed; C is untouched
+          // (see modgemm_packfused).
+          record_fallback(report, FallbackReason::kAllocDirect);
+        }
+      }
+    }
+    if (try_morton) {
+      try {
+        modgemm_strassen(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta,
+                         C, ldc, plan, report);
+        return;
+      } catch (const std::bad_alloc&) {
+        // Workspace allocation failed under real memory pressure (or a fault
+        // injector).  C is untouched (see modgemm_strassen); degrade to the
+        // conventional path, which needs no recursion workspace.
+        record_fallback(report, FallbackReason::kAllocDirect);
+      }
     }
   }
   modgemm_direct(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc,
@@ -513,6 +570,8 @@ bool modgemm_split_block_fused(MM& mm, Op opa, Op opb, const layout::Chunk& cm,
       report->compute_seconds += t_mul;
       report->convert_out_seconds += t_out;
       report->plan = subs[0];
+      report->plan.strategy = layout::ExecStrategy::kMorton;
+      report->strategy = layout::strategy_name(layout::ExecStrategy::kMorton);
       report->schedule = analysis::family_name(resolved);
       report->workspace_saved_bytes += saved;
       report->products += nk;
@@ -576,6 +635,16 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
   const analysis::ScheduleFamily resolved =
       detail::resolve_schedule_family(opt);
 
+  // Resolve the execution strategy once per call (pin, then
+  // STRASSEN_STRATEGY, then auto -- the per-plan heuristic decides kAuto
+  // below).  Same loud-throw discipline for malformed environment values.
+  // Traced / non-RawMem executions dereference operands through the memory
+  // model, which the pack-fused leaf path bypasses, so they always run
+  // kMorton (and skip the env read entirely, like their kernel stamping).
+  layout::ExecStrategy strat = layout::ExecStrategy::kMorton;
+  if constexpr (std::is_same_v<MM, RawMem>)
+    strat = detail::resolve_exec_strategy(opt);
+
   if (opt.fixed_tile > 0) {
     // Ablation: static padding with a fixed truncation point.  The three
     // dimensions must then share a depth naturally, which holds for the
@@ -600,6 +669,7 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
     plan.feasible = true;
     plan.direct = plan.depth == 0;
     if (resolved != analysis::ScheduleFamily::kAuto) plan.schedule = resolved;
+    plan.strategy = detail::plan_exec_strategy(strat, plan, m, k, n, opt.tiles);
     detail::modgemm_single(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta,
                            C, ldc, plan, report);
     return;
@@ -608,8 +678,9 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
   const layout::GemmPlan planned = layout::plan_gemm(m, k, n, opt.tiles);
   if (report) report->planned_depth = planned.depth;
   if (planned.direct || planned.feasible) {
-    const layout::GemmPlan plan = detail::apply_workspace_budget(
+    layout::GemmPlan plan = detail::apply_workspace_budget(
         planned, m, k, n, opt, sizeof(T), report, resolved);
+    plan.strategy = detail::plan_exec_strategy(strat, plan, m, k, n, opt.tiles);
     detail::modgemm_single(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta,
                            C, ldc, plan, report);
     return;
@@ -622,8 +693,11 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
   for (const auto& cm : split.m_chunks) {
     for (const auto& cn : split.n_chunks) {
       // Low-memory families first try the fused accumulating evaluation of
-      // this block (one shared Morton C, a single alpha/beta write-back).
-      if (detail::modgemm_split_block_fused(mm, opa, opb, cm, cn,
+      // this block (one shared Morton C, a single alpha/beta write-back) --
+      // a Morton-strategy optimization, so a pack-fused pin/env skips it in
+      // favor of the per-chunk loop below.
+      if (strat != layout::ExecStrategy::kPackFused &&
+          detail::modgemm_split_block_fused(mm, opa, opb, cm, cn,
                                             split.k_chunks, alpha, A, lda, B,
                                             ldb, beta, C, ldc, opt, resolved,
                                             report))
@@ -647,6 +721,8 @@ void modgemm_mm(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
         // sequentially, so the per-product peak is the call's peak).
         sub = detail::apply_workspace_budget(sub, cm.size, ck.size, cn.size,
                                              opt, sizeof(T), report, resolved);
+        sub.strategy = detail::plan_exec_strategy(strat, sub, cm.size, ck.size,
+                                                  cn.size, opt.tiles);
         detail::modgemm_single(mm, opa, opb, cm.size, cn.size, ck.size, alpha,
                                Ablk, lda, Bblk, ldb, first ? beta : T{1}, Cblk,
                                ldc, sub, report);

@@ -1,5 +1,6 @@
 #include "layout/plan.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -191,6 +192,19 @@ GemmPlan plan_gemm(int m, int k, int n, const TileOptions& opt) {
     return best;
   }
   return best;
+}
+
+ExecStrategy choose_exec_strategy(const GemmPlan& plan, int m, int k, int n,
+                                  const TileOptions& opt) {
+  if (plan.direct || !plan.feasible || plan.depth < 1)
+    return ExecStrategy::kMorton;
+  const int mx = std::max({m, k, n});
+  const int mn = std::min({m, k, n});
+  // Rectangular shape classes reach here per split chunk; the 2x aspect test
+  // also catches the chunks plan_split leaves moderately oblong.
+  if (mn > 0 && mx >= 2 * mn) return ExecStrategy::kPackFused;
+  if (plan.depth <= opt.packfused_max_depth) return ExecStrategy::kPackFused;
+  return ExecStrategy::kMorton;
 }
 
 }  // namespace strassen::layout

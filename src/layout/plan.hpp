@@ -14,11 +14,45 @@
 //                          of this)
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "analysis/schedule.hpp"
 
 namespace strassen::layout {
+
+// How a planned Strassen product executes (strategy selection lives in the
+// planner because it is a per-plan property, like the schedule family):
+//
+//   kMorton     stage op(A), op(B) into zero-padded Morton buffers, recurse
+//               over contiguous tiles, convert back with the alpha/beta merge
+//               (the paper's design; conversion costs 5-15% of the call,
+//               Fig. 7).
+//   kPackFused  run the same schedule tables directly from the caller's
+//               column-major storage: operand sums, transposes and boundary
+//               zero padding fold into leaf packing (blas/pack.hpp), and the
+//               schedule's output combinations accumulate C +-= P in place --
+//               no Morton buffers exist at all (Huang et al., BLIS-style).
+//   kAuto       (options/env only) defer: per-call pin, then the
+//               STRASSEN_STRATEGY env override, then the planner heuristic
+//               (layout::choose_exec_strategy).
+//
+// Both strategies execute the same verified schedules with the same leaf
+// kernels and are bit-identical for all alpha/beta (docs/DESIGN.md).
+enum class ExecStrategy : std::uint8_t {
+  kAuto = 0,
+  kMorton,
+  kPackFused,
+};
+
+constexpr const char* strategy_name(ExecStrategy s) {
+  switch (s) {
+    case ExecStrategy::kAuto: return "auto";
+    case ExecStrategy::kMorton: return "morton";
+    case ExecStrategy::kPackFused: return "packfused";
+  }
+  return "unknown";
+}
 
 // Tuning knobs for the planner.  Defaults are the paper's values.
 struct TileOptions {
@@ -49,6 +83,15 @@ struct TileOptions {
   // choices, like conflicting tiles.  0 (default) keeps the paper's pure
   // padding objective.
   std::size_t max_tile_working_set_bytes = 0;
+
+  // Strategy heuristic knob (choose_exec_strategy): plans at most this deep
+  // prefer the pack-fused strategy when the caller pins nothing -- shallow
+  // recursions amortize the Morton conversion over few products, so skipping
+  // it wins.  Deeper square recursions reuse each converted tile across many
+  // products and keep the Morton strategy.  The autotuner's strategy
+  // crossover probe (tune/autotune.hpp) measures and overrides this per
+  // machine.
+  int packfused_max_depth = 2;
 
   // True if a leaf tile of side `tile` aligns sibling quadrants at a
   // multiple of the configured cache size at the leaf level or within the
@@ -117,6 +160,11 @@ struct GemmPlan {
   // reducing depth when max_workspace_bytes bites, and
   // ModgemmOptions::schedule / STRASSEN_SCHEDULE pin one explicitly.
   analysis::ScheduleFamily schedule = analysis::ScheduleFamily::kWinograd;
+  // Execution strategy the product runs (never kAuto in an executed plan:
+  // core/modgemm.hpp resolves pin -> STRASSEN_STRATEGY -> the
+  // choose_exec_strategy heuristic before dispatch).  Traced/counted memory
+  // models and non-Strassen plans always execute kMorton.
+  ExecStrategy strategy = ExecStrategy::kMorton;
   DimPlan m, k, n;
   // Total padded elements across the three operands (planner's objective).
   long long padded_elems() const;
@@ -129,5 +177,21 @@ GemmPlan plan_gemm(int m, int k, int n, const TileOptions& opt = {});
 
 // All depths at which a dimension of size n has a feasible tile in range.
 std::vector<int> feasible_depths(int n, const TileOptions& opt = {});
+
+// The planner's strategy heuristic, consulted when neither the per-call pin
+// nor STRASSEN_STRATEGY decides (ExecStrategy::kAuto).  Pack-fused wins for
+// the shapes where Morton conversion is pure overhead:
+//
+//   * one-shot / shallow plans (depth <= opt.packfused_max_depth): few
+//     recursive products amortize the three conversions poorly, and
+//   * highly rectangular problems (max dim >= 2x min dim): the split path
+//     runs many small sub-products, each of which would pay its own
+//     conversion round trip.
+//
+// Deep square recursions keep kMorton: each converted tile is reused across
+// many products, which is exactly the case the paper's layout optimizes.
+// Direct and infeasible plans are always kMorton (there is nothing to fuse).
+ExecStrategy choose_exec_strategy(const GemmPlan& plan, int m, int k, int n,
+                                  const TileOptions& opt = {});
 
 }  // namespace strassen::layout

@@ -57,13 +57,14 @@ void put_string(std::ostream& os, const char* s) {
 
 }  // namespace
 
-// One line, stable key set and order: schema strassen.gemm_report.v3.
+// One line, stable key set and order: schema strassen.gemm_report.v4.
 // Adding a key is a schema version bump (see docs/OBSERVABILITY.md); v2
 // added parallel.steals when the work-stealing scheduler landed; v3 added
 // plan.schedule and workspace.saved_bytes with the low-memory schedule
-// family.
+// family; v4 added plan.strategy and workspace.conversion_saved_bytes with
+// the pack-fused execution strategy.
 void write_json(std::ostream& os, const GemmReport& r) {
-  os << "{\"schema\": \"strassen.gemm_report.v3\", ";
+  os << "{\"schema\": \"strassen.gemm_report.v4\", ";
 
   os << "\"call\": {\"entry\": ";
   put_string(os, r.entry[0] != '\0' ? r.entry : "modgemm");
@@ -89,6 +90,8 @@ void write_json(std::ostream& os, const GemmReport& r) {
      << ", \"products\": " << r.products
      << ", \"planned_depth\": " << r.planned_depth << ", \"schedule\": ";
   put_string(os, r.schedule[0] != '\0' ? r.schedule : "none");
+  os << ", \"strategy\": ";
+  put_string(os, r.strategy[0] != '\0' ? r.strategy : "none");
   os << ", \"depth\": " << r.plan.depth << ", \"tile_m\": " << r.plan.m.tile
      << ", \"tile_k\": " << r.plan.k.tile << ", \"tile_n\": " << r.plan.n.tile
      << ", \"padded_m\": " << r.plan.m.padded
@@ -99,6 +102,7 @@ void write_json(std::ostream& os, const GemmReport& r) {
   os << "\"workspace\": {\"requested_bytes\": " << r.workspace_requested_bytes
      << ", \"peak_bytes\": " << r.workspace_peak_bytes
      << ", \"saved_bytes\": " << r.workspace_saved_bytes
+     << ", \"conversion_saved_bytes\": " << r.conversion_saved_bytes
      << ", \"allocations\": " << r.workspace_allocations << ", \"fallback\": ";
   put_string(os, fallback_reason_name(r.fallback_reason));
   os << "}, ";

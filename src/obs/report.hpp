@@ -60,7 +60,7 @@ const char* fallback_reason_name(FallbackReason r);
 
 // Everything the library can tell you about one gemm call.  Field semantics
 // are specified in docs/OBSERVABILITY.md together with the JSON schema
-// (strassen.gemm_report.v3) that to_json() emits.
+// (strassen.gemm_report.v4) that to_json() emits.
 struct GemmReport {
   // --- call identity -------------------------------------------------------
   const char* entry = "";  // "modgemm" | "pmodgemm" (static strings)
@@ -82,6 +82,10 @@ struct GemmReport {
   // (analysis::family_name); "" until a Strassen path runs (direct-only
   // calls never set it).
   const char* schedule = "";
+  // Execution strategy the (last) Strassen product ran
+  // (layout::strategy_name: "morton" or "packfused"); "" until a Strassen
+  // path runs, serialized as "none" like schedule.
+  const char* strategy = "";
 
   // --- resilience / workspace ----------------------------------------------
   FallbackReason fallback_reason = FallbackReason::kNone;  // worst rung taken
@@ -92,6 +96,9 @@ struct GemmReport {
   // the default 3-temporary family (summed across products; 0 when the
   // default family ran).
   std::size_t workspace_saved_bytes = 0;
+  // Morton staging-buffer bytes the pack-fused strategy did NOT allocate
+  // (summed across pack-fused products; 0 when every product ran kMorton).
+  std::size_t conversion_saved_bytes = 0;
 
   // --- kernel telemetry (production double-precision path) -----------------
   const char* kernel = "";          // active engine kernel at call time
@@ -165,7 +172,7 @@ class WallStamp {
 };
 
 // Serializes `r` as one line of schema-stable JSON (schema id
-// "strassen.gemm_report.v3"; see docs/OBSERVABILITY.md for the contract).
+// "strassen.gemm_report.v4"; see docs/OBSERVABILITY.md for the contract).
 // Key set and nesting never change within a schema version -- consumers may
 // index fields unconditionally.
 std::string to_json(const GemmReport& r);

@@ -48,6 +48,7 @@ ScratchArena::ScratchArena(std::size_t bytes) : requested_(bytes) {
     if (!AlignedBuffer::allocation_allowed(bytes)) throw std::bad_alloc();
     arena_ = std::move(c.idle[best]);
     c.idle.erase(c.idle.begin() + static_cast<std::ptrdiff_t>(best));
+    arena_.reset_peak();  // peak() measures this acquisition, not history
     ++c.hits;
   } else {
     ++c.misses;

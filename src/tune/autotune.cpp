@@ -166,6 +166,52 @@ AutotuneResult autotune(const AutotuneOptions& opt) {
   if (crossover == 0) crossover = 2 * opt.crossover_sizes.back();
   result.tiles.direct_threshold =
       std::clamp(crossover / 2, result.tiles.max_tile, 512);
+
+  // --- strategy probe ---------------------------------------------------
+  // One-shot Morton vs pack-fused at increasing recursion depth.  Each call
+  // stages (or avoids) its conversion from cold operands, which is exactly
+  // the regime choose_exec_strategy's depth cutoff covers.  The deepest
+  // probe where pack-fused won becomes packfused_max_depth; if pack-fused
+  // never wins the cutoff drops to 0 and only the rectangular-shape rule
+  // can select it.
+  if (opt.survey_strategy) {
+    int max_winning_depth = 0;
+    for (int n : opt.strategy_sizes) {
+      core::ModgemmOptions probe;
+      probe.tiles = result.tiles;
+      probe.tiles.min_tile = std::max(8, result.tiles.min_tile / 2);
+      probe.tiles.direct_threshold =
+          std::max({8, n / 4, probe.tiles.min_tile});  // force recursion
+      Rng rng(static_cast<std::uint64_t>(n) * 5 + 3);
+      Matrix<double> A(n, n), B(n, n), C(n, n);
+      rng.fill_uniform(A.storage());
+      rng.fill_uniform(B.storage());
+      MeasureOptions mopt;
+      mopt.outer_reps = opt.repetitions;
+      mopt.inner_reps = n <= 192 ? 5 : 2;
+      obs::GemmReport report;
+      probe.strategy = layout::ExecStrategy::kMorton;
+      const double t_morton = measure(
+          [&] {
+            core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(),
+                          A.ld(), B.data(), B.ld(), 0.0, C.data(), C.ld(),
+                          probe, &report);
+          },
+          mopt);
+      probe.strategy = layout::ExecStrategy::kPackFused;
+      const double t_packed = measure(
+          [&] {
+            core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(),
+                          A.ld(), B.data(), B.ld(), 0.0, C.data(), C.ld(),
+                          probe);
+          },
+          mopt);
+      const int depth = report.plan.depth;
+      result.strategy_probe.push_back({n, depth, t_morton, t_packed});
+      if (t_packed < t_morton) max_winning_depth = std::max(max_winning_depth, depth);
+    }
+    result.tiles.packfused_max_depth = max_winning_depth;
+  }
   return result;
 }
 

@@ -14,7 +14,13 @@
 //                      rather than a point, per Fig. 3);
 //   * crossover     -- smallest problem size where one Strassen level beats
 //                      the conventional blocked algorithm; sizes below it
-//                      run direct (direct_threshold).
+//                      run direct (direct_threshold);
+//   * strategy      -- one-shot Morton vs pack-fused timings across probe
+//                      sizes of increasing recursion depth; the deepest
+//                      recursion where pack-fused still wins becomes the
+//                      planner's packfused_max_depth (the Morton conversion
+//                      amortizes over 7^depth leaf products, so the
+//                      crossover is a DEPTH, not a size).
 //
 // Measurement noise makes this advisory: results are clamped to sane bounds
 // and the defaults are used where the survey is inconclusive.
@@ -35,6 +41,11 @@ struct AutotuneOptions {
   double tolerance = 0.85;
   // Problem sizes probed for the Strassen/conventional crossover.
   std::vector<int> crossover_sizes{64, 96, 128, 160, 192, 256};
+  // Probe the Morton/pack-fused execution-strategy crossover
+  // (layout::TileOptions::packfused_max_depth) with one-shot square
+  // problems at these sizes.  Disable to keep the planner default.
+  bool survey_strategy = true;
+  std::vector<int> strategy_sizes{160, 288, 544};
   int repetitions = 3;  // timing repetitions per probe
   // Survey every available leaf-kernel implementation (and both AVX2
   // register-block variants) across the candidate tiles before the tile
@@ -80,6 +91,17 @@ struct AutotuneResult {
     double strassen_seconds;
   };
   std::vector<CrossoverPoint> crossover_probe;
+  // Diagnostics from the execution-strategy probe: one-shot timings of the
+  // same planned problem pinned to each strategy.  `depth` is the executed
+  // recursion depth of the probe (the axis the tuned packfused_max_depth
+  // lives on).  Empty unless AutotuneOptions::survey_strategy.
+  struct StrategyPoint {
+    int n;
+    int depth;
+    double morton_seconds;
+    double packfused_seconds;
+  };
+  std::vector<StrategyPoint> strategy_probe;
 };
 
 // Runs the survey.  Costs a fraction of a second of measurement.

@@ -3,6 +3,8 @@
 // and that the tuned configuration remains CORRECT -- not specific winners.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "blas/gemm.hpp"
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
@@ -16,6 +18,7 @@ AutotuneOptions cheap() {
   AutotuneOptions opt;
   opt.candidate_tiles = {16, 32, 64};
   opt.crossover_sizes = {64, 128};
+  opt.strategy_sizes = {96, 160};
   opt.repetitions = 1;
   return opt;
 }
@@ -42,6 +45,27 @@ TEST(Autotune, SurveyAndProbeArePopulated) {
     EXPECT_GT(p.conventional_seconds, 0.0);
     EXPECT_GT(p.strassen_seconds, 0.0);
   }
+  ASSERT_EQ(r.strategy_probe.size(), opt.strategy_sizes.size());
+  int deepest_win = 0;
+  for (const auto& p : r.strategy_probe) {
+    EXPECT_GT(p.morton_seconds, 0.0);
+    EXPECT_GT(p.packfused_seconds, 0.0);
+    EXPECT_GE(p.depth, 1) << "probe " << p.n << " did not recurse";
+    if (p.packfused_seconds < p.morton_seconds)
+      deepest_win = std::max(deepest_win, p.depth);
+  }
+  // The tuned cutoff is exactly the deepest probe pack-fused won.
+  EXPECT_EQ(r.tiles.packfused_max_depth, deepest_win);
+}
+
+TEST(Autotune, StrategySurveyCanBeDisabled) {
+  AutotuneOptions opt = cheap();
+  opt.survey_strategy = false;
+  const AutotuneResult r = autotune(opt);
+  EXPECT_TRUE(r.strategy_probe.empty());
+  // The planner default is preserved untouched.
+  EXPECT_EQ(r.tiles.packfused_max_depth,
+            layout::TileOptions{}.packfused_max_depth);
 }
 
 TEST(Autotune, TunedOptionsStayExact) {

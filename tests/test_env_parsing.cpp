@@ -210,5 +210,79 @@ TEST(EnvParsing, ScheduleEnvOverrideSelectsFamilyAndRejectsGarbage) {
   }
 }
 
+// ---- STRASSEN_STRATEGY ----------------------------------------------------
+
+TEST(EnvParsing, ExecStrategyAcceptsKnownNames) {
+  using core::detail::parse_exec_strategy;
+  using layout::ExecStrategy;
+  EXPECT_EQ(parse_exec_strategy("auto"), ExecStrategy::kAuto);
+  EXPECT_EQ(parse_exec_strategy("morton"), ExecStrategy::kMorton);
+  EXPECT_EQ(parse_exec_strategy("packfused"), ExecStrategy::kPackFused);
+}
+
+TEST(EnvParsing, ExecStrategyRejectsUnknownNames) {
+  using core::detail::parse_exec_strategy;
+  expect_rejects([] { parse_exec_strategy("fused"); },
+                 {"STRASSEN_STRATEGY", "fused"});
+  expect_rejects([] { parse_exec_strategy("pack-fused"); },
+                 {"STRASSEN_STRATEGY", "pack-fused"});
+  // Case is not forgiven (exact-match contract, like STRASSEN_KERNEL).
+  expect_rejects([] { parse_exec_strategy("PACKFUSED"); },
+                 {"STRASSEN_STRATEGY", "PACKFUSED"});
+  expect_rejects([] { parse_exec_strategy("morton "); },
+                 {"STRASSEN_STRATEGY"});
+  expect_rejects([] { parse_exec_strategy(nullptr); },
+                 {"STRASSEN_STRATEGY"});
+}
+
+TEST(EnvParsing, StrategyEnvOverrideSelectsStrategyAndRejectsGarbage) {
+  const int n = 200;
+  Matrix<double> A(n, n), B(n, n), C(n, n), Ref(n, n);
+  Rng rng(13);
+  rng.fill_int(A.storage(), -3, 3);
+  rng.fill_int(B.storage(), -3, 3);
+  blas::naive_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                   B.data(), n, 0.0, Ref.data(), n);
+  {
+    ScopedEnv env("STRASSEN_STRATEGY", "packfused");
+    core::ModgemmReport report;
+    core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                  B.data(), n, 0.0, C.data(), n, {}, &report);
+    EXPECT_STREQ(report.strategy, "packfused");
+    EXPECT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0);
+  }
+  {
+    ScopedEnv env("STRASSEN_STRATEGY", "no-conversion");
+    Matrix<double> C2(n, n), C0(n, n);
+    rng.fill_int(C2.storage());
+    copy_matrix<double>(C2.view(), C0.view());
+    expect_rejects(
+        [&] {
+          core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                        B.data(), n, 0.0, C2.data(), n);
+        },
+        {"STRASSEN_STRATEGY", "no-conversion"});
+    EXPECT_EQ(max_abs_diff<double>(C2.view(), C0.view()), 0.0);
+  }
+}
+
+TEST(EnvParsing, StrategyPinOutranksEnvOverride) {
+  // The per-call pin must win so tests asserting Morton-only observables
+  // stay meaningful under a forced STRASSEN_STRATEGY=packfused suite run.
+  ScopedEnv env("STRASSEN_STRATEGY", "packfused");
+  const int n = 200;
+  Matrix<double> A(n, n), B(n, n), C(n, n);
+  Rng rng(17);
+  rng.fill_int(A.storage(), -3, 3);
+  rng.fill_int(B.storage(), -3, 3);
+  core::ModgemmOptions opt;
+  opt.strategy = layout::ExecStrategy::kMorton;
+  core::ModgemmReport report;
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                B.data(), n, 0.0, C.data(), n, opt, &report);
+  EXPECT_STREQ(report.strategy, "morton");
+  EXPECT_GT(report.convert_in_seconds, 0.0);
+}
+
 }  // namespace
 }  // namespace strassen

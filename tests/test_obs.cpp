@@ -105,6 +105,10 @@ TEST(ObsPhases, PopulatedAndConsistent) {
   Problem p(200);
   ModgemmOptions opt;
   opt.tiles.direct_threshold = 32;  // force a Strassen execution
+  // This test asserts Morton-only observables (conversion phases); pin the
+  // strategy so it holds under a forced STRASSEN_STRATEGY=packfused
+  // environment (the per-call pin outranks the env override).
+  opt.strategy = layout::ExecStrategy::kMorton;
   ModgemmReport report;
   p.run(opt, &report);
 
@@ -210,6 +214,9 @@ TEST(ObsWorkspace, RequestedMatchesPublicSizing) {
   Problem p(200);
   ModgemmOptions opt;
   opt.tiles.direct_threshold = 32;
+  // modgemm_workspace_bytes sizes the Morton execution; pin the strategy so
+  // the equality holds under a forced STRASSEN_STRATEGY=packfused leg.
+  opt.strategy = layout::ExecStrategy::kMorton;
   ModgemmReport report;
   p.run(opt, &report);
   ASSERT_FALSE(report.plan.direct);
@@ -244,13 +251,14 @@ TEST(ObsJson, CarriesSchemaAndEverySection) {
   p.run(fixed_depth2(), &report);
   const std::string json = obs::to_json(report);
 
-  EXPECT_NE(json.find("\"schema\": \"strassen.gemm_report.v3\""),
+  EXPECT_NE(json.find("\"schema\": \"strassen.gemm_report.v4\""),
             std::string::npos);
   for (const char* key :
        {"\"call\"", "\"phases\"", "\"plan\"", "\"workspace\"", "\"kernels\"",
         "\"parallel\"", "\"wall_s\"", "\"leaf_calls\"", "\"peak_bytes\"",
         "\"fallback\"", "\"steals\"", "\"per_thread_tasks\"",
-        "\"pad_elems\"", "\"schedule\"", "\"saved_bytes\""})
+        "\"pad_elems\"", "\"schedule\"", "\"strategy\"", "\"saved_bytes\"",
+        "\"conversion_saved_bytes\""})
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   // One line, balanced braces.
   EXPECT_EQ(json.find('\n'), std::string::npos);
@@ -301,7 +309,7 @@ TEST(ObsEnvSink, AppendsOneJsonlLinePerCall) {
   std::string line;
   while (std::getline(in, line)) {
     ++lines;
-    EXPECT_NE(line.find("\"schema\": \"strassen.gemm_report.v3\""),
+    EXPECT_NE(line.find("\"schema\": \"strassen.gemm_report.v4\""),
               std::string::npos);
     EXPECT_NE(line.find("\"entry\": \"modgemm\""), std::string::npos);
   }

@@ -1,0 +1,578 @@
+// Pack-fused (no-conversion) execution strategy tests.
+//
+// Three contracts are under test here:
+//
+//   * packing routines (blas/pack.hpp) -- a packed panel holds EXACTLY
+//     alpha * (a ± b) of the zero-padded logical operands, for every
+//     combination of boundary clipping, strides, transposition and scaling,
+//     and every element of the destination is written (NaN poison comes out
+//     fully defined);
+//
+//   * bit identity -- for the same plan, the pack-fused strategy produces a
+//     result BIT-IDENTICAL to the Morton strategy.  This holds because the
+//     two strategies (a) select the same schedule tables at every recursion
+//     node, (b) invoke the same leaf kernels on operands holding the same
+//     values (a packed panel replicates the Morton tile, and a pass-through
+//     view feeds the kernels the same values through a different leading
+//     dimension -- kernel arithmetic is ld-independent), and (c) merge into
+//     C with per-element expressions identical to the Morton convert-out
+//     (blas::scale_view / axpby_view).  The comparison below is a bitwise
+//     memcmp, not a tolerance check;
+//
+//   * strategy plumbing -- the per-call pin outranks the environment, plans
+//     that cannot run Strassen never report a strategy, the in-place family
+//     maps to the low-memory family under pack-fused (the in-place table
+//     would overwrite the CALLER's operands), and a mid-call allocation
+//     failure degrades along the ladder with the exact-product-or-untouched-C
+//     contract intact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/pack.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/modgemm.hpp"
+#include "core/packfused.hpp"
+#include "testing/fault_injection.hpp"
+
+namespace strassen {
+namespace {
+
+namespace ft = ::strassen::testing;
+using analysis::ScheduleFamily;
+using analysis::Sign;
+using blas::PackSrc;
+using core::FallbackReason;
+using core::ModgemmOptions;
+using core::ModgemmReport;
+using layout::ExecStrategy;
+
+// ---------------------------------------------------------------------------
+// Packing routines: oracle conformance.
+// ---------------------------------------------------------------------------
+
+// Element-wise reference for a packed panel, written independently of the
+// packing code paths: read straight from the column-major storage with
+// explicit clipping, transposition, combination and scaling.
+std::vector<double> panel_oracle(int pr, int pc, const PackSrc<double>& a,
+                                 Sign s, const PackSrc<double>* b,
+                                 double alpha) {
+  std::vector<double> out(static_cast<std::size_t>(pr) * pc);
+  for (int j = 0; j < pc; ++j) {
+    for (int i = 0; i < pr; ++i) {
+      double v = 0.0;
+      if (i < a.rows && j < a.cols)
+        v = a.trans ? a.ptr[static_cast<std::size_t>(i) * a.ld + j]
+                    : a.ptr[static_cast<std::size_t>(j) * a.ld + i];
+      if (b != nullptr) {
+        double w = 0.0;
+        if (i < b->rows && j < b->cols)
+          w = b->trans ? b->ptr[static_cast<std::size_t>(i) * b->ld + j]
+                       : b->ptr[static_cast<std::size_t>(j) * b->ld + i];
+        v = s == Sign::kPlus ? v + w : v - w;
+      }
+      out[static_cast<std::size_t>(j) * pr + i] = alpha * v;
+    }
+  }
+  return out;
+}
+
+// Packs into a NaN-poisoned panel and checks every element against the
+// oracle.  Bitwise equality: packing must not introduce any arithmetic
+// beyond the single add/sub and optional scale the oracle performs.
+void expect_pack(int pr, int pc, const PackSrc<double>& a, double alpha) {
+  std::vector<double> dst(static_cast<std::size_t>(pr) * pc,
+                          std::numeric_limits<double>::quiet_NaN());
+  blas::pack_panel(dst.data(), pr, pc, a, alpha);
+  const std::vector<double> ref =
+      panel_oracle(pr, pc, a, Sign::kPlus, nullptr, alpha);
+  ASSERT_EQ(std::memcmp(dst.data(), ref.data(), dst.size() * sizeof(double)),
+            0)
+      << pr << "x" << pc << " trans=" << a.trans << " alpha=" << alpha;
+}
+
+void expect_pack_sum(int pr, int pc, const PackSrc<double>& a, Sign s,
+                     const PackSrc<double>& b, double alpha) {
+  std::vector<double> dst(static_cast<std::size_t>(pr) * pc,
+                          std::numeric_limits<double>::quiet_NaN());
+  blas::pack_panel_sum(dst.data(), pr, pc, a, s, b, alpha);
+  const std::vector<double> ref = panel_oracle(pr, pc, a, s, &b, alpha);
+  ASSERT_EQ(std::memcmp(dst.data(), ref.data(), dst.size() * sizeof(double)),
+            0)
+      << pr << "x" << pc << " sign=" << (s == Sign::kPlus ? '+' : '-');
+}
+
+// A filled column-major backing store with a deliberately padded stride.
+struct Backing {
+  Matrix<double> m;
+  explicit Backing(int rows, int cols, int ld, std::uint64_t seed)
+      : m(rows, cols, ld) {
+    Rng rng(seed);
+    rng.fill_uniform(m.storage());
+  }
+  PackSrc<double> view(int rows, int cols, bool trans = false) const {
+    return PackSrc<double>{m.data(), m.ld(), trans, rows, cols};
+  }
+};
+
+TEST(PackPanel, FullTileContiguousAndStrided) {
+  Backing tight(16, 16, 16, 1), strided(16, 16, 29, 2);
+  expect_pack(16, 16, tight.view(16, 16), 1.0);
+  expect_pack(16, 16, strided.view(16, 16), 1.0);
+}
+
+TEST(PackPanel, BoundaryTilesZeroFillEveryEdge) {
+  Backing b(13, 11, 23, 3);
+  // Clipped rows, clipped cols, clipped both, and a fully padded panel from
+  // an empty view: the pad region must come out exactly 0.0.
+  expect_pack(16, 11, b.view(13, 11), 1.0);
+  expect_pack(13, 16, b.view(13, 11), 1.0);
+  expect_pack(16, 16, b.view(13, 11), 1.0);
+  expect_pack(16, 16, b.view(0, 0), 1.0);
+  expect_pack(16, 16, b.view(1, 1), 1.0);
+}
+
+TEST(PackPanel, TransposedSources) {
+  Backing b(12, 17, 19, 4);
+  // A transposed window: logical (i, j) reads storage (j, i).
+  expect_pack(17, 12, b.view(17, 12, /*trans=*/true), 1.0);
+  expect_pack(20, 16, b.view(17, 12, /*trans=*/true), 1.0);
+}
+
+TEST(PackPanel, AlphaScalingOnBothPaths) {
+  Backing b(14, 14, 14, 5);
+  expect_pack(16, 16, b.view(14, 14), 2.5);                  // generic path
+  expect_pack(16, 16, b.view(14, 14, /*trans=*/true), 2.5);  // gather path
+  expect_pack(16, 16, b.view(14, 14), -1.0);
+}
+
+TEST(PackPanelSum, CombinationsAcrossExtentsAndSigns) {
+  Backing x(16, 16, 16, 6), y(9, 12, 31, 7);
+  for (Sign s : {Sign::kPlus, Sign::kMinus}) {
+    expect_pack_sum(16, 16, x.view(16, 16), s, y.view(9, 12), 1.0);
+    expect_pack_sum(16, 16, y.view(9, 12), s, x.view(16, 16), 1.0);
+    expect_pack_sum(16, 16, x.view(16, 16), s, y.view(9, 12), 2.0);
+    expect_pack_sum(16, 16, x.view(12, 16, /*trans=*/true), s, y.view(9, 12),
+                    1.0);
+  }
+}
+
+TEST(PackSrcView, CoversMatchesInPlaceContract) {
+  Backing b(16, 16, 20, 8);
+  EXPECT_TRUE(b.view(16, 16).covers(16, 16));
+  EXPECT_TRUE(b.view(16, 16).covers(12, 12));
+  EXPECT_FALSE(b.view(12, 16).covers(16, 16));     // clipped rows
+  EXPECT_FALSE(b.view(16, 16, true).covers(8, 8)); // transposed never in-place
+  EXPECT_TRUE(b.view(0, 16).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Bit identity: pack-fused vs Morton on the public API.
+// ---------------------------------------------------------------------------
+
+// Runs the SAME problem under both strategies and compares the full C
+// storage with memcmp.  Uniform (non-integer) data makes this a real
+// bit-identity check: any reassociation or different rounding between the
+// strategies would flip low-order bits.
+void expect_bit_identical(Op opa, Op opb, int m, int n, int k, double alpha,
+                          double beta, ModgemmOptions opt = {},
+                          int extra_ld = 0) {
+  Rng rng(static_cast<std::uint64_t>(m) * 9176 + n * 257 + k);
+  const int ar = opa == Op::NoTrans ? m : k;
+  const int ac = opa == Op::NoTrans ? k : m;
+  const int br = opb == Op::NoTrans ? k : n;
+  const int bc = opb == Op::NoTrans ? n : k;
+  Matrix<double> A(ar, ac, ar + extra_ld);
+  Matrix<double> B(br, bc, br + extra_ld);
+  Matrix<double> C0(m, n, m + extra_ld);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  rng.fill_uniform(C0.storage());
+
+  Matrix<double> Cm(m, n, m + extra_ld), Cp(m, n, m + extra_ld);
+  copy_matrix<double>(C0.view(), Cm.view());
+  copy_matrix<double>(C0.view(), Cp.view());
+
+  ModgemmReport rm, rp;
+  opt.strategy = ExecStrategy::kMorton;
+  core::modgemm(opa, opb, m, n, k, alpha, A.data(), A.ld(), B.data(), B.ld(),
+                beta, Cm.data(), Cm.ld(), opt, &rm);
+  opt.strategy = ExecStrategy::kPackFused;
+  core::modgemm(opa, opb, m, n, k, alpha, A.data(), A.ld(), B.data(), B.ld(),
+                beta, Cp.data(), Cp.ld(), opt, &rp);
+
+  ASSERT_EQ(std::memcmp(Cm.data(), Cp.data(),
+                        Cm.storage().size() * sizeof(double)),
+            0)
+      << m << "x" << n << "x" << k << " op " << op_char(opa) << op_char(opb)
+      << " alpha=" << alpha << " beta=" << beta
+      << " max|diff|=" << max_abs_diff<double>(Cm.view(), Cp.view());
+  // Both executions took a Strassen path (the comparison is vacuous if the
+  // planner went direct) and report what ran.
+  ASSERT_FALSE(rm.plan.direct);
+  EXPECT_STREQ(rm.strategy, "morton");
+  EXPECT_STREQ(rp.strategy, "packfused");
+  EXPECT_STREQ(rm.schedule, rp.schedule);
+}
+
+TEST(PackFusedBitIdentity, PaperShowcaseSize513) {
+  expect_bit_identical(Op::NoTrans, Op::NoTrans, 513, 513, 513, 1.0, 0.0);
+}
+
+TEST(PackFusedBitIdentity, PowerOfTwoAndPrime) {
+  expect_bit_identical(Op::NoTrans, Op::NoTrans, 256, 256, 256, 1.0, 0.0);
+  expect_bit_identical(Op::NoTrans, Op::NoTrans, 211, 211, 211, 1.0, 0.0);
+}
+
+TEST(PackFusedBitIdentity, AlphaBetaMerges) {
+  expect_bit_identical(Op::NoTrans, Op::NoTrans, 200, 200, 200, 2.0, -1.0);
+  expect_bit_identical(Op::NoTrans, Op::NoTrans, 200, 200, 200, 0.5, 0.25);
+  expect_bit_identical(Op::NoTrans, Op::NoTrans, 200, 200, 200, -1.0, 1.0);
+}
+
+TEST(PackFusedBitIdentity, TransposesRectangularsAndStrides) {
+  expect_bit_identical(Op::Trans, Op::NoTrans, 150, 130, 170, 1.0, 0.0);
+  expect_bit_identical(Op::NoTrans, Op::Trans, 150, 130, 170, 2.0, -1.0);
+  expect_bit_identical(Op::Trans, Op::Trans, 129, 142, 155, 1.0, 1.0);
+  expect_bit_identical(Op::NoTrans, Op::NoTrans, 180, 160, 140, 1.0, 0.0, {},
+                       /*extra_ld=*/7);
+}
+
+TEST(PackFusedBitIdentity, LowMemAndInPlaceFamilies) {
+  ModgemmOptions opt;
+  opt.schedule = ScheduleFamily::kLowMem;
+  expect_bit_identical(Op::NoTrans, Op::NoTrans, 256, 256, 256, 1.0, 0.0,
+                       opt);
+  expect_bit_identical(Op::NoTrans, Op::NoTrans, 200, 200, 200, 2.0, -1.0,
+                       opt);
+}
+
+TEST(PackFusedBitIdentity, ScalarKernelPin) {
+  ModgemmOptions opt;
+  opt.kernel = blas::kernels::Kind::kScalar;  // no fused leaf entries
+  expect_bit_identical(Op::NoTrans, Op::NoTrans, 256, 256, 256, 1.0, 0.0,
+                       opt);
+}
+
+TEST(PackFusedBitIdentity, FixedTileDeepRecursion) {
+  ModgemmOptions opt;
+  opt.fixed_tile = 16;  // 513 -> padded 1024, depth 6
+  expect_bit_identical(Op::NoTrans, Op::NoTrans, 513, 513, 513, 1.0, 0.0,
+                       opt);
+}
+
+// Exactness against the naive oracle on integer data: independent of the
+// Morton comparison above, the pack-fused product itself is exact.
+void expect_exact_packfused(Op opa, Op opb, int m, int n, int k, double alpha,
+                            double beta, ModgemmOptions opt = {}) {
+  Rng rng(static_cast<std::uint64_t>(m) * 7919 + n * 131 + k);
+  const int ar = opa == Op::NoTrans ? m : k;
+  const int ac = opa == Op::NoTrans ? k : m;
+  const int br = opb == Op::NoTrans ? k : n;
+  const int bc = opb == Op::NoTrans ? n : k;
+  Matrix<double> A(ar, ac), B(br, bc), C(m, n), Ref(m, n);
+  rng.fill_int(A.storage(), -3, 3);
+  rng.fill_int(B.storage(), -3, 3);
+  rng.fill_int(C.storage(), -3, 3);
+  copy_matrix<double>(C.view(), Ref.view());
+  blas::naive_gemm(opa, opb, m, n, k, alpha, A.data(), A.ld(), B.data(),
+                   B.ld(), beta, Ref.data(), Ref.ld());
+  opt.strategy = ExecStrategy::kPackFused;
+  core::modgemm(opa, opb, m, n, k, alpha, A.data(), A.ld(), B.data(), B.ld(),
+                beta, C.data(), C.ld(), opt);
+  EXPECT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0)
+      << m << "x" << n << "x" << k;
+}
+
+TEST(PackFusedExact, CoreShapes) {
+  expect_exact_packfused(Op::NoTrans, Op::NoTrans, 513, 513, 513, 1.0, 0.0);
+  expect_exact_packfused(Op::Trans, Op::Trans, 150, 130, 170, 2.0, -1.0);
+}
+
+TEST(PackFusedExact, HighlyRectangularSplitPath) {
+  // Aspect ratios past the split threshold: the driver decomposes into
+  // chunks and resolves the strategy per chunk.
+  ModgemmReport report;
+  ModgemmOptions opt;
+  opt.strategy = ExecStrategy::kPackFused;
+  const int m = 96, k = 96, n = 768;
+  Rng rng(17);
+  Matrix<double> A(m, k), B(k, n), C(m, n), Ref(m, n);
+  rng.fill_int(A.storage(), -3, 3);
+  rng.fill_int(B.storage(), -3, 3);
+  blas::naive_gemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A.data(), A.ld(),
+                   B.data(), B.ld(), 0.0, Ref.data(), Ref.ld());
+  core::modgemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A.data(), A.ld(),
+                B.data(), B.ld(), 0.0, C.data(), C.ld(), opt, &report);
+  EXPECT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0);
+}
+
+TEST(PackFusedExact, BetaZeroDoesNotReadC) {
+  const int n = 150;
+  Matrix<double> A(n, n), B(n, n), C(n, n);
+  Rng rng(4);
+  rng.fill_int(A.storage());
+  rng.fill_int(B.storage());
+  for (auto& x : C.storage()) x = std::numeric_limits<double>::quiet_NaN();
+  ModgemmOptions opt;
+  opt.strategy = ExecStrategy::kPackFused;
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n, B.data(),
+                n, 0.0, C.data(), n, opt);
+  for (const auto& x : C.storage()) EXPECT_FALSE(std::isnan(x));
+}
+
+TEST(PackFusedFloat, SinglePrecisionBitIdentity) {
+  const int n = 150;
+  Matrix<float> A(n, n), B(n, n), Cm(n, n), Cp(n, n);
+  Rng rng(9);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  ModgemmOptions opt;
+  opt.strategy = ExecStrategy::kMorton;
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0f, A.data(), n,
+                B.data(), n, 0.0f, Cm.data(), n, opt);
+  opt.strategy = ExecStrategy::kPackFused;
+  ModgemmReport report;
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0f, A.data(), n,
+                B.data(), n, 0.0f, Cp.data(), n, opt, &report);
+  EXPECT_EQ(std::memcmp(Cm.data(), Cp.data(),
+                        Cm.storage().size() * sizeof(float)),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// Strategy plumbing and report fields.
+// ---------------------------------------------------------------------------
+
+// Clears STRASSEN_STRATEGY for the scope of a heuristic test (the env
+// override outranks the planner heuristic under test) and restores the
+// previous value on exit so a forced-strategy suite run is not perturbed.
+class UnsetStrategyEnv {
+ public:
+  UnsetStrategyEnv() {
+    const char* old = std::getenv("STRASSEN_STRATEGY");
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    ::unsetenv("STRASSEN_STRATEGY");
+  }
+  ~UnsetStrategyEnv() {
+    if (had_) ::setenv("STRASSEN_STRATEGY", saved_.c_str(), 1);
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+struct StrategyProblem {
+  Matrix<double> A, B, C;
+  int n;
+  explicit StrategyProblem(int n_) : A(n_, n_), B(n_, n_), C(n_, n_), n(n_) {
+    Rng rng(21);
+    rng.fill_uniform(A.storage());
+    rng.fill_uniform(B.storage());
+  }
+  ModgemmReport run(const ModgemmOptions& opt) {
+    ModgemmReport report;
+    core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                  B.data(), n, 0.0, C.data(), n, opt, &report);
+    return report;
+  }
+};
+
+TEST(PackFusedReport, StampsStrategyAndConversionSavings) {
+  StrategyProblem p(256);
+  ModgemmOptions opt;
+  opt.strategy = ExecStrategy::kPackFused;
+  const ModgemmReport r = p.run(opt);
+  ASSERT_FALSE(r.plan.direct);
+  EXPECT_STREQ(r.strategy, "packfused");
+  EXPECT_EQ(r.plan.strategy, ExecStrategy::kPackFused);
+  // No Morton buffers were staged: the savings equal the conversion bytes
+  // the plan would have paid, and the conversion phase never ran.
+  EXPECT_EQ(r.conversion_saved_bytes,
+            core::modgemm_conversion_bytes(r.plan, sizeof(double)));
+  EXPECT_GT(r.conversion_saved_bytes, 0u);
+  EXPECT_EQ(r.convert_in_seconds, 0.0);
+  EXPECT_GT(r.compute_seconds, 0.0);
+  EXPECT_EQ(r.products, 1);
+}
+
+TEST(PackFusedReport, MortonPinReportsMortonAndNoSavings) {
+  StrategyProblem p(256);
+  ModgemmOptions opt;
+  opt.strategy = ExecStrategy::kMorton;
+  const ModgemmReport r = p.run(opt);
+  ASSERT_FALSE(r.plan.direct);
+  EXPECT_STREQ(r.strategy, "morton");
+  EXPECT_EQ(r.plan.strategy, ExecStrategy::kMorton);
+  EXPECT_EQ(r.conversion_saved_bytes, 0u);
+  EXPECT_GT(r.convert_in_seconds, 0.0);
+}
+
+TEST(PackFusedReport, WorkspaceAccountingMatchesPublicSizing) {
+  StrategyProblem p(200);
+  ModgemmOptions opt;
+  opt.strategy = ExecStrategy::kPackFused;
+  opt.tiles.direct_threshold = 32;
+  ModgemmReport r;
+  ft::FaultInjector counter;  // count gated allocations
+  core::modgemm(Op::NoTrans, Op::NoTrans, p.n, p.n, p.n, 1.0, p.A.data(),
+                p.n, p.B.data(), p.n, 0.0, p.C.data(), p.n, opt, &r);
+  ASSERT_FALSE(r.plan.direct);
+  // One gated allocation: the single up-front arena (the sole fault site).
+  EXPECT_EQ(counter.allocations(), 1u);
+  EXPECT_EQ(r.workspace_allocations, 1);
+  const bool c_scratch =
+      core::packfused_needs_c_scratch(r.plan, p.n, p.n, /*beta_nonzero=*/false);
+  EXPECT_EQ(r.workspace_requested_bytes,
+            core::packfused_workspace_bytes(r.plan, sizeof(double), c_scratch));
+  EXPECT_GT(r.workspace_peak_bytes, 0u);
+  EXPECT_LE(r.workspace_peak_bytes, r.workspace_requested_bytes);
+  // The pack-fused request stays within the Morton request for the same
+  // plan: the strategy exists to need LESS memory, and the budget ladder
+  // prices both strategies with the Morton figure.
+  EXPECT_LE(r.workspace_requested_bytes,
+            core::modgemm_workspace_bytes(r.plan, sizeof(double)));
+}
+
+TEST(PackFusedReport, DirectPlansReportNoStrategy) {
+  StrategyProblem p(40);  // below the direct threshold
+  ModgemmOptions opt;
+  opt.strategy = ExecStrategy::kPackFused;
+  const ModgemmReport r = p.run(opt);
+  ASSERT_TRUE(r.plan.direct);
+  EXPECT_STREQ(r.strategy, "");  // serialized as "none"
+  EXPECT_EQ(r.conversion_saved_bytes, 0u);
+}
+
+TEST(PackFusedReport, InPlaceFamilyMapsToLowMem) {
+  // The in-place schedule table overwrites its A/B operands, which under
+  // pack-fused are the CALLER's matrices: the driver substitutes the
+  // low-memory family (same temp count) and reports what actually ran.
+  const int n = 256;
+  Matrix<double> A(n, n), B(n, n), C(n, n), Ref(n, n);
+  Rng rng(23);
+  rng.fill_int(A.storage(), -3, 3);
+  rng.fill_int(B.storage(), -3, 3);
+  blas::naive_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n,
+                   B.data(), n, 0.0, Ref.data(), n);
+  ModgemmOptions opt;
+  opt.schedule = ScheduleFamily::kInPlace;
+  opt.strategy = ExecStrategy::kPackFused;
+  ModgemmReport r;
+  core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n, B.data(),
+                n, 0.0, C.data(), n, opt, &r);
+  EXPECT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0);
+  EXPECT_STREQ(r.strategy, "packfused");
+  EXPECT_STREQ(r.schedule, "winograd-lowmem");
+}
+
+TEST(PackFusedHeuristic, RectangularOneShotPrefersPackFused) {
+  // max(m,k,n) >= 2*min(m,k,n): conversion cost amortizes over too little
+  // multiply work, so auto selects pack-fused.
+  UnsetStrategyEnv unset;
+  const int m = 512, k = 128, n = 128;
+  Matrix<double> A(m, k), B(k, n), C(m, n);
+  Rng rng(29);
+  rng.fill_uniform(A.storage());
+  rng.fill_uniform(B.storage());
+  ModgemmReport r;
+  core::modgemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, A.data(), m,
+                B.data(), k, 0.0, C.data(), m, {}, &r);
+  if (r.plan.direct) GTEST_SKIP() << "planner went direct on this host";
+  EXPECT_STREQ(r.strategy, "packfused");
+}
+
+TEST(PackFusedHeuristic, DeepSquareRecursionPrefersMorton) {
+  // Depth 6 on a square problem: the Morton buffers are reused across 7^d
+  // leaf products, so auto keeps the Morton strategy.
+  UnsetStrategyEnv unset;
+  StrategyProblem p(513);
+  ModgemmOptions opt;
+  opt.fixed_tile = 16;  // padded 1024 = 16 << 6
+  const ModgemmReport r = p.run(opt);
+  ASSERT_FALSE(r.plan.direct);
+  ASSERT_EQ(r.plan.depth, 6);
+  EXPECT_STREQ(r.strategy, "morton");
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: exact product or untouched C, every allocation site.
+// ---------------------------------------------------------------------------
+
+// Mirrors test_ladder_invariants.cpp's sweep: count the gated allocation
+// sites of an un-faulted pack-fused run, then fail each in turn.
+TEST(PackFusedFaults, SweepEverySiteKeepsTheContract) {
+  const int n = 256;
+  Rng rng(37);
+  Matrix<double> A(n, n), B(n, n), C0(n, n), Ref(n, n), C(n, n);
+  rng.fill_int(A.storage(), -3, 3);
+  rng.fill_int(B.storage(), -3, 3);
+  rng.fill_int(C0.storage(), -3, 3);
+  copy_matrix<double>(C0.view(), Ref.view());
+  blas::naive_gemm(Op::NoTrans, Op::NoTrans, n, n, n, 2.0, A.data(), n,
+                   B.data(), n, -1.0, Ref.data(), n);
+
+  ModgemmOptions opt;
+  opt.strategy = ExecStrategy::kPackFused;
+
+  std::uint64_t sites = 0;
+  {
+    ft::FaultInjector counter;
+    copy_matrix<double>(C0.view(), C.view());
+    core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 2.0, A.data(), n,
+                  B.data(), n, -1.0, C.data(), n, opt);
+    sites = counter.allocations();
+    ASSERT_EQ(counter.failures(), 0u);
+    ASSERT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0);
+  }
+  ASSERT_GE(sites, 1u);
+
+  for (std::uint64_t at = 1; at <= sites; ++at) {
+    SCOPED_TRACE(::testing::Message() << "fail_at=" << at << "/" << sites);
+    ft::FaultInjector inj(ft::FaultMode::kFailOnce, at);
+    copy_matrix<double>(C0.view(), C.view());
+    ModgemmReport report;
+    try {
+      core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 2.0, A.data(), n,
+                    B.data(), n, -1.0, C.data(), n, opt, &report);
+      EXPECT_EQ(max_abs_diff<double>(C.view(), Ref.view()), 0.0);
+      if (inj.failures() > 0) {
+        EXPECT_NE(report.fallback_reason, FallbackReason::kNone);
+      }
+    } catch (const std::bad_alloc&) {
+      EXPECT_EQ(max_abs_diff<double>(C.view(), C0.view()), 0.0);
+    }
+    EXPECT_GE(inj.failures(), 1u);
+  }
+}
+
+TEST(PackFusedFaults, ArenaRefusalDegradesToDirect) {
+  StrategyProblem p(200);
+  ModgemmOptions opt;
+  opt.strategy = ExecStrategy::kPackFused;
+  opt.tiles.direct_threshold = 32;
+  ModgemmReport report;
+  {
+    // The pack-fused path makes exactly one gated allocation; refusing it
+    // lands on the conventional rung (never a Morton retry: the Morton
+    // strategy needs strictly more memory).
+    ft::FaultInjector inj(ft::FaultMode::kFailOnce, 1);
+    core::modgemm(Op::NoTrans, Op::NoTrans, p.n, p.n, p.n, 1.0, p.A.data(),
+                  p.n, p.B.data(), p.n, 0.0, p.C.data(), p.n, opt, &report);
+  }
+  EXPECT_EQ(report.fallback_reason, FallbackReason::kAllocDirect);
+  EXPECT_EQ(report.products, 1);
+  EXPECT_GT(report.compute_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace strassen

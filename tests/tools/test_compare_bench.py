@@ -86,6 +86,47 @@ class CompareBenchTest(unittest.TestCase):
         proc = self.run_tool(baseline, current, extra=("--tolerance", "0.05"))
         self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
 
+    # ---- modgemm strategy rows (normalized by same-run modgemm-morton) ----
+
+    def test_strategy_rows_pass_when_ratio_holds(self):
+        # A 2x faster machine moves every absolute number, but the
+        # packfused/morton ratio is unchanged: the gate passes.
+        baseline = bench_json([("scalar", 8, 2.0), ("avx2", 8, 8.0),
+                               ("modgemm-morton", 513, 3.0),
+                               ("modgemm-packfused", 513, 3.1)])
+        current = bench_json([("scalar", 8, 4.0), ("avx2", 8, 16.0),
+                              ("modgemm-morton", 513, 6.0),
+                              ("modgemm-packfused", 513, 6.2)])
+        proc = self.run_tool(baseline, current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_strategy_ratio_regression_fails(self):
+        # Pack-fused drops from parity with Morton to 25% slower while the
+        # leaf-kernel points are untouched.
+        baseline = bench_json([("scalar", 8, 2.0), ("avx2", 8, 8.0),
+                               ("modgemm-morton", 513, 3.0),
+                               ("modgemm-packfused", 513, 3.0)])
+        current = bench_json([("scalar", 8, 2.0), ("avx2", 8, 8.0),
+                              ("modgemm-morton", 513, 3.0),
+                              ("modgemm-packfused", 513, 2.25)])
+        proc = self.run_tool(baseline, current)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("modgemm-packfused", proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_morton_base_row_is_not_gated_by_scalar(self):
+        # modgemm-morton is a base row: it must neither be normalized by the
+        # scalar leaf kernel nor gated itself, even when its absolute number
+        # halves while scalar holds still.
+        baseline = bench_json([("scalar", 513, 2.0),
+                               ("modgemm-morton", 513, 4.0),
+                               ("modgemm-packfused", 513, 4.0)])
+        current = bench_json([("scalar", 513, 2.0),
+                              ("modgemm-morton", 513, 2.0),
+                              ("modgemm-packfused", 513, 2.0)])
+        proc = self.run_tool(baseline, current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
 
 if __name__ == "__main__":
     unittest.main()

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Tests for tools/validate_report_schema.py (stdlib only, ctest-registered).
 
-Feeds the validator a conforming strassen.gemm_report.v3 report and a series
+Feeds the validator a conforming strassen.gemm_report.v4 report and a series
 of malformed ones (missing key, extra key, retyped value, wrong enum, bool
 masquerading as int) and checks the exit-code contract: 0 for conforming
 input, 1 for invalid reports, 2 for usage errors.
@@ -21,17 +21,19 @@ TOOL = (pathlib.Path(__file__).resolve().parents[2] / "tools"
 
 def valid_report():
     return {
-        "schema": "strassen.gemm_report.v3",
+        "schema": "strassen.gemm_report.v4",
         "call": {"entry": "modgemm", "m": 256, "n": 256, "k": 256},
         "phases": {"wall_s": 0.01, "convert_in_s": 0.001, "compute_s": 0.008,
                    "leaf_s": 0.006, "convert_out_s": 0.001,
                    "conversion_fraction": 0.2},
         "plan": {"direct": False, "split": False, "products": 7,
-                 "planned_depth": 1, "schedule": "winograd", "depth": 1,
+                 "planned_depth": 1, "schedule": "winograd",
+                 "strategy": "morton", "depth": 1,
                  "tile_m": 128, "tile_k": 128, "tile_n": 128, "padded_m": 256,
                  "padded_k": 256, "padded_n": 256, "pad_elems": 0},
         "workspace": {"requested_bytes": 1 << 20, "peak_bytes": 1 << 20,
-                      "saved_bytes": 0, "allocations": 3, "fallback": "none"},
+                      "saved_bytes": 0, "conversion_saved_bytes": 0,
+                      "allocations": 3, "fallback": "none"},
         "kernels": {"active": "avx2", "variant": "kernel8x4",
                     "leaf_calls": 7, "fused_calls": 3,
                     "elementwise_calls": 11},
@@ -102,6 +104,31 @@ class ValidateReportSchemaTest(unittest.TestCase):
         proc = self.run_tool(report)
         self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
 
+    def test_v3_report_is_rejected_loudly(self):
+        # A v3 report (no plan.strategy / workspace.conversion_saved_bytes)
+        # must fail on the schema id, not silently validate.
+        report = valid_report()
+        report["schema"] = "strassen.gemm_report.v3"
+        del report["plan"]["strategy"]
+        del report["workspace"]["conversion_saved_bytes"]
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("schema", proc.stdout)
+
+    def test_packfused_strategy_and_savings_pass(self):
+        report = valid_report()
+        report["plan"]["strategy"] = "packfused"
+        report["workspace"]["conversion_saved_bytes"] = 3 << 20
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_unknown_strategy_fails(self):
+        report = valid_report()
+        report["plan"]["strategy"] = "pack-fused"  # hyphenated: not a name
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("plan.strategy", proc.stdout)
+
     def test_schedule_swap_fallback_and_lowmem_schedule_pass(self):
         report = valid_report()
         report["workspace"]["fallback"] = "schedule-swap"
@@ -125,7 +152,7 @@ class ValidateReportSchemaTest(unittest.TestCase):
         self.assertIn("1 invalid of 2", proc.stdout)
 
     def test_truncated_json_fails(self):
-        proc = self.run_tool(raw='{"schema": "strassen.gemm_report.v3", ')
+        proc = self.run_tool(raw='{"schema": "strassen.gemm_report.v4", ')
         self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
 
     def test_no_arguments_is_usage_error(self):

@@ -10,6 +10,13 @@ normalizes every (kernel, tile) point by the same-run scalar throughput at
 that tile and fails when any point's normalized ratio regresses more than
 --tolerance (default 15%) below the baseline's.
 
+The "modgemm-*" rows (whole-algorithm throughput per execution strategy,
+where "tile" is the problem size) get the same treatment against their own
+in-run baseline: "modgemm-packfused" is normalized by the same-run
+"modgemm-morton" at the same size, so a change that slows the pack-fused
+path relative to the Morton path fails the gate even though both absolute
+numbers move with the runner.
+
 Points present in the baseline but missing from the current run (e.g. an
 AVX2 kernel on a runner without AVX2) are reported and skipped, never
 silently ignored.  Stdlib only.
@@ -34,15 +41,23 @@ def load_points(path):
     return points
 
 
+# Rows that act as the in-run denominator for a family of points; they are
+# never gated themselves.
+BASE_KERNELS = ("scalar", "modgemm-morton")
+
+
+def base_kernel_for(kernel):
+    """The same-run row a point is normalized by."""
+    return "modgemm-morton" if kernel.startswith("modgemm-") else "scalar"
+
+
 def normalized_ratios(points):
-    """Speedup over the same-run scalar kernel at the same tile size."""
-    scalar = {tile: g for (kernel, tile), g in points.items()
-              if kernel == "scalar"}
+    """Speedup over the point's same-run base kernel at the same tile size."""
     ratios = {}
     for (kernel, tile), gflops in points.items():
-        if kernel == "scalar":
+        if kernel in BASE_KERNELS:
             continue
-        base = scalar.get(tile)
+        base = points.get((base_kernel_for(kernel), tile))
         if base and base > 0.0:
             ratios[(kernel, tile)] = gflops / base
     return ratios

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""Validates strassen.gemm_report.v3 JSON lines (stdlib only).
+"""Validates strassen.gemm_report.v4 JSON lines (stdlib only).
 
 Input: one or more files of JSONL as emitted by STRASSEN_OBS=json:PATH, a
 single-report .json file, or a bench --json file
 (``{"bench": ..., "rows": [{"label": ..., "report": {...}}]}``).  Every
-report must carry the exact v3 key set with the documented types -- the
+report must carry the exact v4 key set with the documented types -- the
 schema is a compatibility contract (docs/OBSERVABILITY.md): consumers index
 fields unconditionally, so a missing, extra or retyped key is an error, not
 a warning.  Exits nonzero with the offending path on the first failure per
@@ -16,18 +16,20 @@ Usage: python3 tools/validate_report_schema.py report.jsonl [...]
 import json
 import sys
 
-SCHEMA_ID = "strassen.gemm_report.v3"
+SCHEMA_ID = "strassen.gemm_report.v4"
 
 BOOL = bool
 INT = int
 NUM = (int, float)  # JSON has one number type; integers satisfy "number"
 STR = str
 
-# section -> {key: expected type}; the full v3 key set, nothing optional.
+# section -> {key: expected type}; the full v4 key set, nothing optional.
 # v2 added parallel.steals (work-steal migrations) to the v1 layout; v3 added
 # plan.schedule (the executed schedule family), workspace.saved_bytes (bytes
 # a schedule swap saved vs the default family) and the "schedule-swap"
-# fallback rung.
+# fallback rung; v4 added plan.strategy (the execution strategy that ran) and
+# workspace.conversion_saved_bytes (layout-conversion traffic the pack-fused
+# strategy avoided).
 SECTIONS = {
     "call": {"entry": STR, "m": INT, "n": INT, "k": INT},
     "phases": {
@@ -44,6 +46,7 @@ SECTIONS = {
         "products": INT,
         "planned_depth": INT,
         "schedule": STR,
+        "strategy": STR,
         "depth": INT,
         "tile_m": INT,
         "tile_k": INT,
@@ -57,6 +60,7 @@ SECTIONS = {
         "requested_bytes": INT,
         "peak_bytes": INT,
         "saved_bytes": INT,
+        "conversion_saved_bytes": INT,
         "allocations": INT,
         "fallback": STR,
     },
@@ -83,6 +87,8 @@ FALLBACKS = {"none", "schedule-swap", "depth-reduced", "budget-direct",
              "alloc-direct", "alloc-strided"}
 # "none" = direct (no Strassen plan ran, so no schedule family applies).
 SCHEDULES = {"none", "winograd", "winograd-lowmem", "winograd-inplace"}
+# "none" = direct (no recursive execution, so no strategy applies).
+STRATEGIES = {"none", "morton", "packfused"}
 ENTRIES = {"modgemm", "pmodgemm"}
 
 
@@ -122,6 +128,9 @@ def validate_report(report, where):
     check(report["plan"]["schedule"] in SCHEDULES,
           f"{where}.plan.schedule",
           f"{report['plan']['schedule']!r} not in {sorted(SCHEDULES)}")
+    check(report["plan"]["strategy"] in STRATEGIES,
+          f"{where}.plan.strategy",
+          f"{report['plan']['strategy']!r} not in {sorted(STRATEGIES)}")
     for i, t in enumerate(report["parallel"]["per_thread_tasks"]):
         check(isinstance(t, int) and not isinstance(t, bool),
               f"{where}.parallel.per_thread_tasks[{i}]", f"{t!r} is not int")
