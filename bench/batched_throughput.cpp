@@ -1,0 +1,230 @@
+// batched_throughput -- batched GEMM service throughput (docs/BATCHED.md).
+//
+// A serving workload is torrents of small/medium products, not one large
+// one: per inference a Go/chess engine issues dozens of identically-shaped
+// GEMMs (the Sayuri-style 256x361x256 im2col rectangle is the canonical
+// example).  This bench measures what core::modgemm_batched buys over the
+// naive per-item loop at that shape regime:
+//
+//   batched-loop    per-item core::modgemm loop (plans, allocates and
+//                   reports per product) -- the in-run baseline row
+//   batched-serial  modgemm_batched with a null pool: one planning pass per
+//                   class + per-thread arena reuse, no parallelism
+//   batched-pool    modgemm_batched on the work-stealing pool: products
+//                   parallelize across each other
+//
+// Raw GFLOP/s are machine-dependent, so tools/compare_bench.py gates the
+// batched-serial / batched-pool rows on their speedup over the same-run
+// batched-loop row at the same size ("tile" column = n).
+//
+// Extra flag (on top of the common --quick/--csv/--json set):
+//   --tune   skip the sweep; run one tuned batch (BatchedOptions::tune) and
+//            print its report's tune-cache state ("tune_cache: cold|warm|
+//            rejected|off").  With STRASSEN_TUNE_CACHE=path set, running
+//            this twice proves the warm-start round trip (CI does exactly
+//            that).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batched.hpp"
+#include "obs/report.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/bench_common.hpp"
+
+using namespace strassen;
+
+namespace {
+
+struct Shape {
+  int m, n, k;
+  const char* what;
+};
+
+// The service regime: small/medium squares plus the Sayuri-shaped im2col
+// rectangle (k = 3x3 patches over 256 channels would be bigger; 361 = 19x19
+// board positions is the n of the engine's ConvolutionSgemm batches).
+const Shape kShapes[] = {
+    {64, 64, 64, "small square"},
+    {128, 128, 128, "medium square"},
+    {256, 256, 256, "large square"},
+    {256, 361, 256, "Sayuri im2col rectangle"},
+};
+
+// One batch of independent random products of one shape.  Items point into
+// the Problem matrices, so `prods` is reserved up front and never reallocated.
+struct BatchProblem {
+  std::vector<bench::Problem> prods;
+  std::vector<core::BatchItem> items;
+
+  BatchProblem(const Shape& s, int batch) {
+    prods.reserve(static_cast<std::size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+      prods.emplace_back(s.m, s.n, s.k,
+                         static_cast<std::uint64_t>(s.n) * 131 + i);
+      bench::Problem& p = prods.back();
+      core::BatchItem it;
+      it.m = p.m;
+      it.n = p.n;
+      it.k = p.k;
+      it.A = p.A.data();
+      it.lda = p.A.ld();
+      it.B = p.B.data();
+      it.ldb = p.B.ld();
+      it.beta = 0.0;
+      it.C = p.C.data();
+      it.ldc = p.C.ld();
+      items.push_back(it);
+    }
+  }
+};
+
+double gflops(const Shape& s, int batch, double seconds) {
+  const double flops = 2.0 * s.m * s.n * s.k * batch;
+  return flops / seconds / 1e9;
+}
+
+struct ResultRow {
+  std::string kernel;
+  int tile;
+  double gflops;
+};
+
+// Runs one tuned (or untuned) instrumented batch and prints the v5 batch
+// section; returns the report for JSON embedding.
+obs::GemmReport instrumented_batch(parallel::ThreadPool* pool, bool tune) {
+  const Shape s{128, 128, 128, "instrumented"};
+  BatchProblem bp(s, 16);
+  core::BatchedOptions opt;
+  opt.tune = tune;
+  obs::GemmReport rep;
+  core::modgemm_batched(pool, bp.items.data(),
+                        static_cast<int>(bp.items.size()), opt, &rep);
+  std::printf(
+      "batch report: count=%d classes=%d plan_cache=%llu hit/%llu miss "
+      "arena=%llu acquisitions/%llu cold\n",
+      rep.batch_count, rep.batch_classes,
+      static_cast<unsigned long long>(rep.batch_plan_cache_hits),
+      static_cast<unsigned long long>(rep.batch_plan_cache_misses),
+      static_cast<unsigned long long>(rep.batch_workspace_acquisitions),
+      static_cast<unsigned long long>(rep.batch_workspace_cold_allocs));
+  // CI greps this exact line for the warm/cold tune-cache round trip.
+  std::printf("tune_cache: %s\n", rep.tune_cache);
+  return rep;
+}
+
+void write_json(const std::string& dir, int batch, int threads,
+                const std::vector<ResultRow>& rows,
+                const obs::GemmReport& rep) {
+  const std::string path = dir + "/BENCH_batched.json";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  os << "{\"bench\": \"batched_throughput\", \"batch\": " << batch
+     << ", \"threads\": " << threads << ",\n \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    os << "  {\"kernel\": \"" << rows[i].kernel
+       << "\", \"tile\": " << rows[i].tile << ", \"gflops\": " << rows[i].gflops
+       << "}" << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  // The instrumented batch's full v5 report rides along under "rows" so
+  // tools/validate_report_schema.py covers this file too.
+  os << " ],\n \"rows\": [\n  {\"label\": \"instrumented n=128 batch=16\", "
+        "\"report\": "
+     << obs::to_json(rep) << "}\n ]}\n";
+  std::printf("wrote %s (%zu points)\n", path.c_str(), rows.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool tune = false;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tune") == 0) {
+      tune = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  const bench::BenchArgs args = bench::BenchArgs::parse(
+      static_cast<int>(passthrough.size()), passthrough.data());
+
+  const int threads =
+      std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
+  parallel::ThreadPool pool(threads);
+
+  if (tune) {
+    // Tune-cache round-trip mode: no sweep, just one tuned batch.  First run
+    // with STRASSEN_TUNE_CACHE set prints "cold" (survey + cache write),
+    // every later process prints "warm" (file read, no survey).
+    instrumented_batch(&pool, /*tune=*/true);
+    return 0;
+  }
+
+  bench::banner("Batched throughput",
+                "Batched GEMM service shapes: per-item loop vs "
+                "modgemm_batched (serial and pooled)");
+
+  const int batch = args.quick ? 8 : 32;
+  Table table({"m", "n", "k", "batch", "loop(GF/s)", "serial(GF/s)",
+               "pool(GF/s)", "pool speedup"});
+  args.maybe_mirror(table, "batched_throughput");
+
+  std::vector<ResultRow> rows;
+  for (const Shape& s : kShapes) {
+    BatchProblem bp(s, batch);
+    const MeasureOptions opt = bench::protocol(args, s.n);
+
+    const double t_loop = measure(
+        [&] {
+          for (const core::BatchItem& it : bp.items) {
+            core::modgemm(it.opa, it.opb, it.m, it.n, it.k, it.alpha, it.A,
+                          it.lda, it.B, it.ldb, it.beta, it.C, it.ldc);
+          }
+        },
+        opt);
+    const double t_serial = measure(
+        [&] {
+          core::modgemm_batched(nullptr, bp.items.data(),
+                                static_cast<int>(bp.items.size()));
+        },
+        opt);
+    const double t_pool = measure(
+        [&] {
+          core::modgemm_batched(&pool, bp.items.data(),
+                                static_cast<int>(bp.items.size()));
+        },
+        opt);
+
+    const double g_loop = gflops(s, batch, t_loop);
+    const double g_serial = gflops(s, batch, t_serial);
+    const double g_pool = gflops(s, batch, t_pool);
+    rows.push_back({"batched-loop", s.n, g_loop});
+    rows.push_back({"batched-serial", s.n, g_serial});
+    rows.push_back({"batched-pool", s.n, g_pool});
+    table.add_row({Table::num(static_cast<long long>(s.m)),
+                   Table::num(static_cast<long long>(s.n)),
+                   Table::num(static_cast<long long>(s.k)),
+                   Table::num(static_cast<long long>(batch)),
+                   Table::num(g_loop, 2), Table::num(g_serial, 2),
+                   Table::num(g_pool, 2), Table::num(g_pool / g_loop, 2)});
+  }
+  table.print();
+
+  obs::GemmReport rep = instrumented_batch(&pool, /*tune=*/false);
+  std::printf(
+      "\nExpected shape: batched-serial >= batched-loop (planning and "
+      "workspace amortized), batched-pool scaling toward %dx at the small "
+      "sizes.\n",
+      threads);
+
+  if (!args.json_dir.empty()) write_json(args.json_dir, batch, threads, rows, rep);
+  return 0;
+}

@@ -45,7 +45,7 @@ struct BenchArgs {
 // as DIR/BENCH_<name>.json:
 //
 //   {"bench": "<name>",
-//    "rows": [{"label": "...", "report": <strassen.gemm_report.v4>}, ...]}
+//    "rows": [{"label": "...", "report": <strassen.gemm_report.v5>}, ...]}
 //
 // Inert (enabled() == false, add() drops) without --json, so benches can
 // call it unconditionally.

@@ -13,7 +13,7 @@
 #include "common/stats.hpp"
 #include "common/timer.hpp"
 #include "core/modgemm.hpp"
-#include "tune/autotune.hpp"
+#include "tune/plan_cache.hpp"
 
 using namespace strassen;
 
@@ -63,14 +63,22 @@ int main(int argc, char** argv) {
       "(its central contribution).\n");
 
   // Let the auto-tuner measure this host's parameters (the paper picked its
-  // values empirically per machine; src/tune automates that survey).
+  // values empirically per machine; src/tune automates that survey).  Going
+  // through autotune_cached means a process that already surveyed -- or a
+  // previous process that left a warm STRASSEN_TUNE_CACHE file -- skips the
+  // measurement entirely.
   std::printf("\nAuto-tuner survey of this host:\n");
-  const tune::AutotuneResult tuned = tune::autotune();
-  std::printf("  leaf kernel: ");
-  for (const auto& [tile, mflops] : tuned.leaf_survey)
-    std::printf("T=%d:%.0f  ", tile, mflops);
+  const tune::CachedAutotune cached = tune::autotune_cached();
+  const tune::AutotuneResult& tuned = cached.result;
+  std::printf("  source: %s\n", tune::tune_source_name(cached.source));
+  if (!tuned.leaf_survey.empty()) {
+    std::printf("  leaf kernel: ");
+    for (const auto& [tile, mflops] : tuned.leaf_survey)
+      std::printf("T=%d:%.0f  ", tile, mflops);
+    std::printf("MFLOPS\n");
+  }
   std::printf(
-      "MFLOPS\n  chosen: tiles [%d,%d], preferred %d, direct threshold %d\n",
+      "  chosen: tiles [%d,%d], preferred %d, direct threshold %d\n",
       tuned.tiles.min_tile, tuned.tiles.max_tile, tuned.tiles.preferred_tile,
       tuned.tiles.direct_threshold);
   return 0;

@@ -1,0 +1,509 @@
+#include "core/batched.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <new>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/scope.hpp"
+#include "parallel/arena_pool.hpp"
+#include "parallel/pmodgemm.hpp"
+#include "tune/plan_cache.hpp"
+
+namespace strassen::core {
+
+namespace {
+
+// One plan-equivalence class of the batch: every member item shares shape,
+// ops, and (by construction of the batch-level options) budget, knobs,
+// schedule and strategy resolution -- hence exactly one plan.
+struct PlanClass {
+  int m = 0, n = 0, k = 0;
+  Op opa = Op::NoTrans, opb = Op::NoTrans;
+  layout::GemmPlan plan{};
+  int planned_depth = 0;
+  obs::FallbackReason fallback = obs::FallbackReason::kNone;
+  std::size_t workspace_bytes = 0;
+  std::int64_t padded_volume = 0;
+};
+
+struct ClassKey {
+  int m, n, k;
+  std::uint8_t opa, opb;
+  bool operator==(const ClassKey&) const = default;
+};
+
+struct ClassKeyHash {
+  std::size_t operator()(const ClassKey& c) const noexcept {
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint32_t>(c.m));
+    mix(static_cast<std::uint32_t>(c.n));
+    mix(static_cast<std::uint32_t>(c.k));
+    mix(c.opa);
+    mix(c.opb);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+tune::PlanKey make_plan_key(const ClassKey& c, const BatchedOptions& opt,
+                            analysis::ScheduleFamily schedule,
+                            layout::ExecStrategy strategy,
+                            const layout::TileOptions& tiles) {
+  tune::PlanKey key;
+  key.m = c.m;
+  key.k = c.k;
+  key.n = c.n;
+  key.opa = c.opa;
+  key.opb = c.opb;
+  key.schedule = static_cast<std::uint8_t>(schedule);
+  key.strategy = static_cast<std::uint8_t>(strategy);
+  key.elem_size = sizeof(double);
+  key.max_workspace_bytes = opt.max_workspace_bytes;
+  key.min_tile = tiles.min_tile;
+  key.max_tile = tiles.max_tile;
+  key.preferred_tile = tiles.preferred_tile;
+  key.direct_threshold = tiles.direct_threshold;
+  key.packfused_max_depth = tiles.packfused_max_depth;
+  key.avoid_conflict_cache_bytes = tiles.avoid_conflict_cache_bytes;
+  key.conflict_elem_bytes = tiles.conflict_elem_bytes;
+  key.max_tile_working_set_bytes = tiles.max_tile_working_set_bytes;
+  return key;
+}
+
+const char* tune_state_name(tune::TuneSource source) {
+  switch (source) {
+    case tune::TuneSource::kFreshSurvey: return "cold";
+    case tune::TuneSource::kProcessMemo:
+    case tune::TuneSource::kDiskCache: return "warm";
+    case tune::TuneSource::kRejectedCache: return "rejected";
+  }
+  return "off";
+}
+
+// Batch-flavored merge of a task-local report into the aggregate (the
+// pmodgemm merge idiom, extended with the strategy string, the pack-fused
+// savings and the batch counters the tasks tally).
+void merge_batch_report(obs::GemmReport* rep, const obs::GemmReport& sub) {
+  if (rep == nullptr) return;
+  rep->convert_in_seconds += sub.convert_in_seconds;
+  rep->compute_seconds += sub.compute_seconds;
+  rep->convert_out_seconds += sub.convert_out_seconds;
+  rep->products += sub.products;
+  rep->workspace_requested_bytes += sub.workspace_requested_bytes;
+  rep->workspace_allocations += sub.workspace_allocations;
+  rep->workspace_peak_bytes =
+      std::max(rep->workspace_peak_bytes, sub.workspace_peak_bytes);
+  rep->workspace_saved_bytes += sub.workspace_saved_bytes;
+  rep->conversion_saved_bytes += sub.conversion_saved_bytes;
+  if (sub.schedule[0] != '\0') rep->schedule = sub.schedule;
+  if (sub.strategy[0] != '\0') rep->strategy = sub.strategy;
+  if (sub.products > 0) rep->plan = sub.plan;
+  rep->split_used = rep->split_used || sub.split_used;
+  detail::record_fallback(rep, sub.fallback_reason);
+  rep->batch_workspace_acquisitions += sub.batch_workspace_acquisitions;
+  rep->batch_workspace_cold_allocs += sub.batch_workspace_cold_allocs;
+}
+
+}  // namespace
+
+void modgemm_batched(parallel::ThreadPool* pool, const BatchItem* items,
+                     int count, const BatchedOptions& opt,
+                     obs::GemmReport* report) {
+  STRASSEN_REQUIRE(count >= 0, "negative batch count: " << count);
+  STRASSEN_REQUIRE(items != nullptr || count == 0,
+                   "null items with count=" << count);
+  STRASSEN_REQUIRE(opt.min_task_flops >= 1,
+                   "min_task_flops must be >= 1, got " << opt.min_task_flops);
+  // The whole batch is validated before ANY C is touched: a bad item rejects
+  // everything, exactly like a bad argument to the serial entry point.
+  for (int i = 0; i < count; ++i) {
+    const BatchItem& it = items[i];
+    require_gemm_args(it.opa, it.opb, it.m, it.n, it.k, it.lda, it.ldb,
+                      it.ldc);
+    STRASSEN_REQUIRE(it.m == 0 || it.n == 0 || it.C != nullptr,
+                     "null C in batch item " << i);
+  }
+  blas::kernels::require_valid_kernel_env();
+  // One pin for the whole batch (vs one install/restore per product in the
+  // naive loop).
+  std::optional<blas::kernels::ScopedKernel> kernel_pin;
+  if (opt.kernel != blas::kernels::Kind::kAuto)
+    kernel_pin.emplace(opt.kernel, opt.avx2_variant);
+
+  if (report == nullptr) report = opt.report;
+  obs::CallScope scope("modgemm_batched", report);
+  obs::GemmReport* rep = scope.report();
+  obs::WallStamp wall(rep);
+
+  // Tile knobs: the caller's, or (opt.tune) the warm-startable autotune
+  // outcome -- a file read when STRASSEN_TUNE_CACHE is warm, a survey once
+  // per process otherwise.
+  layout::TileOptions tiles = opt.tiles;
+  const char* tune_state = "off";
+  if (opt.tune) {
+    const tune::CachedAutotune tuned = tune::autotune_cached();
+    tiles = tuned.result.tiles;
+    tune_state = tune_state_name(tuned.source);
+  }
+
+  if (rep) {
+    rep->batch_count = count;
+    rep->tune_cache = tune_state;
+    rep->parallel = pool != nullptr && count > 0;
+    rep->threads = pool != nullptr ? pool->thread_count() : 0;
+    if (count > 0) {
+      rep->m = items[0].m;
+      rep->n = items[0].n;
+      rep->k = items[0].k;
+    }
+    rep->kernel = blas::kernels::kind_name(blas::kernels::active_kernel());
+    rep->kernel_variant =
+        blas::kernels::variant_name(blas::kernels::avx2_variant());
+  }
+  if (count == 0) return;
+
+  // Resolve the schedule family and execution strategy ONCE for the batch
+  // (pin, then environment, then auto) -- the per-product env reads are one
+  // of the loop costs this entry point exists to remove.  Malformed env
+  // values throw here, before any write to C.
+  ModgemmOptions resolve_probe;
+  resolve_probe.schedule = opt.schedule;
+  resolve_probe.strategy = opt.strategy;
+  const analysis::ScheduleFamily resolved_schedule =
+      detail::resolve_schedule_family(resolve_probe);
+  const layout::ExecStrategy resolved_strategy =
+      detail::resolve_exec_strategy(resolve_probe);
+
+  // ---- plan once per equivalence class -------------------------------------
+  std::vector<PlanClass> classes;
+  std::vector<int> cls_of(static_cast<std::size_t>(count), 0);
+  {
+    std::unordered_map<ClassKey, int, ClassKeyHash> index;
+    index.reserve(static_cast<std::size_t>(count));
+    std::uint64_t cache_hits = 0, cache_misses = 0;
+    for (int i = 0; i < count; ++i) {
+      const BatchItem& it = items[i];
+      const ClassKey ck{it.m, it.n, it.k, static_cast<std::uint8_t>(it.opa),
+                        static_cast<std::uint8_t>(it.opb)};
+      auto [pos, fresh] =
+          index.emplace(ck, static_cast<int>(classes.size()));
+      if (fresh) {
+        PlanClass cls;
+        cls.m = it.m;
+        cls.n = it.n;
+        cls.k = it.k;
+        cls.opa = it.opa;
+        cls.opb = it.opb;
+        const tune::PlanKey pkey =
+            make_plan_key(ck, opt, resolved_schedule, resolved_strategy,
+                          tiles);
+        const tune::CachedPlan* cached =
+            opt.use_plan_cache ? tune::global_plan_cache().lookup(pkey)
+                               : nullptr;
+        if (ck.m < 1 || ck.k < 1 || ck.n < 1) {
+          // Degenerate product (empty C or rank-0 update): nothing to plan
+          // (plan_gemm requires dims >= 1); an infeasible plan routes every
+          // item of the class to the serial driver's early-outs.  Not
+          // cached -- there is no plan to share.
+          cls.plan.feasible = false;
+        } else if (cached != nullptr) {
+          cls.plan = cached->plan;
+          cls.planned_depth = cached->planned_depth;
+          cls.fallback = cached->fallback;
+          ++cache_hits;
+        } else {
+          const layout::GemmPlan planned =
+              layout::plan_gemm(cls.m, cls.k, cls.n, tiles);
+          cls.planned_depth = planned.depth;
+          if (planned.direct || planned.feasible) {
+            ModgemmOptions budget;
+            budget.tiles = tiles;
+            budget.max_workspace_bytes = opt.max_workspace_bytes;
+            // Scratch report: captures the budget rung so plan-cache hits
+            // replay the same fallback this planning pass records.
+            obs::GemmReport plan_rep;
+            cls.plan = detail::apply_workspace_budget(
+                planned, cls.m, cls.k, cls.n, budget, sizeof(double),
+                &plan_rep, resolved_schedule);
+            cls.plan.strategy = detail::plan_exec_strategy(
+                resolved_strategy, cls.plan, cls.m, cls.k, cls.n, tiles);
+            cls.fallback = plan_rep.fallback_reason;
+          } else {
+            cls.plan = planned;  // infeasible: the item runs the split path
+          }
+          ++cache_misses;
+          if (opt.use_plan_cache)
+            tune::global_plan_cache().insert(
+                pkey, tune::CachedPlan{cls.plan, cls.planned_depth,
+                                       cls.fallback});
+        }
+        cls.workspace_bytes = modgemm_workspace_bytes(cls.plan,
+                                                      sizeof(double));
+        cls.padded_volume =
+            cls.plan.feasible && !cls.plan.direct
+                ? static_cast<std::int64_t>(cls.plan.m.padded) *
+                      cls.plan.k.padded * cls.plan.n.padded
+                : static_cast<std::int64_t>(cls.m) * cls.k * cls.n;
+        detail::record_fallback(rep, cls.fallback);
+        classes.push_back(cls);
+      }
+      cls_of[static_cast<std::size_t>(i)] = pos->second;
+    }
+    if (rep) {
+      rep->batch_classes = static_cast<int>(classes.size());
+      rep->batch_plan_cache_hits = cache_hits;
+      rep->batch_plan_cache_misses = cache_misses;
+      rep->planned_depth = classes[static_cast<std::size_t>(cls_of[0])]
+                               .planned_depth;
+    }
+  }
+
+  // Serial options for the items that fall back to the full driver (split
+  // shapes and degenerate alpha/k cases).  Pins pass through unchanged so
+  // the ladder semantics (a pinned family never schedule-swaps) hold exactly
+  // as they would in a loop of serial calls.
+  ModgemmOptions serial;
+  serial.tiles = tiles;
+  serial.max_workspace_bytes = opt.max_workspace_bytes;
+  serial.schedule = opt.schedule;
+  serial.strategy = opt.strategy;
+
+  // ---- execute: one task per product ---------------------------------------
+  // Pre-allocated before the first submission (GemmReport is not
+  // thread-safe; the done flags serve the submission-failure path).
+  std::vector<obs::GemmReport> locals(
+      rep != nullptr ? static_cast<std::size_t>(count) : 0);
+  const std::unique_ptr<std::atomic<bool>[]> done(
+      new std::atomic<bool>[static_cast<std::size_t>(count)]());
+
+  RawMem mm;
+  const auto run_item = [&](const BatchItem& it, const PlanClass& cls,
+                            obs::GemmReport* local) {
+    if (it.m == 0 || it.n == 0 || it.alpha == 0.0 || it.k == 0 ||
+        !cls.plan.feasible) {
+      // Degenerate scaling cases and split shapes run the full serial
+      // driver: its CallScope nests under this call's collector, so kernel
+      // counters flow to the batch while phases land in `local`.
+      core::modgemm(it.opa, it.opb, it.m, it.n, it.k, it.alpha, it.A, it.lda,
+                    it.B, it.ldb, it.beta, it.C, it.ldc, serial, local);
+      return;
+    }
+    if (local) local->plan = cls.plan;
+    if (cls.plan.direct) {
+      detail::modgemm_direct(mm, it.opa, it.opb, it.m, it.n, it.k, it.alpha,
+                             it.A, it.lda, it.B, it.ldb, it.beta, it.C,
+                             it.ldc, local);
+      return;
+    }
+    if (cls.plan.strategy == layout::ExecStrategy::kPackFused) {
+      try {
+        modgemm_packfused(it.opa, it.opb, it.m, it.n, it.k, it.alpha, it.A,
+                          it.lda, it.B, it.ldb, it.beta, it.C, it.ldc,
+                          cls.plan, local);
+        return;
+      } catch (const std::bad_alloc&) {
+        detail::record_fallback(local, FallbackReason::kAllocDirect);
+      }
+      detail::modgemm_direct(mm, it.opa, it.opb, it.m, it.n, it.k, it.alpha,
+                             it.A, it.lda, it.B, it.ldb, it.beta, it.C,
+                             it.ldc, local);
+      return;
+    }
+    try {
+      // The amortization point: the arena comes from this thread's cache, so
+      // every product of the class after the first reuses warm memory.  The
+      // acquisition notes itself on the batch collector (bytes + count);
+      // cache hit/cold telemetry is tallied by the caller via the per-thread
+      // stats delta.
+      parallel::ScratchArena scratch(cls.workspace_bytes);
+      detail::modgemm_strassen_arena(mm, it.opa, it.opb, it.m, it.n, it.k,
+                                     it.alpha, it.A, it.lda, it.B, it.ldb,
+                                     it.beta, it.C, it.ldc, cls.plan,
+                                     scratch.arena(), local);
+    } catch (const std::bad_alloc&) {
+      // Acquisition refused/failed: C untouched, degrade like the serial
+      // ladder.
+      detail::record_fallback(local, FallbackReason::kAllocDirect);
+      detail::modgemm_direct(mm, it.opa, it.opb, it.m, it.n, it.k, it.alpha,
+                             it.A, it.lda, it.B, it.ldb, it.beta, it.C,
+                             it.ldc, local);
+    }
+  };
+
+  const auto run_indexed = [&](int i) {
+    const BatchItem& it = items[i];
+    const PlanClass& cls = classes[static_cast<std::size_t>(
+        cls_of[static_cast<std::size_t>(i)])];
+    obs::GemmReport* local =
+        locals.empty() ? nullptr : &locals[static_cast<std::size_t>(i)];
+    if (local) {
+      const parallel::ArenaCacheStats before =
+          parallel::thread_arena_cache_stats();
+      run_item(it, cls, local);
+      const parallel::ArenaCacheStats after =
+          parallel::thread_arena_cache_stats();
+      local->batch_workspace_acquisitions +=
+          (after.hits - before.hits) + (after.misses - before.misses);
+      local->batch_workspace_cold_allocs += after.misses - before.misses;
+    } else {
+      run_item(it, cls, nullptr);
+    }
+    done[i].store(true, std::memory_order_release);
+  };
+
+  // A product big enough to keep the whole pool busy by itself runs as a
+  // deep-spawning pmodgemm call instead of one task (after the small-item
+  // fan-out).  Pack-fused pins stay single-task: pmodgemm is Morton-only,
+  // and honoring the pin outweighs intra-product parallelism.
+  const auto is_deep = [&](const PlanClass& cls) {
+    return pool != nullptr &&
+           cls.plan.strategy != layout::ExecStrategy::kPackFused &&
+           cls.plan.feasible && !cls.plan.direct &&
+           cls.padded_volume >= opt.min_task_flops;
+  };
+
+  try {
+    parallel::TaskGroup group(pool);
+    for (int i = 0; i < count; ++i) {
+      if (is_deep(classes[static_cast<std::size_t>(
+              cls_of[static_cast<std::size_t>(i)])]))
+        continue;
+      group.run([&run_indexed, i] { run_indexed(i); });
+    }
+    group.wait();
+  } catch (const std::bad_alloc&) {
+    // Task-setup allocation failed part way; the tasks themselves absorb
+    // bad_alloc in the ladder.  ~TaskGroup joined everything in flight --
+    // finish the rest inline.
+    detail::record_fallback(rep, FallbackReason::kAllocDirect);
+    parallel::purge_thread_arena_cache();
+    for (int i = 0; i < count; ++i) {
+      if (is_deep(classes[static_cast<std::size_t>(
+              cls_of[static_cast<std::size_t>(i)])]))
+        continue;
+      if (!done[i].load(std::memory_order_acquire)) run_indexed(i);
+    }
+  }
+
+  // Deep products: whole-pool deep spawning, one at a time (each saturates
+  // the pool by itself; running them concurrently would oversubscribe).
+  for (int i = 0; i < count; ++i) {
+    const PlanClass& cls =
+        classes[static_cast<std::size_t>(cls_of[static_cast<std::size_t>(i)])];
+    if (!is_deep(cls)) continue;
+    const BatchItem& it = items[i];
+    parallel::ParallelOptions popt;
+    popt.tiles = tiles;
+    popt.min_task_flops = opt.min_task_flops;
+    popt.schedule = opt.schedule;
+    popt.report = locals.empty() ? nullptr
+                                 : &locals[static_cast<std::size_t>(i)];
+    parallel::pmodgemm(pool, it.opa, it.opb, it.m, it.n, it.k, it.alpha,
+                       it.A, it.lda, it.B, it.ldb, it.beta, it.C, it.ldc,
+                       popt);
+    done[i].store(true, std::memory_order_release);
+  }
+
+  for (const obs::GemmReport& local : locals) merge_batch_report(rep, local);
+}
+
+void modgemm_strided_batched(parallel::ThreadPool* pool, Op opa, Op opb,
+                             int m, int n, int k, double alpha,
+                             const double* A, int lda, std::int64_t stride_a,
+                             const double* B, int ldb, std::int64_t stride_b,
+                             double beta, double* C, int ldc,
+                             std::int64_t stride_c, int batch,
+                             const BatchedOptions& opt,
+                             obs::GemmReport* report) {
+  STRASSEN_REQUIRE(batch >= 0, "negative batch count: " << batch);
+  require_gemm_args(opa, opb, m, n, k, lda, ldb, ldc);
+  STRASSEN_REQUIRE(stride_a >= 0, "negative stride_a: " << stride_a);
+  STRASSEN_REQUIRE(stride_b >= 0, "negative stride_b: " << stride_b);
+  if (batch > 1 && m > 0 && n > 0)
+    STRASSEN_REQUIRE(stride_c >= static_cast<std::int64_t>(ldc) * n,
+                     "stride_c=" << stride_c << " smaller than one C"
+                                 << " footprint (ldc*n=" << ldc << "*" << n
+                                 << "); outputs would alias");
+  // Materialized before any write to C (a bad_alloc here leaves every C
+  // untouched), then delegated: one shape + one op pair means exactly one
+  // plan class.
+  std::vector<BatchItem> items(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    BatchItem& it = items[static_cast<std::size_t>(i)];
+    it.opa = opa;
+    it.opb = opb;
+    it.m = m;
+    it.n = n;
+    it.k = k;
+    it.alpha = alpha;
+    it.A = A + static_cast<std::int64_t>(i) * stride_a;
+    it.lda = lda;
+    it.B = B + static_cast<std::int64_t>(i) * stride_b;
+    it.ldb = ldb;
+    it.beta = beta;
+    it.C = C + static_cast<std::int64_t>(i) * stride_c;
+    it.ldc = ldc;
+  }
+  modgemm_batched(pool, items.data(), batch, opt, report);
+}
+
+Status try_modgemm_batched(parallel::ThreadPool* pool, const BatchItem* items,
+                           int count, const BatchedOptions& opt,
+                           obs::GemmReport* report) noexcept {
+  // Pre-validate so argument errors surface as precise Status codes with no
+  // C touched; count/null-items errors map to kBadM (no dedicated code).
+  if (count < 0 || (items == nullptr && count > 0) || opt.min_task_flops < 1)
+    return Status::kBadM;
+  for (int i = 0; i < count; ++i) {
+    const BatchItem& it = items[i];
+    const Status s = validate_gemm_args(it.opa, it.opb, it.m, it.n, it.k,
+                                        it.lda, it.ldb, it.ldc);
+    if (!ok(s)) return s;
+    if (it.m > 0 && it.n > 0 && it.C == nullptr) return Status::kBadLdc;
+  }
+  try {
+    modgemm_batched(pool, items, count, opt, report);
+    return Status::kOk;
+  } catch (const std::bad_alloc&) {
+    return Status::kOutOfMemory;
+  } catch (...) {
+    return Status::kInternalError;
+  }
+}
+
+Status try_modgemm_strided_batched(parallel::ThreadPool* pool, Op opa, Op opb,
+                                   int m, int n, int k, double alpha,
+                                   const double* A, int lda,
+                                   std::int64_t stride_a, const double* B,
+                                   int ldb, std::int64_t stride_b, double beta,
+                                   double* C, int ldc, std::int64_t stride_c,
+                                   int batch, const BatchedOptions& opt,
+                                   obs::GemmReport* report) noexcept {
+  if (batch < 0 || opt.min_task_flops < 1) return Status::kBadM;
+  const Status s = validate_gemm_args(opa, opb, m, n, k, lda, ldb, ldc);
+  if (!ok(s)) return s;
+  if (stride_a < 0) return Status::kBadLda;
+  if (stride_b < 0) return Status::kBadLdb;
+  if (batch > 1 && m > 0 && n > 0 &&
+      stride_c < static_cast<std::int64_t>(ldc) * n)
+    return Status::kBadLdc;
+  try {
+    modgemm_strided_batched(pool, opa, opb, m, n, k, alpha, A, lda, stride_a,
+                            B, ldb, stride_b, beta, C, ldc, stride_c, batch,
+                            opt, report);
+    return Status::kOk;
+  } catch (const std::bad_alloc&) {
+    return Status::kOutOfMemory;
+  } catch (...) {
+    return Status::kInternalError;
+  }
+}
+
+}  // namespace strassen::core

@@ -282,24 +282,28 @@ inline layout::GemmPlan apply_workspace_budget(
   return direct;
 }
 
-// The planned Strassen-Winograd path for one product.  All allocations (the
-// arena holding the Morton buffers and the recursion temporaries) happen
+// The planned Strassen-Winograd path for one product, over a CALLER-OWNED
+// arena sized to at least modgemm_workspace_bytes(plan, sizeof(T)).  All
+// arena pushes (the Morton buffers and the recursion temporaries) happen
 // before any arithmetic, and C is written only by the final from_morton
 // conversion, which does not allocate -- so a std::bad_alloc from this
 // function guarantees C was never touched, and the caller may retry on a
-// cheaper path.
+// cheaper path.  Workspace accounting (requested bytes / allocation count)
+// is the caller's business: the serial wrapper below books its own arena,
+// while the batched driver (core/batched.cpp) acquires through the
+// per-thread ScratchArena cache, whose collector note already covers the
+// acquisition.
 template <class MM, class T>
-void modgemm_strassen(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
-                      const T* A, int lda, const T* B, int ldb, T beta, T* C,
-                      int ldc, const layout::GemmPlan& plan,
-                      ModgemmReport* report) {
+void modgemm_strassen_arena(MM& mm, Op opa, Op opb, int m, int n, int k,
+                            T alpha, const T* A, int lda, const T* B, int ldb,
+                            T beta, T* C, int ldc,
+                            const layout::GemmPlan& plan, Arena& arena,
+                            ModgemmReport* report) {
   STRASSEN_ASSERT(plan.feasible && plan.depth >= 1);
   const layout::MortonLayout la{m, k, plan.m.tile, plan.k.tile, plan.depth};
   const layout::MortonLayout lb{k, n, plan.k.tile, plan.n.tile, plan.depth};
   const layout::MortonLayout lc{m, n, plan.m.tile, plan.n.tile, plan.depth};
 
-  const std::size_t workspace_bytes = modgemm_workspace_bytes(plan, sizeof(T));
-  Arena arena(workspace_bytes);
   T* Am = arena.push<T>(static_cast<std::size_t>(la.elems()));
   T* Bm = arena.push<T>(static_cast<std::size_t>(lb.elems()));
   T* Cm = arena.push<T>(static_cast<std::size_t>(lc.elems()));
@@ -359,10 +363,26 @@ void modgemm_strassen(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
       if (def > got) report->workspace_saved_bytes += def - got;
     }
     ++report->products;
-    report->workspace_requested_bytes += workspace_bytes;
-    ++report->workspace_allocations;
     report->workspace_peak_bytes =
         std::max(report->workspace_peak_bytes, arena.peak());
+  }
+}
+
+// The self-allocating wrapper: sizes and owns the arena for one product
+// (historical entry used by the serial ladder), keeping the per-call
+// workspace accounting it always had.
+template <class MM, class T>
+void modgemm_strassen(MM& mm, Op opa, Op opb, int m, int n, int k, T alpha,
+                      const T* A, int lda, const T* B, int ldb, T beta, T* C,
+                      int ldc, const layout::GemmPlan& plan,
+                      ModgemmReport* report) {
+  const std::size_t workspace_bytes = modgemm_workspace_bytes(plan, sizeof(T));
+  Arena arena(workspace_bytes);
+  modgemm_strassen_arena(mm, opa, opb, m, n, k, alpha, A, lda, B, ldb, beta,
+                         C, ldc, plan, arena, report);
+  if (report) {
+    report->workspace_requested_bytes += workspace_bytes;
+    ++report->workspace_allocations;
   }
 }
 

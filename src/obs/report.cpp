@@ -57,14 +57,15 @@ void put_string(std::ostream& os, const char* s) {
 
 }  // namespace
 
-// One line, stable key set and order: schema strassen.gemm_report.v4.
+// One line, stable key set and order: schema strassen.gemm_report.v5.
 // Adding a key is a schema version bump (see docs/OBSERVABILITY.md); v2
 // added parallel.steals when the work-stealing scheduler landed; v3 added
 // plan.schedule and workspace.saved_bytes with the low-memory schedule
 // family; v4 added plan.strategy and workspace.conversion_saved_bytes with
-// the pack-fused execution strategy.
+// the pack-fused execution strategy; v5 added the batch section with the
+// batched service core (core/batched.hpp).
 void write_json(std::ostream& os, const GemmReport& r) {
-  os << "{\"schema\": \"strassen.gemm_report.v4\", ";
+  os << "{\"schema\": \"strassen.gemm_report.v5\", ";
 
   os << "\"call\": {\"entry\": ";
   put_string(os, r.entry[0] != '\0' ? r.entry : "modgemm");
@@ -126,7 +127,17 @@ void write_json(std::ostream& os, const GemmReport& r) {
   os << ", \"per_thread_tasks\": [";
   for (std::size_t i = 0; i < r.per_thread_tasks.size(); ++i)
     os << (i == 0 ? "" : ", ") << r.per_thread_tasks[i];
-  os << "]}}";
+  os << "]}, ";
+
+  os << "\"batch\": {\"count\": " << r.batch_count
+     << ", \"classes\": " << r.batch_classes
+     << ", \"plan_cache_hits\": " << r.batch_plan_cache_hits
+     << ", \"plan_cache_misses\": " << r.batch_plan_cache_misses
+     << ", \"workspace_acquisitions\": " << r.batch_workspace_acquisitions
+     << ", \"workspace_cold_allocs\": " << r.batch_workspace_cold_allocs
+     << ", \"tune_cache\": ";
+  put_string(os, r.tune_cache[0] != '\0' ? r.tune_cache : "off");
+  os << "}}";
 }
 
 std::string to_json(const GemmReport& r) {

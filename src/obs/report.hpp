@@ -60,10 +60,11 @@ const char* fallback_reason_name(FallbackReason r);
 
 // Everything the library can tell you about one gemm call.  Field semantics
 // are specified in docs/OBSERVABILITY.md together with the JSON schema
-// (strassen.gemm_report.v4) that to_json() emits.
+// (strassen.gemm_report.v5) that to_json() emits.
 struct GemmReport {
   // --- call identity -------------------------------------------------------
-  const char* entry = "";  // "modgemm" | "pmodgemm" (static strings)
+  // "modgemm" | "pmodgemm" | "modgemm_batched" (static strings)
+  const char* entry = "";
   int m = 0, n = 0, k = 0;
 
   // --- phase timers (seconds; += across invocations) -----------------------
@@ -130,6 +131,26 @@ struct GemmReport {
   // Empty until a parallel call populates it.
   std::vector<std::uint64_t> per_thread_tasks;
 
+  // --- batched execution (core/batched.hpp; all zero/"" outside it) --------
+  int batch_count = 0;    // products in the batch (0 = not a batched call)
+  int batch_classes = 0;  // distinct plan-equivalence classes in the batch
+  // Plan-cache outcome per class: hits were served by the process-wide cache
+  // (tune/plan_cache.hpp), misses were planned fresh this call (and
+  // published).  hits + misses == batch_classes when the cache is on.
+  std::uint64_t batch_plan_cache_hits = 0;
+  std::uint64_t batch_plan_cache_misses = 0;
+  // Scratch acquisitions across the batch's tasks (one per product needing
+  // workspace) and the subset that missed the per-thread arena cache and
+  // allocated cold.  Amortization target: cold allocs <= pool width + 1 for
+  // a single-class batch, independent of batch size.
+  std::uint64_t batch_workspace_acquisitions = 0;
+  std::uint64_t batch_workspace_cold_allocs = 0;
+  // Persistent tune-cache outcome for the batch: "off" (BatchedOptions::tune
+  // unset), "cold" (surveyed fresh), "warm" (memo or STRASSEN_TUNE_CACHE
+  // file skipped the survey), "rejected" (corrupt/foreign file forced a
+  // re-survey).  Serialized "off" while empty.
+  const char* tune_cache = "";
+
   // --- derived -------------------------------------------------------------
   double total_seconds() const {
     return convert_in_seconds + compute_seconds + convert_out_seconds;
@@ -172,7 +193,7 @@ class WallStamp {
 };
 
 // Serializes `r` as one line of schema-stable JSON (schema id
-// "strassen.gemm_report.v4"; see docs/OBSERVABILITY.md for the contract).
+// "strassen.gemm_report.v5"; see docs/OBSERVABILITY.md for the contract).
 // Key set and nesting never change within a schema version -- consumers may
 // index fields unconditionally.
 std::string to_json(const GemmReport& r);

@@ -44,8 +44,12 @@ CallScope::~CallScope() {
       static_cast<int>(ld(counters_.workspace_allocations));
   // The parallel schedule keeps the spawn-level temporaries and every
   // child arena live together until the join, so the call's high-water
-  // mark is the full requested footprint.
-  if (r.parallel)
+  // mark is the full requested footprint.  NOT true for batched calls
+  // (batch_count > 0): their tasks acquire and release scratch product by
+  // product through the per-thread arena cache, so at most ~one arena per
+  // thread is ever live -- their peak is the largest per-product arena mark,
+  // already folded in by the driver.
+  if (r.parallel && r.batch_count == 0)
     r.workspace_peak_bytes =
         std::max(r.workspace_peak_bytes, r.workspace_requested_bytes);
 

@@ -251,14 +251,17 @@ TEST(ObsJson, CarriesSchemaAndEverySection) {
   p.run(fixed_depth2(), &report);
   const std::string json = obs::to_json(report);
 
-  EXPECT_NE(json.find("\"schema\": \"strassen.gemm_report.v4\""),
+  EXPECT_NE(json.find("\"schema\": \"strassen.gemm_report.v5\""),
             std::string::npos);
   for (const char* key :
        {"\"call\"", "\"phases\"", "\"plan\"", "\"workspace\"", "\"kernels\"",
         "\"parallel\"", "\"wall_s\"", "\"leaf_calls\"", "\"peak_bytes\"",
         "\"fallback\"", "\"steals\"", "\"per_thread_tasks\"",
         "\"pad_elems\"", "\"schedule\"", "\"strategy\"", "\"saved_bytes\"",
-        "\"conversion_saved_bytes\""})
+        "\"conversion_saved_bytes\"", "\"batch\"", "\"classes\"",
+        "\"plan_cache_hits\"", "\"plan_cache_misses\"",
+        "\"workspace_acquisitions\"", "\"workspace_cold_allocs\"",
+        "\"tune_cache\""})
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   // One line, balanced braces.
   EXPECT_EQ(json.find('\n'), std::string::npos);
@@ -309,7 +312,7 @@ TEST(ObsEnvSink, AppendsOneJsonlLinePerCall) {
   std::string line;
   while (std::getline(in, line)) {
     ++lines;
-    EXPECT_NE(line.find("\"schema\": \"strassen.gemm_report.v4\""),
+    EXPECT_NE(line.find("\"schema\": \"strassen.gemm_report.v5\""),
               std::string::npos);
     EXPECT_NE(line.find("\"entry\": \"modgemm\""), std::string::npos);
   }

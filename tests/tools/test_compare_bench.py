@@ -114,6 +114,32 @@ class CompareBenchTest(unittest.TestCase):
         self.assertIn("modgemm-packfused", proc.stdout)
         self.assertIn("REGRESSION", proc.stdout)
 
+    # ---- batched rows (normalized by same-run batched-loop) ----
+
+    def test_batched_rows_normalize_by_batched_loop(self):
+        # A uniformly 2x faster machine keeps both batched ratios, so the
+        # gate passes even though every absolute number moved.
+        baseline = bench_json([("batched-loop", 128, 4.0),
+                               ("batched-serial", 128, 4.4),
+                               ("batched-pool", 128, 12.0)])
+        current = bench_json([("batched-loop", 128, 8.0),
+                              ("batched-serial", 128, 8.8),
+                              ("batched-pool", 128, 24.0)])
+        proc = self.run_tool(baseline, current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_batched_pool_scaling_regression_fails(self):
+        # The pool row falls from a 3x to a 1.5x speedup over the same-run
+        # per-item loop: a scaling loss, gated regardless of raw GFLOP/s.
+        baseline = bench_json([("batched-loop", 128, 4.0),
+                               ("batched-pool", 128, 12.0)])
+        current = bench_json([("batched-loop", 128, 4.0),
+                              ("batched-pool", 128, 6.0)])
+        proc = self.run_tool(baseline, current)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("batched-pool", proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+
     def test_morton_base_row_is_not_gated_by_scalar(self):
         # modgemm-morton is a base row: it must neither be normalized by the
         # scalar leaf kernel nor gated itself, even when its absolute number

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Tests for tools/validate_report_schema.py (stdlib only, ctest-registered).
 
-Feeds the validator a conforming strassen.gemm_report.v4 report and a series
+Feeds the validator a conforming strassen.gemm_report.v5 report and a series
 of malformed ones (missing key, extra key, retyped value, wrong enum, bool
 masquerading as int) and checks the exit-code contract: 0 for conforming
 input, 1 for invalid reports, 2 for usage errors.
@@ -21,7 +21,7 @@ TOOL = (pathlib.Path(__file__).resolve().parents[2] / "tools"
 
 def valid_report():
     return {
-        "schema": "strassen.gemm_report.v4",
+        "schema": "strassen.gemm_report.v5",
         "call": {"entry": "modgemm", "m": 256, "n": 256, "k": 256},
         "phases": {"wall_s": 0.01, "convert_in_s": 0.001, "compute_s": 0.008,
                    "leaf_s": 0.006, "convert_out_s": 0.001,
@@ -40,6 +40,9 @@ def valid_report():
         "parallel": {"used": False, "threads": 1, "spawn_levels": 0,
                      "tasks": 0, "steals": 0, "task_busy_s": 0.0,
                      "utilization": 0.0, "per_thread_tasks": [0]},
+        "batch": {"count": 0, "classes": 0, "plan_cache_hits": 0,
+                  "plan_cache_misses": 0, "workspace_acquisitions": 0,
+                  "workspace_cold_allocs": 0, "tune_cache": "off"},
     }
 
 
@@ -104,13 +107,12 @@ class ValidateReportSchemaTest(unittest.TestCase):
         proc = self.run_tool(report)
         self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
 
-    def test_v3_report_is_rejected_loudly(self):
-        # A v3 report (no plan.strategy / workspace.conversion_saved_bytes)
-        # must fail on the schema id, not silently validate.
+    def test_v4_report_is_rejected_loudly(self):
+        # A v4 report (no batch section) must fail on the schema id, not
+        # silently validate.
         report = valid_report()
-        report["schema"] = "strassen.gemm_report.v3"
-        del report["plan"]["strategy"]
-        del report["workspace"]["conversion_saved_bytes"]
+        report["schema"] = "strassen.gemm_report.v4"
+        del report["batch"]
         proc = self.run_tool(report)
         self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
         self.assertIn("schema", proc.stdout)
@@ -151,8 +153,31 @@ class ValidateReportSchemaTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
         self.assertIn("1 invalid of 2", proc.stdout)
 
+    def test_batched_entry_and_tune_states_pass(self):
+        report = valid_report()
+        report["call"]["entry"] = "modgemm_batched"
+        report["batch"] = {"count": 32, "classes": 1, "plan_cache_hits": 1,
+                          "plan_cache_misses": 0,
+                          "workspace_acquisitions": 32,
+                          "workspace_cold_allocs": 4, "tune_cache": "warm"}
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_unknown_tune_cache_state_fails(self):
+        report = valid_report()
+        report["batch"]["tune_cache"] = "lukewarm"
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("batch.tune_cache", proc.stdout)
+
+    def test_missing_batch_section_fails(self):
+        report = valid_report()
+        del report["batch"]
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+
     def test_truncated_json_fails(self):
-        proc = self.run_tool(raw='{"schema": "strassen.gemm_report.v4", ')
+        proc = self.run_tool(raw='{"schema": "strassen.gemm_report.v5", ')
         self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
 
     def test_no_arguments_is_usage_error(self):

@@ -17,6 +17,11 @@ in-run baseline: "modgemm-packfused" is normalized by the same-run
 path relative to the Morton path fails the gate even though both absolute
 numbers move with the runner.
 
+Likewise the "batched-*" rows (bench/batched_throughput.cpp, where "tile" is
+the batch's per-product n): "batched-serial" and "batched-pool" are
+normalized by the same-run "batched-loop" per-item baseline, gating the
+amortization and scaling wins of modgemm_batched rather than raw throughput.
+
 Points present in the baseline but missing from the current run (e.g. an
 AVX2 kernel on a runner without AVX2) are reported and skipped, never
 silently ignored.  Stdlib only.
@@ -43,12 +48,16 @@ def load_points(path):
 
 # Rows that act as the in-run denominator for a family of points; they are
 # never gated themselves.
-BASE_KERNELS = ("scalar", "modgemm-morton")
+BASE_KERNELS = ("scalar", "modgemm-morton", "batched-loop")
 
 
 def base_kernel_for(kernel):
     """The same-run row a point is normalized by."""
-    return "modgemm-morton" if kernel.startswith("modgemm-") else "scalar"
+    if kernel.startswith("modgemm-"):
+        return "modgemm-morton"
+    if kernel.startswith("batched-"):
+        return "batched-loop"
+    return "scalar"
 
 
 def normalized_ratios(points):

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""Validates strassen.gemm_report.v4 JSON lines (stdlib only).
+"""Validates strassen.gemm_report.v5 JSON lines (stdlib only).
 
 Input: one or more files of JSONL as emitted by STRASSEN_OBS=json:PATH, a
 single-report .json file, or a bench --json file
 (``{"bench": ..., "rows": [{"label": ..., "report": {...}}]}``).  Every
-report must carry the exact v4 key set with the documented types -- the
+report must carry the exact v5 key set with the documented types -- the
 schema is a compatibility contract (docs/OBSERVABILITY.md): consumers index
 fields unconditionally, so a missing, extra or retyped key is an error, not
 a warning.  Exits nonzero with the offending path on the first failure per
@@ -16,20 +16,21 @@ Usage: python3 tools/validate_report_schema.py report.jsonl [...]
 import json
 import sys
 
-SCHEMA_ID = "strassen.gemm_report.v4"
+SCHEMA_ID = "strassen.gemm_report.v5"
 
 BOOL = bool
 INT = int
 NUM = (int, float)  # JSON has one number type; integers satisfy "number"
 STR = str
 
-# section -> {key: expected type}; the full v4 key set, nothing optional.
+# section -> {key: expected type}; the full v5 key set, nothing optional.
 # v2 added parallel.steals (work-steal migrations) to the v1 layout; v3 added
 # plan.schedule (the executed schedule family), workspace.saved_bytes (bytes
 # a schedule swap saved vs the default family) and the "schedule-swap"
 # fallback rung; v4 added plan.strategy (the execution strategy that ran) and
 # workspace.conversion_saved_bytes (layout-conversion traffic the pack-fused
-# strategy avoided).
+# strategy avoided); v5 added the batch section (batched entry point,
+# plan-cache and arena-amortization counters, tune-cache state).
 SECTIONS = {
     "call": {"entry": STR, "m": INT, "n": INT, "k": INT},
     "phases": {
@@ -81,6 +82,15 @@ SECTIONS = {
         "utilization": NUM,
         "per_thread_tasks": list,
     },
+    "batch": {
+        "count": INT,
+        "classes": INT,
+        "plan_cache_hits": INT,
+        "plan_cache_misses": INT,
+        "workspace_acquisitions": INT,
+        "workspace_cold_allocs": INT,
+        "tune_cache": STR,
+    },
 }
 
 FALLBACKS = {"none", "schedule-swap", "depth-reduced", "budget-direct",
@@ -89,7 +99,10 @@ FALLBACKS = {"none", "schedule-swap", "depth-reduced", "budget-direct",
 SCHEDULES = {"none", "winograd", "winograd-lowmem", "winograd-inplace"}
 # "none" = direct (no recursive execution, so no strategy applies).
 STRATEGIES = {"none", "morton", "packfused"}
-ENTRIES = {"modgemm", "pmodgemm"}
+ENTRIES = {"modgemm", "pmodgemm", "modgemm_batched"}
+# "off" = not a tuned batched call; "cold"/"warm"/"rejected" = the
+# STRASSEN_TUNE_CACHE outcome of a BatchedOptions::tune call.
+TUNE_CACHE_STATES = {"off", "cold", "warm", "rejected"}
 
 
 def type_name(t):
@@ -131,6 +144,10 @@ def validate_report(report, where):
     check(report["plan"]["strategy"] in STRATEGIES,
           f"{where}.plan.strategy",
           f"{report['plan']['strategy']!r} not in {sorted(STRATEGIES)}")
+    check(report["batch"]["tune_cache"] in TUNE_CACHE_STATES,
+          f"{where}.batch.tune_cache",
+          f"{report['batch']['tune_cache']!r} not in "
+          f"{sorted(TUNE_CACHE_STATES)}")
     for i, t in enumerate(report["parallel"]["per_thread_tasks"]):
         check(isinstance(t, int) and not isinstance(t, bool),
               f"{where}.parallel.per_thread_tasks[{i}]", f"{t!r} is not int")
