@@ -1,0 +1,139 @@
+// fig_algo_family -- <2,2,2> vs the shape-matched <m,k,n> family tables.
+//
+// The paper tunes the classic 2x2 Strassen-Winograd recursion; the family
+// engine (analysis/algo_family.hpp + core/family.hpp) adds one level of a
+// <3,2,3>/<2,3,4>/<3,3,3> coefficient table above it for shapes the 2x2
+// quadrant model pads badly.  This bench times the SAME problem under each
+// forced family:
+//
+//   algo-222   the seed Winograd path (the in-run baseline row)
+//   algo-323   one <3,2,3> level, then <2,2,2> sub-products
+//   algo-234   one <2,3,4> level, then <2,2,2> sub-products
+//   algo-333   one <3,3,3> (Laderman) level, then <2,2,2> sub-products
+//
+// over deep squares (where <2,2,2> must stay ahead -- the planner margin
+// keeps the default path on it) and the Sayuri-shaped 256x361x256 im2col
+// rectangle (k = 19^2 pads heavily under powers of two; the families'
+// ceil-partitions fit it better).  Raw GFLOP/s are machine-dependent, so
+// tools/compare_bench.py gates each "algo-*" row on its ratio to the
+// same-run "algo-222" row at the same size.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/algo_family.hpp"
+#include "core/modgemm.hpp"
+#include "layout/plan.hpp"
+#include "obs/report.hpp"
+#include "support/bench_common.hpp"
+
+using namespace strassen;
+
+namespace {
+
+struct Shape {
+  int m, n, k;
+  const char* what;
+};
+
+// Two regimes, both stable enough run-to-run to gate on ratios: a deep
+// square (<2,2,2> must stay ahead -- the planner margin depends on it) and
+// the Sayuri im2col rectangle the family tables target.  Squares near the
+// direct threshold (e.g. 256) flip winners with measurement noise and are
+// deliberately absent.
+const Shape kShapes[] = {
+    {384, 384, 384, "deep square"},
+    {256, 361, 256, "Sayuri im2col rectangle"},
+};
+
+struct ResultRow {
+  std::string kernel;
+  int tile;
+  double gflops;
+};
+
+double gflops(const Shape& s, double seconds) {
+  return 2.0 * s.m * s.n * s.k / seconds / 1e9;
+}
+
+void write_json(const std::string& dir, const std::vector<ResultRow>& rows,
+                const obs::GemmReport& rep) {
+  const std::string path = dir + "/BENCH_algo_family.json";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  os << "{\"bench\": \"fig_algo_family\",\n \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    os << "  {\"kernel\": \"" << rows[i].kernel
+       << "\", \"tile\": " << rows[i].tile << ", \"gflops\": " << rows[i].gflops
+       << "}" << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  // A forced-family call's full v6 report rides along under "rows" so
+  // tools/validate_report_schema.py covers this file too.
+  os << " ],\n \"rows\": [\n  {\"label\": \"forced 333 256x361x256\", "
+        "\"report\": "
+     << obs::to_json(rep) << "}\n ]}\n";
+  std::printf("wrote %s (%zu points)\n", path.c_str(), rows.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::banner("Algorithm families",
+                "<2,2,2> vs shape-matched <m,k,n> coefficient tables "
+                "(one forced family level, then the Winograd recursion)");
+
+  Table table({"m", "n", "k", "what", "222(GF/s)", "323(GF/s)", "234(GF/s)",
+               "333(GF/s)", "heuristic"});
+  args.maybe_mirror(table, "fig_algo_family");
+
+  std::vector<ResultRow> rows;
+  obs::GemmReport instrumented;
+  for (const Shape& s : kShapes) {
+    bench::Problem p(s.m, s.n, s.k,
+                     static_cast<std::uint64_t>(s.n) * 977 + s.k);
+    const MeasureOptions mopt = bench::protocol(args, s.n);
+
+    double gf[4] = {0, 0, 0, 0};
+    int col = 0;
+    for (const analysis::AlgoFamily algo : analysis::kShippedAlgoFamilies) {
+      core::ModgemmOptions opt;
+      opt.algo = algo;
+      const double secs = measure(
+          [&] {
+            core::modgemm(Op::NoTrans, Op::NoTrans, s.m, s.n, s.k, 1.0,
+                          p.A.data(), p.A.ld(), p.B.data(), p.B.ld(), 0.0,
+                          p.C.data(), p.C.ld(), opt);
+          },
+          mopt);
+      gf[col] = gflops(s, secs);
+      rows.push_back({std::string("algo-") + analysis::algo_name(algo), s.n,
+                      gf[col]});
+      ++col;
+    }
+    // What the planner would pick with nothing forced (the heuristic keeps
+    // deep squares on 222; a different answer here is the figure's point).
+    const analysis::AlgoFamily chosen = layout::choose_algo(s.m, s.k, s.n);
+    table.add_row({std::to_string(s.m), std::to_string(s.n),
+                   std::to_string(s.k), s.what, Table::num(gf[0]),
+                   Table::num(gf[1]), Table::num(gf[2]), Table::num(gf[3]),
+                   analysis::algo_name(chosen)});
+
+    if (s.k == 256 && s.n == 361) {
+      // Instrument the forced-<3,3,3> Sayuri shape for the JSON report row.
+      core::ModgemmOptions opt;
+      opt.algo = analysis::AlgoFamily::k333;
+      core::modgemm(Op::NoTrans, Op::NoTrans, s.m, s.n, s.k, 1.0, p.A.data(),
+                    p.A.ld(), p.B.data(), p.B.ld(), 0.0, p.C.data(), p.C.ld(),
+                    opt, &instrumented);
+    }
+  }
+  table.print();
+
+  if (!args.json_dir.empty()) write_json(args.json_dir, rows, instrumented);
+  return 0;
+}

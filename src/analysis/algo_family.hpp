@@ -1,0 +1,331 @@
+// analysis/algo_family.hpp -- <m,k,n> fast-algorithm families as data.
+//
+// The schedule tables (analysis/schedule.hpp) fix the PARTITION at 2x2
+// quadrants and vary the straight-line program; this header generalizes the
+// partition itself.  A family table describes one bilinear algorithm over an
+// m x k grid of A blocks and a k x n grid of B blocks (Huang/Rice/Matthews/
+// van de Geijn, "Generating Families of Practical Fast Matrix Multiplication
+// Algorithms"): each of `rank` products multiplies a +-1 linear combination
+// of A blocks by a +-1 linear combination of B blocks, and each C block is a
+// +-1 accumulation of products:
+//
+//     P_r = (sum_{i,l} a[r][i*bk+l] * A_il) . (sum_{l,j} b[r][l*bn+j] * B_lj)
+//     C_ij = sum_r c[(i*bn+j)*rank + r] * P_r
+//
+// Because the A and B blocks do not commute, only genuinely bilinear
+// algorithms qualify (commutative tricks a la Winograd's inner-product
+// scheme are excluded by construction).  The interpreter (core/family.hpp)
+// executes ONE level of a table and recurses each product through the full
+// <2,2,2> engine -- the one-level-of-X-then-Winograd hybrid -- so a
+// rectangular problem gets a rectangular base case instead of the split-path
+// workaround.
+//
+// Every shipped table was emitted by tools/gen_algo_tables.py, which proves
+// the bilinear identity exactly over the integers before printing the
+// arrays, and is re-proved at build time by the constexpr verifier
+// (analysis/algo_verify.hpp): a transcription error fails compilation.
+//
+// Shipped tables:
+//   <2,2,2>  rank  7 / trivial  8 -- Strassen-Winograd (coefficient form of
+//            the paper's schedule; execution stays on the seed engine).
+//   <3,2,3>  rank 17 / trivial 18 -- Winograd on the rows{0,1} x cols{0,1}
+//            sub-problem plus trivial strip products.
+//   <2,3,4>  rank 22 / trivial 24 -- two Winograd sub-calls over the k-major
+//            block plus a rank-8 k-tail outer product.
+//   <3,3,3>  rank 23 / trivial 27 -- Laderman's 1976 algorithm.
+#pragma once
+
+#include <cstdint>
+
+namespace strassen::analysis {
+
+// Which <m,k,n> family a call runs.  kAuto defers to the STRASSEN_ALGO
+// environment override and then the planner heuristic (layout::choose_algo);
+// the heuristic keeps deep square problems on k222, whose execution is the
+// unchanged seed engine.
+enum class AlgoFamily : std::uint8_t {
+  kAuto = 0,
+  k222,
+  k323,
+  k234,
+  k333,
+};
+
+inline constexpr int kAlgoFamilyCount = 5;
+
+// Canonical token, also the STRASSEN_ALGO value grammar and the
+// report's plan.algo value ("222", "323", "234", "333"; "auto" never
+// escapes resolution).
+constexpr const char* algo_name(AlgoFamily f) {
+  switch (f) {
+    case AlgoFamily::kAuto: return "auto";
+    case AlgoFamily::k222: return "222";
+    case AlgoFamily::k323: return "323";
+    case AlgoFamily::k234: return "234";
+    case AlgoFamily::k333: return "333";
+  }
+  return "?";
+}
+
+// One bilinear <bm,bk,bn> algorithm as three coefficient arrays (row-major;
+// all entries in {-1, 0, +1}).
+struct FamilyTable {
+  const char* name = "";
+  int bm = 0, bk = 0, bn = 0;  // block grid: A is bm x bk, B is bk x bn
+  int rank = 0;                // number of block products
+  const std::int8_t* a = nullptr;  // rank x (bm*bk)
+  const std::int8_t* b = nullptr;  // rank x (bk*bn)
+  const std::int8_t* c = nullptr;  // (bm*bn) x rank
+  // Staging buffers the one-level interpreter keeps live at once (the
+  // A-combination, B-combination and product buffers); the verifier derives
+  // the required count from the table and rejects an under-declaration.
+  int declared_temp_peak = 0;
+
+  constexpr int trivial_rank() const { return bm * bk * bn; }
+  constexpr std::int8_t a_coef(int r, int i, int l) const {
+    return a[r * (bm * bk) + i * bk + l];
+  }
+  constexpr std::int8_t b_coef(int r, int l, int j) const {
+    return b[r * (bk * bn) + l * bn + j];
+  }
+  constexpr std::int8_t c_coef(int i, int j, int r) const {
+    return c[(i * bn + j) * rank + r];
+  }
+};
+
+// ---- <2,2,2>: Strassen-Winograd, rank 7 -----------------------------------
+// Block order: A11 A12 A21 A22 / B11 B12 B21 B22 (row-major over the grid).
+
+inline constexpr std::int8_t kAlgo222A[] = {
+    1,  0, 0, 0,   // P1 = A11
+    0,  1, 0, 0,   // P2 = A12
+    0,  0, 1, 1,   // P3 = A21 + A22
+    -1, 0, 1, 1,   // P4 = A21 + A22 - A11
+    1,  0, -1, 0,  // P5 = A11 - A21
+    1,  1, -1, -1, // P6 = A11 + A12 - A21 - A22
+    0,  0, 0, 1,   // P7 = A22
+};
+inline constexpr std::int8_t kAlgo222B[] = {
+    1,  0,  0,  0,  // . B11
+    0,  0,  1,  0,  // . B21
+    -1, 1,  0,  0,  // . B12 - B11
+    1,  -1, 0,  1,  // . B22 - B12 + B11
+    0,  -1, 0,  1,  // . B22 - B12
+    0,  0,  0,  1,  // . B22
+    1,  -1, -1, 1,  // . B22 - B12 + B11 - B21
+};
+inline constexpr std::int8_t kAlgo222C[] = {
+    1, 1, 0, 0, 0, 0, 0,   // C11
+    1, 0, 1, 1, 0, 1, 0,   // C12
+    1, 0, 0, 1, 1, 0, -1,  // C21
+    1, 0, 1, 1, 1, 0, 0,   // C22
+};
+
+// ---- <3,2,3>: rank 17 ------------------------------------------------------
+
+inline constexpr std::int8_t kAlgo323A[] = {
+    1, 0, 0, 0, 0, 0,
+    0, 1, 0, 0, 0, 0,
+    0, 0, 1, 1, 0, 0,
+    -1, 0, 1, 1, 0, 0,
+    1, 0, -1, 0, 0, 0,
+    1, 1, -1, -1, 0, 0,
+    0, 0, 0, 1, 0, 0,
+    1, 0, 0, 0, 0, 0,
+    0, 1, 0, 0, 0, 0,
+    0, 0, 1, 0, 0, 0,
+    0, 0, 0, 1, 0, 0,
+    0, 0, 0, 0, 1, 0,
+    0, 0, 0, 0, 0, 1,
+    0, 0, 0, 0, 1, 0,
+    0, 0, 0, 0, 0, 1,
+    0, 0, 0, 0, 1, 0,
+    0, 0, 0, 0, 0, 1,
+};
+inline constexpr std::int8_t kAlgo323B[] = {
+    1, 0, 0, 0, 0, 0,
+    0, 0, 0, 1, 0, 0,
+    -1, 1, 0, 0, 0, 0,
+    1, -1, 0, 0, 1, 0,
+    0, -1, 0, 0, 1, 0,
+    0, 0, 0, 0, 1, 0,
+    1, -1, 0, -1, 1, 0,
+    0, 0, 1, 0, 0, 0,
+    0, 0, 0, 0, 0, 1,
+    0, 0, 1, 0, 0, 0,
+    0, 0, 0, 0, 0, 1,
+    1, 0, 0, 0, 0, 0,
+    0, 0, 0, 1, 0, 0,
+    0, 1, 0, 0, 0, 0,
+    0, 0, 0, 0, 1, 0,
+    0, 0, 1, 0, 0, 0,
+    0, 0, 0, 0, 0, 1,
+};
+inline constexpr std::int8_t kAlgo323C[] = {
+    1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    1, 0, 1, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0,
+    1, 0, 0, 1, 1, 0, -1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    1, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+};
+
+// ---- <2,3,4>: rank 22 ------------------------------------------------------
+
+inline constexpr std::int8_t kAlgo234A[] = {
+    1, 0, 0, 0, 0, 0,
+    0, 1, 0, 0, 0, 0,
+    0, 0, 0, 1, 1, 0,
+    -1, 0, 0, 1, 1, 0,
+    1, 0, 0, -1, 0, 0,
+    1, 1, 0, -1, -1, 0,
+    0, 0, 0, 0, 1, 0,
+    1, 0, 0, 0, 0, 0,
+    0, 1, 0, 0, 0, 0,
+    0, 0, 0, 1, 1, 0,
+    -1, 0, 0, 1, 1, 0,
+    1, 0, 0, -1, 0, 0,
+    1, 1, 0, -1, -1, 0,
+    0, 0, 0, 0, 1, 0,
+    0, 0, 1, 0, 0, 0,
+    0, 0, 1, 0, 0, 0,
+    0, 0, 1, 0, 0, 0,
+    0, 0, 1, 0, 0, 0,
+    0, 0, 0, 0, 0, 1,
+    0, 0, 0, 0, 0, 1,
+    0, 0, 0, 0, 0, 1,
+    0, 0, 0, 0, 0, 1,
+};
+inline constexpr std::int8_t kAlgo234B[] = {
+    1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0,
+    -1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    1, -1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+    0, -1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+    1, -1, 0, 0, -1, 1, 0, 0, 0, 0, 0, 0,
+    0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0,
+    0, 0, -1, 1, 0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 1, -1, 0, 0, 0, 1, 0, 0, 0, 0,
+    0, 0, 0, -1, 0, 0, 0, 1, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0,
+    0, 0, 1, -1, 0, 0, -1, 1, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+};
+inline constexpr std::int8_t kAlgo234C[] = {
+    1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0,
+    1, 0, 1, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 1, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0,
+    1, 0, 0, 1, 1, 0, -1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0,
+    1, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 1, 1, 0, -1, 0, 0, 0, 0, 0, 0, 1, 0,
+    0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+};
+
+// ---- <3,3,3>: Laderman, rank 23 --------------------------------------------
+
+inline constexpr std::int8_t kAlgo333A[] = {
+    1, 1, 1, -1, -1, 0, 0, -1, -1,
+    1, 0, 0, -1, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 1, 0, 0, 0, 0,
+    -1, 0, 0, 1, 1, 0, 0, 0, 0,
+    0, 0, 0, 1, 1, 0, 0, 0, 0,
+    1, 0, 0, 0, 0, 0, 0, 0, 0,
+    -1, 0, 0, 0, 0, 0, 1, 1, 0,
+    -1, 0, 0, 0, 0, 0, 1, 0, 0,
+    0, 0, 0, 0, 0, 0, 1, 1, 0,
+    1, 1, 1, 0, -1, -1, -1, -1, 0,
+    0, 0, 0, 0, 0, 0, 0, 1, 0,
+    0, 0, -1, 0, 0, 0, 0, 1, 1,
+    0, 0, 1, 0, 0, 0, 0, 0, -1,
+    0, 0, 1, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 1, 1,
+    0, 0, -1, 0, 1, 1, 0, 0, 0,
+    0, 0, 1, 0, 0, -1, 0, 0, 0,
+    0, 0, 0, 0, 1, 1, 0, 0, 0,
+    0, 1, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 1, 0, 0, 0,
+    0, 0, 0, 1, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 1, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 1,
+};
+inline constexpr std::int8_t kAlgo333B[] = {
+    0, 0, 0, 0, 1, 0, 0, 0, 0,
+    0, -1, 0, 0, 1, 0, 0, 0, 0,
+    -1, 1, 0, 1, -1, -1, -1, 0, 1,
+    1, -1, 0, 0, 1, 0, 0, 0, 0,
+    -1, 1, 0, 0, 0, 0, 0, 0, 0,
+    1, 0, 0, 0, 0, 0, 0, 0, 0,
+    1, 0, -1, 0, 0, 1, 0, 0, 0,
+    0, 0, 1, 0, 0, -1, 0, 0, 0,
+    -1, 0, 1, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 1, 0, 0, 0,
+    -1, 0, 1, 1, -1, -1, -1, 1, 0,
+    0, 0, 0, 0, 1, 0, 1, -1, 0,
+    0, 0, 0, 0, 1, 0, 0, -1, 0,
+    0, 0, 0, 0, 0, 0, 1, 0, 0,
+    0, 0, 0, 0, 0, 0, -1, 1, 0,
+    0, 0, 0, 0, 0, 1, 1, 0, -1,
+    0, 0, 0, 0, 0, 1, 0, 0, -1,
+    0, 0, 0, 0, 0, 0, -1, 0, 1,
+    0, 0, 0, 1, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 1, 0,
+    0, 0, 1, 0, 0, 0, 0, 0, 0,
+    0, 1, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 1,
+};
+inline constexpr std::int8_t kAlgo333C[] = {
+    0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0,
+    1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 0, 1, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 1, 1, 0, 1, 1, 0, 0, 0, 1, 0, 1, 0, 1, 0, 0, 0, 0, 0,
+    0, 1, 1, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 1, 0, 0, 0, 0, 0, 0,
+    0, 1, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 0,
+    0, 0, 0, 0, 0, 1, 1, 1, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 1, 0,
+    0, 0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+};
+
+// ---- shipped tables --------------------------------------------------------
+
+inline constexpr FamilyTable kTable222{
+    "winograd-222", 2, 2, 2, 7, kAlgo222A, kAlgo222B, kAlgo222C, 3};
+inline constexpr FamilyTable kTable323{
+    "composed-323", 3, 2, 3, 17, kAlgo323A, kAlgo323B, kAlgo323C, 3};
+inline constexpr FamilyTable kTable234{
+    "composed-234", 2, 3, 4, 22, kAlgo234A, kAlgo234B, kAlgo234C, 3};
+inline constexpr FamilyTable kTable333{
+    "laderman-333", 3, 3, 3, 23, kAlgo333A, kAlgo333B, kAlgo333C, 3};
+
+// Table lookup; kAuto and k222 both map to the <2,2,2> table (the verifier
+// and tests exercise it in coefficient form; EXECUTION of k222 stays on the
+// seed schedule engine, which is what keeps the bit-identity pin).
+constexpr const FamilyTable& family_table(AlgoFamily f) {
+  switch (f) {
+    case AlgoFamily::k323: return kTable323;
+    case AlgoFamily::k234: return kTable234;
+    case AlgoFamily::k333: return kTable333;
+    case AlgoFamily::kAuto:
+    case AlgoFamily::k222: break;
+  }
+  return kTable222;
+}
+
+// Every shipped family, for the verifier static_asserts, the CLI gate and
+// the conformance suite.
+inline constexpr AlgoFamily kShippedAlgoFamilies[] = {
+    AlgoFamily::k222, AlgoFamily::k323, AlgoFamily::k234, AlgoFamily::k333};
+
+}  // namespace strassen::analysis

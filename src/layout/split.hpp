@@ -49,8 +49,10 @@ struct SplitPlan {
 };
 
 // Builds the split plan.  Guarantees that plan_gemm on every resulting
-// (m_chunk, k_chunk, n_chunk) triple is feasible (single-depth), which the
-// property tests verify exhaustively.
+// (m_chunk, k_chunk, n_chunk) triple is feasible (single-depth) or direct
+// (the latter only when the anchor dimension sits in the window gap
+// direct_threshold < n < 2*min_tile), which the property tests verify
+// exhaustively.
 SplitPlan plan_split(int m, int k, int n, const TileOptions& opt = {});
 
 }  // namespace strassen::layout

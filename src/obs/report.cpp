@@ -10,6 +10,8 @@ const char* fallback_reason_name(FallbackReason r) {
   switch (r) {
     case FallbackReason::kNone:
       return "none";
+    case FallbackReason::kAlgoFallback:
+      return "algo-fallback";
     case FallbackReason::kScheduleSwap:
       return "schedule-swap";
     case FallbackReason::kDepthReduced:
@@ -57,15 +59,17 @@ void put_string(std::ostream& os, const char* s) {
 
 }  // namespace
 
-// One line, stable key set and order: schema strassen.gemm_report.v5.
+// One line, stable key set and order: schema strassen.gemm_report.v6.
 // Adding a key is a schema version bump (see docs/OBSERVABILITY.md); v2
 // added parallel.steals when the work-stealing scheduler landed; v3 added
 // plan.schedule and workspace.saved_bytes with the low-memory schedule
 // family; v4 added plan.strategy and workspace.conversion_saved_bytes with
 // the pack-fused execution strategy; v5 added the batch section with the
-// batched service core (core/batched.hpp).
+// batched service core (core/batched.hpp); v6 added plan.algo (and the
+// "algo-fallback" workspace.fallback value) with the <m,k,n> algorithm
+// family engine (analysis/algo_family.hpp).
 void write_json(std::ostream& os, const GemmReport& r) {
-  os << "{\"schema\": \"strassen.gemm_report.v5\", ";
+  os << "{\"schema\": \"strassen.gemm_report.v6\", ";
 
   os << "\"call\": {\"entry\": ";
   put_string(os, r.entry[0] != '\0' ? r.entry : "modgemm");
@@ -93,6 +97,8 @@ void write_json(std::ostream& os, const GemmReport& r) {
   put_string(os, r.schedule[0] != '\0' ? r.schedule : "none");
   os << ", \"strategy\": ";
   put_string(os, r.strategy[0] != '\0' ? r.strategy : "none");
+  os << ", \"algo\": ";
+  put_string(os, r.algo[0] != '\0' ? r.algo : "none");
   os << ", \"depth\": " << r.plan.depth << ", \"tile_m\": " << r.plan.m.tile
      << ", \"tile_k\": " << r.plan.k.tile << ", \"tile_n\": " << r.plan.n.tile
      << ", \"padded_m\": " << r.plan.m.padded

@@ -46,6 +46,10 @@ namespace strassen::obs {
 // rung taken.  (Moved here from core/modgemm.hpp; core aliases it.)
 enum class FallbackReason {
   kNone = 0,        // planned path ran unmodified
+  kAlgoFallback,    // a non-<2,2,2> family was requested but could not run
+                    // (its sub-products would sit at/below the direct
+                    // threshold, staging exceeded the budget, or its
+                    // up-front allocation failed); <2,2,2> ran instead
   kScheduleSwap,    // workspace budget: planned depth kept, but a
                     // lower-footprint schedule family ran instead of the
                     // default 3-temporary table
@@ -60,7 +64,7 @@ const char* fallback_reason_name(FallbackReason r);
 
 // Everything the library can tell you about one gemm call.  Field semantics
 // are specified in docs/OBSERVABILITY.md together with the JSON schema
-// (strassen.gemm_report.v5) that to_json() emits.
+// (strassen.gemm_report.v6) that to_json() emits.
 struct GemmReport {
   // --- call identity -------------------------------------------------------
   // "modgemm" | "pmodgemm" | "modgemm_batched" (static strings)
@@ -87,6 +91,10 @@ struct GemmReport {
   // (layout::strategy_name: "morton" or "packfused"); "" until a Strassen
   // path runs, serialized as "none" like schedule.
   const char* strategy = "";
+  // <m,k,n> algorithm family the call's top level executed
+  // (analysis::algo_name: "222", "323", "234", "333"); "" until resolution
+  // runs (zero-dim early returns), serialized as "none" like schedule.
+  const char* algo = "";
 
   // --- resilience / workspace ----------------------------------------------
   FallbackReason fallback_reason = FallbackReason::kNone;  // worst rung taken
@@ -193,7 +201,7 @@ class WallStamp {
 };
 
 // Serializes `r` as one line of schema-stable JSON (schema id
-// "strassen.gemm_report.v5"; see docs/OBSERVABILITY.md for the contract).
+// "strassen.gemm_report.v6"; see docs/OBSERVABILITY.md for the contract).
 // Key set and nesting never change within a schema version -- consumers may
 // index fields unconditionally.
 std::string to_json(const GemmReport& r);

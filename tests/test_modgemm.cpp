@@ -304,10 +304,11 @@ TEST(ModgemmReportTest, TimingBreakdownIsPopulated) {
   rng.fill_uniform(A.storage());
   rng.fill_uniform(B.storage());
   ModgemmReport report;
-  // Asserts Morton-only conversion timers; the per-call pin keeps the test
-  // meaningful under a forced STRASSEN_STRATEGY=packfused environment.
+  // Asserts Morton-only conversion timers; the per-call pins keep the test
+  // meaningful under forced STRASSEN_STRATEGY / STRASSEN_ALGO environments.
   ModgemmOptions opt;
   opt.strategy = layout::ExecStrategy::kMorton;
+  opt.algo = analysis::AlgoFamily::k222;
   modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, A.data(), n, B.data(), n,
           0.0, C.data(), n, opt, &report);
   EXPECT_EQ(report.products, 1);

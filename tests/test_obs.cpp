@@ -106,9 +106,10 @@ TEST(ObsPhases, PopulatedAndConsistent) {
   ModgemmOptions opt;
   opt.tiles.direct_threshold = 32;  // force a Strassen execution
   // This test asserts Morton-only observables (conversion phases); pin the
-  // strategy so it holds under a forced STRASSEN_STRATEGY=packfused
-  // environment (the per-call pin outranks the env override).
+  // strategy and the <2,2,2> family so it holds under forced
+  // STRASSEN_STRATEGY / STRASSEN_ALGO environments (pin > env).
   opt.strategy = layout::ExecStrategy::kMorton;
+  opt.algo = analysis::AlgoFamily::k222;
   ModgemmReport report;
   p.run(opt, &report);
 
@@ -214,9 +215,11 @@ TEST(ObsWorkspace, RequestedMatchesPublicSizing) {
   Problem p(200);
   ModgemmOptions opt;
   opt.tiles.direct_threshold = 32;
-  // modgemm_workspace_bytes sizes the Morton execution; pin the strategy so
-  // the equality holds under a forced STRASSEN_STRATEGY=packfused leg.
+  // modgemm_workspace_bytes sizes the Morton <2,2,2> execution; pin the
+  // strategy and family so the equality holds under forced
+  // STRASSEN_STRATEGY / STRASSEN_ALGO legs.
   opt.strategy = layout::ExecStrategy::kMorton;
+  opt.algo = analysis::AlgoFamily::k222;
   ModgemmReport report;
   p.run(opt, &report);
   ASSERT_FALSE(report.plan.direct);
@@ -229,6 +232,10 @@ TEST(ObsWorkspace, FallbackLadderIsRecorded) {
   Problem p(200);
   ModgemmOptions opt;
   opt.tiles.direct_threshold = 32;
+  // Pin <2,2,2>: under a forced STRASSEN_ALGO the first gated allocation is
+  // the family staging, and the fault would degrade via kAlgoFallback
+  // instead of the <2,2,2> ladder's kAllocDirect (pin > env).
+  opt.algo = analysis::AlgoFamily::k222;
   ModgemmReport report;
   {
     // Refuse the (single) arena allocation: the ladder degrades to the
@@ -251,13 +258,14 @@ TEST(ObsJson, CarriesSchemaAndEverySection) {
   p.run(fixed_depth2(), &report);
   const std::string json = obs::to_json(report);
 
-  EXPECT_NE(json.find("\"schema\": \"strassen.gemm_report.v5\""),
+  EXPECT_NE(json.find("\"schema\": \"strassen.gemm_report.v6\""),
             std::string::npos);
   for (const char* key :
        {"\"call\"", "\"phases\"", "\"plan\"", "\"workspace\"", "\"kernels\"",
         "\"parallel\"", "\"wall_s\"", "\"leaf_calls\"", "\"peak_bytes\"",
         "\"fallback\"", "\"steals\"", "\"per_thread_tasks\"",
-        "\"pad_elems\"", "\"schedule\"", "\"strategy\"", "\"saved_bytes\"",
+        "\"pad_elems\"", "\"schedule\"", "\"strategy\"", "\"algo\"",
+        "\"saved_bytes\"",
         "\"conversion_saved_bytes\"", "\"batch\"", "\"classes\"",
         "\"plan_cache_hits\"", "\"plan_cache_misses\"",
         "\"workspace_acquisitions\"", "\"workspace_cold_allocs\"",
@@ -312,7 +320,7 @@ TEST(ObsEnvSink, AppendsOneJsonlLinePerCall) {
   std::string line;
   while (std::getline(in, line)) {
     ++lines;
-    EXPECT_NE(line.find("\"schema\": \"strassen.gemm_report.v5\""),
+    EXPECT_NE(line.find("\"schema\": \"strassen.gemm_report.v6\""),
               std::string::npos);
     EXPECT_NE(line.find("\"entry\": \"modgemm\""), std::string::npos);
   }
@@ -328,11 +336,18 @@ TEST(ObsParallel, PmodgemmFillsParallelSection) {
   const int n = 256;
   Problem p(n);
   Matrix<double> Cserial(n, n);
+  // Pinned to <2,2,2> on both sides: these tests assert the Morton spawn
+  // mechanics, which a forced STRASSEN_ALGO run would reroute through the
+  // family level (pin > env).
+  ModgemmOptions sopt;
+  sopt.algo = analysis::AlgoFamily::k222;
   core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, p.A.data(), p.A.ld(),
-                p.B.data(), p.B.ld(), 0.0, Cserial.data(), Cserial.ld());
+                p.B.data(), p.B.ld(), 0.0, Cserial.data(), Cserial.ld(),
+                sopt);
 
   parallel::ThreadPool pool(4);
   parallel::ParallelOptions popt;
+  popt.algo = analysis::AlgoFamily::k222;
   popt.spawn_levels = 1;
   ModgemmReport report;
   popt.report = &report;
@@ -370,11 +385,18 @@ TEST(ObsParallel, DeepSpawnReportsEffectiveLevelsAndTaskFanout) {
   const int n = 256;
   Problem p(n);
   Matrix<double> Cserial(n, n);
+  // Pinned to <2,2,2> on both sides: these tests assert the Morton spawn
+  // mechanics, which a forced STRASSEN_ALGO run would reroute through the
+  // family level (pin > env).
+  ModgemmOptions sopt;
+  sopt.algo = analysis::AlgoFamily::k222;
   core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, p.A.data(), p.A.ld(),
-                p.B.data(), p.B.ld(), 0.0, Cserial.data(), Cserial.ld());
+                p.B.data(), p.B.ld(), 0.0, Cserial.data(), Cserial.ld(),
+                sopt);
 
   parallel::ThreadPool pool(4);
   parallel::ParallelOptions popt;  // spawn_levels = kSpawnAuto
+  popt.algo = analysis::AlgoFamily::k222;
   popt.min_task_flops = 1;         // fork at EVERY level
   ModgemmReport report;
   popt.report = &report;
@@ -402,11 +424,18 @@ TEST(ObsParallel, AllocFailureDegradesIntoOneCoherentReport) {
   const int n = 256;
   Problem p(n);
   Matrix<double> Cserial(n, n);
+  // Pinned to <2,2,2> on both sides: these tests assert the Morton spawn
+  // mechanics, which a forced STRASSEN_ALGO run would reroute through the
+  // family level (pin > env).
+  ModgemmOptions sopt;
+  sopt.algo = analysis::AlgoFamily::k222;
   core::modgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, p.A.data(), p.A.ld(),
-                p.B.data(), p.B.ld(), 0.0, Cserial.data(), Cserial.ld());
+                p.B.data(), p.B.ld(), 0.0, Cserial.data(), Cserial.ld(),
+                sopt);
 
   parallel::ThreadPool pool(2);
   parallel::ParallelOptions popt;
+  popt.algo = analysis::AlgoFamily::k222;
   ModgemmReport report;
   popt.report = &report;
   {

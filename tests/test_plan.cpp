@@ -177,6 +177,39 @@ TEST(PlanGemm, FactorOfFourCanStraddleDepthWindows) {
   EXPECT_FALSE(p.feasible);
 }
 
+TEST(ChooseDim, WindowGapFallsBackToDepthZero) {
+  // direct_threshold < n < 2*min_tile: no depth >= 1 is feasible (ceil(n/2)
+  // undershoots min_tile) yet n is above the direct threshold.  The fallback
+  // must return the depth-0 single-tile plan, never a zero tile.
+  TileOptions opt;
+  opt.min_tile = 12;
+  opt.max_tile = 32;
+  opt.preferred_tile = 12;
+  opt.direct_threshold = 16;
+  const DimPlan p = choose_dim(22, opt);
+  EXPECT_EQ(p.tile, 22);
+  EXPECT_EQ(p.depth, 0);
+  EXPECT_EQ(p.padded, 22);
+}
+
+TEST(PlanGemm, WindowGapDimsRunDirect) {
+  // All three dims fit one tile but 22 sits in the window gap, so no common
+  // depth >= 1 exists.  Splitting cannot help (chunks would be no larger),
+  // so the plan must degrade to direct -- the autotuner's crossover probe
+  // hits exactly this shape when a forced <3,2,3> family ceil-partitions a
+  // 64^3 product into 22x22x32 sub-products under tiles {12,32,12,16}.
+  TileOptions opt;
+  opt.min_tile = 12;
+  opt.max_tile = 32;
+  opt.preferred_tile = 12;
+  opt.direct_threshold = 16;
+  const GemmPlan p = plan_gemm(22, 32, 22, opt);
+  EXPECT_TRUE(p.direct);
+  EXPECT_EQ(p.m.tile, 22);
+  EXPECT_EQ(p.k.tile, 32);
+  EXPECT_EQ(p.n.tile, 22);
+}
+
 TEST(TileOptions, ValidationRejectsDegenerateRanges) {
   TileOptions bad;
   bad.min_tile = 40;

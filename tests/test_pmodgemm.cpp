@@ -152,11 +152,17 @@ TEST_P(PmodgemmSplitPath, BitIdenticalToSerialSplitter) {
   copy_matrix<double>(C0.view(), Cs.view());
   copy_matrix<double>(C0.view(), Cp.view());
 
+  // Pinned to <2,2,2> on both sides: this test is about the split path, and
+  // a forced-STRASSEN_ALGO run would otherwise route these long shapes
+  // through one family level instead (pin > env > heuristic).
+  core::ModgemmOptions sopt;
+  sopt.algo = analysis::AlgoFamily::k222;
   core::modgemm(Op::Trans, Op::Trans, m, n, k, 1.5, A.data(), A.ld(),
-                B.data(), B.ld(), -0.5, Cs.data(), Cs.ld());
+                B.data(), B.ld(), -0.5, Cs.data(), Cs.ld(), sopt);
   ThreadPool pool(threads);
   obs::GemmReport report;
   ParallelOptions opt;
+  opt.algo = analysis::AlgoFamily::k222;
   opt.report = &report;
   pmodgemm(&pool, Op::Trans, Op::Trans, m, n, k, 1.5, A.data(), A.ld(),
            B.data(), B.ld(), -0.5, Cp.data(), Cp.ld(), opt);

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
 """Tests for tools/validate_report_schema.py (stdlib only, ctest-registered).
 
-Feeds the validator a conforming strassen.gemm_report.v5 report and a series
-of malformed ones (missing key, extra key, retyped value, wrong enum, bool
-masquerading as int) and checks the exit-code contract: 0 for conforming
-input, 1 for invalid reports, 2 for usage errors.
+Feeds the validator conforming strassen.gemm_report.v6 and legacy-v5 reports
+and a series of malformed ones (missing key, extra key, retyped value, wrong
+enum, bool masquerading as int, version drift) and checks the exit-code
+contract: 0 for conforming input, 1 for invalid reports, 2 for usage errors.
 """
 
 import copy
@@ -21,14 +21,14 @@ TOOL = (pathlib.Path(__file__).resolve().parents[2] / "tools"
 
 def valid_report():
     return {
-        "schema": "strassen.gemm_report.v5",
+        "schema": "strassen.gemm_report.v6",
         "call": {"entry": "modgemm", "m": 256, "n": 256, "k": 256},
         "phases": {"wall_s": 0.01, "convert_in_s": 0.001, "compute_s": 0.008,
                    "leaf_s": 0.006, "convert_out_s": 0.001,
                    "conversion_fraction": 0.2},
         "plan": {"direct": False, "split": False, "products": 7,
                  "planned_depth": 1, "schedule": "winograd",
-                 "strategy": "morton", "depth": 1,
+                 "strategy": "morton", "algo": "222", "depth": 1,
                  "tile_m": 128, "tile_k": 128, "tile_n": 128, "padded_m": 256,
                  "padded_k": 256, "padded_n": 256, "pad_elems": 0},
         "workspace": {"requested_bytes": 1 << 20, "peak_bytes": 1 << 20,
@@ -44,6 +44,13 @@ def valid_report():
                   "plan_cache_misses": 0, "workspace_acquisitions": 0,
                   "workspace_cold_allocs": 0, "tune_cache": "off"},
     }
+
+
+def valid_v5_report():
+    report = valid_report()
+    report["schema"] = "strassen.gemm_report.v5"
+    del report["plan"]["algo"]
+    return report
 
 
 class ValidateReportSchemaTest(unittest.TestCase):
@@ -116,6 +123,47 @@ class ValidateReportSchemaTest(unittest.TestCase):
         proc = self.run_tool(report)
         self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
         self.assertIn("schema", proc.stdout)
+
+    def test_legacy_v5_report_passes(self):
+        proc = self.run_tool(valid_v5_report())
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_v5_report_with_plan_algo_is_version_drift(self):
+        # A report claiming v5 but shipping the v6 plan.algo key is drift:
+        # it must fail on the plan key set, not silently validate.
+        report = valid_v5_report()
+        report["plan"]["algo"] = "222"
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("plan", proc.stdout)
+
+    def test_v6_report_missing_algo_fails(self):
+        report = valid_report()
+        del report["plan"]["algo"]
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("plan", proc.stdout)
+
+    def test_family_algo_and_fallback_pass(self):
+        report = valid_report()
+        report["plan"]["algo"] = "323"
+        report["workspace"]["fallback"] = "algo-fallback"
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_unknown_algo_fails(self):
+        report = valid_report()
+        report["plan"]["algo"] = "2x2x2"  # not a table name
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("plan.algo", proc.stdout)
+
+    def test_algo_fallback_is_not_a_v5_rung(self):
+        report = valid_v5_report()
+        report["workspace"]["fallback"] = "algo-fallback"
+        proc = self.run_tool(report)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("workspace.fallback", proc.stdout)
 
     def test_packfused_strategy_and_savings_pass(self):
         report = valid_report()

@@ -1,0 +1,374 @@
+#!/usr/bin/env python3
+"""Generates and proves the <m,k,n> fast-algorithm coefficient tables.
+
+This is the provenance tool for the constexpr tables in
+src/analysis/algo_family.hpp: every table the library ships was emitted by
+this script, which constructs the algorithm, PROVES it exactly over the
+integers (the bilinear identity sum_r gamma[ij][r] * (a_r . b_r) ==
+sum_l A[i][l] B[l][j], checked monomial by monomial), and prints the C++
+initializers.  The C++ side re-proves the same identity in a constexpr
+verifier (src/analysis/algo_verify.hpp), so a transcription error cannot
+survive the build either.
+
+Constructions (all coefficients in {-1, 0, +1}):
+
+  <2,2,2>  Strassen-Winograd, 7 products (the paper's schedule, flattened
+           to coefficient form; gammas solved from the product identity).
+  <3,2,3>  17 products: Strassen-Winograd on the rows{0,1} x cols{0,1}
+           2x2x2 sub-problem, trivial products for the third row/column
+           strips (vs 18 trivial).
+  <2,3,4>  22 products: k split 2+1, n split 2+2 -- two Strassen-Winograd
+           <2,2,2> sub-calls over the k-major block plus a rank-8 outer
+           product for the k-tail (vs 24 trivial).
+  <3,3,3>  23 products: Laderman's 1976 algorithm (vs 27 trivial).
+
+Usage: python3 tools/gen_algo_tables.py [--cpp]
+Exits nonzero if any constructed table fails the exact identity proof.
+"""
+
+import itertools
+import sys
+from fractions import Fraction
+
+
+def mono_index(i, l, lp, j, bm, bk, bn):
+    """Index of monomial a[i][l] * b[lp][j] in the flattened tensor space."""
+    return ((i * bk + l) * bk + lp) * bn + j
+
+
+def product_vector(avec, bvec, bm, bk, bn):
+    """Expands (sum avec * A_blocks)(sum bvec * B_blocks) into monomials."""
+    dim = bm * bk * bk * bn
+    v = [0] * dim
+    for i in range(bm):
+        for l in range(bk):
+            ca = avec[i * bk + l]
+            if ca == 0:
+                continue
+            for lp in range(bk):
+                for j in range(bn):
+                    cb = bvec[lp * bn + j]
+                    if cb == 0:
+                        continue
+                    v[mono_index(i, l, lp, j, bm, bk, bn)] += ca * cb
+    return v
+
+
+def target_vector(i, j, bm, bk, bn):
+    """C[i][j] = sum_l A[i][l] B[l][j] in monomial space."""
+    dim = bm * bk * bk * bn
+    t = [0] * dim
+    for l in range(bk):
+        t[mono_index(i, l, l, j, bm, bk, bn)] = 1
+    return t
+
+
+def solve_gammas(products, bm, bk, bn):
+    """Solves gamma rows exactly; returns (bm*bn) x rank integer matrix or
+    None if some C block's target is not in the products' span (or needs
+    non-integer coefficients)."""
+    rank = len(products)
+    cols = [product_vector(a, b, bm, bk, bn) for a, b in products]
+    dim = bm * bk * bk * bn
+    gammas = []
+    for i in range(bm):
+        for j in range(bn):
+            t = target_vector(i, j, bm, bk, bn)
+            # Gaussian elimination over Q on the dim x rank system cols.x = t.
+            m = [[Fraction(cols[r][d]) for r in range(rank)] + [Fraction(t[d])]
+                 for d in range(dim)]
+            piv_rows, piv_cols = [], []
+            rr = 0
+            for c in range(rank):
+                pr = next((r for r in range(rr, dim) if m[r][c] != 0), None)
+                if pr is None:
+                    continue
+                m[rr], m[pr] = m[pr], m[rr]
+                inv = 1 / m[rr][c]
+                m[rr] = [x * inv for x in m[rr]]
+                for r in range(dim):
+                    if r != rr and m[r][c] != 0:
+                        f = m[r][c]
+                        m[r] = [x - f * y for x, y in zip(m[r], m[rr])]
+                piv_rows.append(rr)
+                piv_cols.append(c)
+                rr += 1
+            # Inconsistent system -> no solution.
+            for r in range(rr, dim):
+                if m[r][rank] != 0:
+                    return None
+            x = [Fraction(0)] * rank
+            for pr, pc in zip(piv_rows, piv_cols):
+                x[pc] = m[pr][rank]
+            if any(v.denominator != 1 for v in x):
+                return None
+            gammas.append([int(v) for v in x])
+    return gammas
+
+
+def prove(name, bm, bk, bn, products, gammas):
+    """Exact monomial-level proof of the bilinear identity."""
+    rank = len(products)
+    ok = True
+    for i in range(bm):
+        for j in range(bn):
+            acc = [0] * (bm * bk * bk * bn)
+            row = gammas[i * bn + j]
+            for r in range(rank):
+                if row[r] == 0:
+                    continue
+                pv = product_vector(*products[r], bm, bk, bn)
+                acc = [x + row[r] * y for x, y in zip(acc, pv)]
+            if acc != target_vector(i, j, bm, bk, bn):
+                print(f"FAIL {name}: C[{i}][{j}] identity does not hold")
+                ok = False
+    coeff_ok = all(
+        all(c in (-1, 0, 1) for c in a) and all(c in (-1, 0, 1) for c in b)
+        for a, b in products) and all(
+            c in (-1, 0, 1) for row in gammas for c in row)
+    if not coeff_ok:
+        print(f"FAIL {name}: coefficient outside {{-1,0,1}}")
+        ok = False
+    return ok
+
+
+# ---- <2,2,2>: Strassen-Winograd -------------------------------------------
+
+def winograd_222_products():
+    """The 7 Winograd products in (a-vec, b-vec) coefficient form.
+    A block order: A11 A12 A21 A22; B block order: B11 B12 B21 B22."""
+    A11, A12, A21, A22 = range(4)
+    B11, B12, B21, B22 = range(4)
+
+    def av(**kw):
+        v = [0] * 4
+        for k, c in kw.items():
+            v[{"a11": A11, "a12": A12, "a21": A21, "a22": A22}[k]] = c
+        return v
+
+    def bv(**kw):
+        v = [0] * 4
+        for k, c in kw.items():
+            v[{"b11": B11, "b12": B12, "b21": B21, "b22": B22}[k]] = c
+        return v
+
+    return [
+        (av(a11=1), bv(b11=1)),                       # P1 = A11 B11
+        (av(a12=1), bv(b21=1)),                       # P2 = A12 B21
+        (av(a21=1, a22=1), bv(b12=1, b11=-1)),        # P3 = S1 T1
+        (av(a21=1, a22=1, a11=-1),
+         bv(b22=1, b12=-1, b11=1)),                   # P4 = S2 T2
+        (av(a11=1, a21=-1), bv(b22=1, b12=-1)),       # P5 = S3 T3
+        (av(a11=1, a12=1, a21=-1, a22=-1), bv(b22=1)),  # P6 = S4 B22
+        (av(a22=1), bv(b22=1, b12=-1, b11=1, b21=-1)),  # P7 = A22 T4
+    ]
+
+
+# ---- composition helpers ---------------------------------------------------
+
+def embed(products, gammas, sub_bm, sub_bk, sub_bn, bm, bk, bn,
+          rows, ks, cols):
+    """Embeds a <sub_bm,sub_bk,sub_bn> algorithm over the block subsets
+    rows/ks/cols of the full <bm,bk,bn> grid.  Returns (products, partial
+    gamma rows keyed by (i, j) of the full grid)."""
+    out_products = []
+    for avec, bvec in products:
+        fa = [0] * (bm * bk)
+        for si, i in enumerate(rows):
+            for sl, l in enumerate(ks):
+                fa[i * bk + l] = avec[si * sub_bk + sl]
+        fb = [0] * (bk * bn)
+        for sl, l in enumerate(ks):
+            for sj, j in enumerate(cols):
+                fb[l * bn + j] = bvec[sl * sub_bn + sj]
+        out_products.append((fa, fb))
+    out_gammas = {}
+    for si, i in enumerate(rows):
+        for sj, j in enumerate(cols):
+            out_gammas[(i, j)] = gammas[si * sub_bn + sj]
+    return out_products, out_gammas
+
+
+def trivial_products(bm, bk, bn, rows, ks, cols):
+    """The naive algorithm over a block subset."""
+    products = []
+    gammas = {(i, j): [] for i in rows for j in cols}
+    for i in rows:
+        for j in cols:
+            row = []
+            for l in ks:
+                fa = [0] * (bm * bk)
+                fa[i * bk + l] = 1
+                fb = [0] * (bk * bn)
+                fb[l * bn + j] = 1
+                products.append((fa, fb))
+            for (pi, pj) in gammas:
+                gammas[(pi, pj)].extend(
+                    [1] * len(ks) if (pi, pj) == (i, j) else [0] * len(ks))
+    return products, gammas
+
+
+def compose(bm, bk, bn, pieces):
+    """Concatenates sub-algorithm pieces (each covering disjoint C blocks on
+    a common k range, or the same C blocks on disjoint k ranges -- any
+    partition of the (i, l, j) index space) into one flat table."""
+    products = []
+    gamma_rows = {(i, j): [] for i in range(bm) for j in range(bn)}
+    for piece_products, piece_gammas in pieces:
+        width = len(piece_products)
+        products.extend(piece_products)
+        for key in gamma_rows:
+            gamma_rows[key].extend(piece_gammas.get(key, [0] * width))
+    gammas = [gamma_rows[(i, j)] for i in range(bm) for j in range(bn)]
+    return products, gammas
+
+
+# ---- <3,2,3>: 17 products --------------------------------------------------
+
+def table_323():
+    bm, bk, bn = 3, 2, 3
+    w = winograd_222_products()
+    wg = solve_gammas(w, 2, 2, 2)
+    assert wg is not None
+    pieces = [
+        embed(w, wg, 2, 2, 2, bm, bk, bn, rows=[0, 1], ks=[0, 1],
+              cols=[0, 1]),
+        trivial_products(bm, bk, bn, rows=[0, 1], ks=[0, 1], cols=[2]),
+        trivial_products(bm, bk, bn, rows=[2], ks=[0, 1], cols=[0, 1, 2]),
+    ]
+    return (bm, bk, bn) + compose(bm, bk, bn, pieces)
+
+
+# ---- <2,3,4>: 22 products --------------------------------------------------
+
+def table_234():
+    bm, bk, bn = 2, 3, 4
+    w = winograd_222_products()
+    wg = solve_gammas(w, 2, 2, 2)
+    assert wg is not None
+    pieces = [
+        # A[:, 0:2] . B[0:2, 0:2] and A[:, 0:2] . B[0:2, 2:4]: two Winograds.
+        embed(w, wg, 2, 2, 2, bm, bk, bn, rows=[0, 1], ks=[0, 1],
+              cols=[0, 1]),
+        embed(w, wg, 2, 2, 2, bm, bk, bn, rows=[0, 1], ks=[0, 1],
+              cols=[2, 3]),
+        # k-tail: A[:, 2] outer B[2, :], rank 8.
+        trivial_products(bm, bk, bn, rows=[0, 1], ks=[2], cols=[0, 1, 2, 3]),
+    ]
+    return (bm, bk, bn) + compose(bm, bk, bn, pieces)
+
+
+# ---- <3,3,3>: Laderman, 23 products ----------------------------------------
+
+def table_333():
+    bm, bk, bn = 3, 3, 3
+
+    def av(spec):
+        v = [0] * 9
+        for sign, i, l in spec:
+            v[(i - 1) * 3 + (l - 1)] = sign
+        return v
+
+    def bv(spec):
+        v = [0] * 9
+        for sign, l, j in spec:
+            v[(l - 1) * 3 + (j - 1)] = sign
+        return v
+
+    # Laderman (1976), 23 multiplications, coefficients +-1.
+    products = [
+        (av([(1, 1, 1), (1, 1, 2), (1, 1, 3), (-1, 2, 1), (-1, 2, 2),
+             (-1, 3, 2), (-1, 3, 3)]), bv([(1, 2, 2)])),            # m1
+        (av([(1, 1, 1), (-1, 2, 1)]), bv([(-1, 1, 2), (1, 2, 2)])),  # m2
+        (av([(1, 2, 2)]),
+         bv([(-1, 1, 1), (1, 1, 2), (1, 2, 1), (-1, 2, 2), (-1, 2, 3),
+             (-1, 3, 1), (1, 3, 3)])),                              # m3
+        (av([(-1, 1, 1), (1, 2, 1), (1, 2, 2)]),
+         bv([(1, 1, 1), (-1, 1, 2), (1, 2, 2)])),                   # m4
+        (av([(1, 2, 1), (1, 2, 2)]), bv([(-1, 1, 1), (1, 1, 2)])),  # m5
+        (av([(1, 1, 1)]), bv([(1, 1, 1)])),                         # m6
+        (av([(-1, 1, 1), (1, 3, 1), (1, 3, 2)]),
+         bv([(1, 1, 1), (-1, 1, 3), (1, 2, 3)])),                   # m7
+        (av([(-1, 1, 1), (1, 3, 1)]), bv([(1, 1, 3), (-1, 2, 3)])),  # m8
+        (av([(1, 3, 1), (1, 3, 2)]), bv([(-1, 1, 1), (1, 1, 3)])),  # m9
+        (av([(1, 1, 1), (1, 1, 2), (1, 1, 3), (-1, 2, 2), (-1, 2, 3),
+             (-1, 3, 1), (-1, 3, 2)]), bv([(1, 2, 3)])),            # m10
+        (av([(1, 3, 2)]),
+         bv([(-1, 1, 1), (1, 1, 3), (1, 2, 1), (-1, 2, 2), (-1, 2, 3),
+             (-1, 3, 1), (1, 3, 2)])),                              # m11
+        (av([(-1, 1, 3), (1, 3, 2), (1, 3, 3)]),
+         bv([(1, 2, 2), (1, 3, 1), (-1, 3, 2)])),                   # m12
+        (av([(1, 1, 3), (-1, 3, 3)]), bv([(1, 2, 2), (-1, 3, 2)])),  # m13
+        (av([(1, 1, 3)]), bv([(1, 3, 1)])),                         # m14
+        (av([(1, 3, 2), (1, 3, 3)]), bv([(-1, 3, 1), (1, 3, 2)])),  # m15
+        (av([(-1, 1, 3), (1, 2, 2), (1, 2, 3)]),
+         bv([(1, 2, 3), (1, 3, 1), (-1, 3, 3)])),                   # m16
+        (av([(1, 1, 3), (-1, 2, 3)]), bv([(1, 2, 3), (-1, 3, 3)])),  # m17
+        (av([(1, 2, 2), (1, 2, 3)]), bv([(-1, 3, 1), (1, 3, 3)])),  # m18
+        (av([(1, 1, 2)]), bv([(1, 2, 1)])),                         # m19
+        (av([(1, 2, 3)]), bv([(1, 3, 2)])),                         # m20
+        (av([(1, 2, 1)]), bv([(1, 1, 3)])),                         # m21
+        (av([(1, 3, 1)]), bv([(1, 1, 2)])),                         # m22
+        (av([(1, 3, 3)]), bv([(1, 3, 3)])),                         # m23
+    ]
+    gammas = solve_gammas(products, bm, bk, bn)
+    if gammas is None:
+        print("FAIL <3,3,3>: Laderman products do not span the targets")
+        sys.exit(1)
+    return bm, bk, bn, products, gammas
+
+
+# ---- emit ------------------------------------------------------------------
+
+def emit_cpp(name, bm, bk, bn, products, gammas):
+    rank = len(products)
+    print(f"// <{bm},{bk},{bn}>: rank {rank} (trivial {bm * bk * bn})")
+    a_rows = [", ".join(str(c) for c in a) for a, _ in products]
+    b_rows = [", ".join(str(c) for c in b) for _, b in products]
+    g_rows = [", ".join(str(c) for c in row) for row in gammas]
+    print(f"inline constexpr std::int8_t k{name}A[] = {{")
+    for r in a_rows:
+        print(f"    {r},")
+    print("};")
+    print(f"inline constexpr std::int8_t k{name}B[] = {{")
+    for r in b_rows:
+        print(f"    {r},")
+    print("};")
+    print(f"inline constexpr std::int8_t k{name}C[] = {{")
+    for r in g_rows:
+        print(f"    {r},")
+    print("};")
+    print()
+
+
+def main(argv):
+    tables = []
+    bm, bk, bn = 2, 2, 2
+    w = winograd_222_products()
+    wg = solve_gammas(w, bm, bk, bn)
+    if wg is None:
+        print("FAIL <2,2,2>: gamma solve failed")
+        return 1
+    tables.append(("Algo222", bm, bk, bn, w, wg))
+    tables.append(("Algo323",) + table_323())
+    tables.append(("Algo234",) + table_234())
+    tables.append(("Algo333",) + table_333())
+
+    ok = True
+    for name, bm, bk, bn, products, gammas in tables:
+        if prove(name, bm, bk, bn, products, gammas):
+            print(f"OK  {name}: <{bm},{bk},{bn}> rank {len(products)} "
+                  f"(trivial {bm * bk * bn}) proved exactly")
+        else:
+            ok = False
+    if not ok:
+        return 1
+    if "--cpp" in argv:
+        print()
+        for t in tables:
+            emit_cpp(*t)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
-"""Validates strassen.gemm_report.v5 JSON lines (stdlib only).
+"""Validates strassen.gemm_report.v5/v6 JSON lines (stdlib only).
 
 Input: one or more files of JSONL as emitted by STRASSEN_OBS=json:PATH, a
 single-report .json file, or a bench --json file
 (``{"bench": ..., "rows": [{"label": ..., "report": {...}}]}``).  Every
-report must carry the exact v5 key set with the documented types -- the
-schema is a compatibility contract (docs/OBSERVABILITY.md): consumers index
-fields unconditionally, so a missing, extra or retyped key is an error, not
-a warning.  Exits nonzero with the offending path on the first failure per
-report.
+report must carry the exact key set of its declared schema version with the
+documented types -- the schema is a compatibility contract
+(docs/OBSERVABILITY.md): consumers index fields unconditionally, so a
+missing, extra or retyped key is an error, not a warning.  v5 archives
+(pre-algorithm-family) stay valid; a v5 report that smuggles in the v6
+``plan.algo`` key or the ``algo-fallback`` rung is version drift and fails.
+Exits nonzero with the offending path on the first failure per report.
 
 Usage: python3 tools/validate_report_schema.py report.jsonl [...]
 """
@@ -16,21 +18,27 @@ Usage: python3 tools/validate_report_schema.py report.jsonl [...]
 import json
 import sys
 
-SCHEMA_ID = "strassen.gemm_report.v5"
+SCHEMA_ID = "strassen.gemm_report.v6"
+# Accepted schema ids -> version number.  v5 is the last pre-algorithm-family
+# layout; everything older was a hard break (no batch section) and is
+# rejected on the id.
+SCHEMA_IDS = {"strassen.gemm_report.v5": 5, "strassen.gemm_report.v6": 6}
 
 BOOL = bool
 INT = int
 NUM = (int, float)  # JSON has one number type; integers satisfy "number"
 STR = str
 
-# section -> {key: expected type}; the full v5 key set, nothing optional.
+# section -> {key: expected type}; the full v6 key set, nothing optional.
 # v2 added parallel.steals (work-steal migrations) to the v1 layout; v3 added
 # plan.schedule (the executed schedule family), workspace.saved_bytes (bytes
 # a schedule swap saved vs the default family) and the "schedule-swap"
 # fallback rung; v4 added plan.strategy (the execution strategy that ran) and
 # workspace.conversion_saved_bytes (layout-conversion traffic the pack-fused
 # strategy avoided); v5 added the batch section (batched entry point,
-# plan-cache and arena-amortization counters, tune-cache state).
+# plan-cache and arena-amortization counters, tune-cache state); v6 added
+# plan.algo (the <m,k,n> algorithm family that ran) and the "algo-fallback"
+# rung (a family that could not run within budget dropped to <2,2,2>).
 SECTIONS = {
     "call": {"entry": STR, "m": INT, "n": INT, "k": INT},
     "phases": {
@@ -48,6 +56,7 @@ SECTIONS = {
         "planned_depth": INT,
         "schedule": STR,
         "strategy": STR,
+        "algo": STR,  # v6 only; stripped from the expected set for v5
         "depth": INT,
         "tile_m": INT,
         "tile_k": INT,
@@ -95,10 +104,16 @@ SECTIONS = {
 
 FALLBACKS = {"none", "schedule-swap", "depth-reduced", "budget-direct",
              "alloc-direct", "alloc-strided"}
+# The v6 rung: a forced/chosen <m,k,n> family could not run (workspace
+# budget or allocation failure) and the call degraded to the <2,2,2> ladder.
+FALLBACKS_V6 = FALLBACKS | {"algo-fallback"}
 # "none" = direct (no Strassen plan ran, so no schedule family applies).
 SCHEDULES = {"none", "winograd", "winograd-lowmem", "winograd-inplace"}
 # "none" = direct (no recursive execution, so no strategy applies).
 STRATEGIES = {"none", "morton", "packfused"}
+# "none" = the report predates resolution or the call never dispatched;
+# numeric names are the shipped <m,k,n> coefficient tables.
+ALGOS = {"none", "222", "323", "234", "333"}
 ENTRIES = {"modgemm", "pmodgemm", "modgemm_batched"}
 # "off" = not a tuned batched call; "cold"/"warm"/"rejected" = the
 # STRASSEN_TUNE_CACHE outcome of a BatchedOptions::tune call.
@@ -119,9 +134,15 @@ def validate_report(report, where):
     expected_top = {"schema"} | set(SECTIONS)
     check(set(report) == expected_top, where,
           f"top-level keys {sorted(report)} != {sorted(expected_top)}")
-    check(report["schema"] == SCHEMA_ID, where,
-          f"schema {report['schema']!r} != {SCHEMA_ID!r}")
+    check(report["schema"] in SCHEMA_IDS, where,
+          f"schema {report['schema']!r} not in {sorted(SCHEMA_IDS)}")
+    version = SCHEMA_IDS[report["schema"]]
     for section, fields in SECTIONS.items():
+        if section == "plan" and version < 6:
+            # The drift check: a v5 report carrying plan.algo claims one
+            # version and ships another, so the exact-key comparison below
+            # rejects it just like any other extra key.
+            fields = {k: v for k, v in fields.items() if k != "algo"}
         obj = report[section]
         check(isinstance(obj, dict), f"{where}.{section}", "not an object")
         check(set(obj) == set(fields), f"{where}.{section}",
@@ -135,15 +156,19 @@ def validate_report(report, where):
                   f"{value!r} is not {type_name(expected)}")
     check(report["call"]["entry"] in ENTRIES, f"{where}.call.entry",
           f"{report['call']['entry']!r} not in {sorted(ENTRIES)}")
-    check(report["workspace"]["fallback"] in FALLBACKS,
+    fallbacks = FALLBACKS_V6 if version >= 6 else FALLBACKS
+    check(report["workspace"]["fallback"] in fallbacks,
           f"{where}.workspace.fallback",
-          f"{report['workspace']['fallback']!r} not in {sorted(FALLBACKS)}")
+          f"{report['workspace']['fallback']!r} not in {sorted(fallbacks)}")
     check(report["plan"]["schedule"] in SCHEDULES,
           f"{where}.plan.schedule",
           f"{report['plan']['schedule']!r} not in {sorted(SCHEDULES)}")
     check(report["plan"]["strategy"] in STRATEGIES,
           f"{where}.plan.strategy",
           f"{report['plan']['strategy']!r} not in {sorted(STRATEGIES)}")
+    if version >= 6:
+        check(report["plan"]["algo"] in ALGOS, f"{where}.plan.algo",
+              f"{report['plan']['algo']!r} not in {sorted(ALGOS)}")
     check(report["batch"]["tune_cache"] in TUNE_CACHE_STATES,
           f"{where}.batch.tune_cache",
           f"{report['batch']['tune_cache']!r} not in "
@@ -198,7 +223,8 @@ def main(argv):
     if failures:
         print(f"FAIL: {failures} invalid of {total} report(s)")
         return 1
-    print(f"OK: {total} report(s) conform to {SCHEMA_ID}")
+    print(f"OK: {total} report(s) conform (accepted: "
+          f"{', '.join(sorted(SCHEMA_IDS))})")
     return 0
 
 
